@@ -1,0 +1,45 @@
+"""F10 — Figure 10: size measures vs convex hull; the dispersal cutoff.
+
+Paper: among small ASes hull area varies wildly (even tiny ASes can be
+worldwide), but beyond a size threshold (degree ~100, interfaces ~1000,
+locations ~100) every AS is maximally dispersed geographically.
+"""
+
+
+from repro.core.asgeo import hull_vs_size
+
+
+def test_fig10_hull_vs_size(asgeo_bundle, benchmark, record_artifact):
+    def compute():
+        return {
+            measure: hull_vs_size(
+                asgeo_bundle.table, asgeo_bundle.hulls_world, size_measure=measure
+            )
+            for measure in ("nodes", "locations", "degree")
+        }
+
+    summaries = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = ["FIGURE 10: SIZE MEASURES VS CONVEX HULL", "-" * 70]
+    for measure, summary in summaries.items():
+        n_above = int((summary.sizes >= summary.cutoff).sum())
+        lines.append(
+            f"{measure:10s} cutoff={summary.cutoff:7,.0f} ASes above={n_above:4d} "
+            f"min-hull-above/max-hull={summary.dispersal_ratio:.2f}"
+        )
+    record_artifact("fig10_hull_vs_size", "\n".join(lines))
+
+    for measure, summary in summaries.items():
+        above = summary.sizes >= summary.cutoff
+        assert above.any(), f"no AS above the {measure} cutoff at full scale"
+        # Every AS above the cutoff is widely dispersed: its hull is a
+        # large fraction of the maximum observed hull (the Albers
+        # projection makes "fraction of max" scale-dependent, so the
+        # band is qualitative).
+        assert summary.dispersal_ratio > 0.45, measure
+        # Small ASes vary: some of them have zero extent, some are
+        # widely dispersed (>= 30% of the max hull).
+        small = ~above
+        small_areas = summary.areas[small]
+        assert (small_areas == 0).any()
+        assert (small_areas > 0.3 * summary.max_area).any()

@@ -1,0 +1,29 @@
+"""F2 — Figure 2: router/interface density vs population density.
+
+Paper: per-75'-patch log-log regressions give slopes of 1.20-1.75
+across {Mercator, Skitter} x {US, Europe, Japan} — superlinear in every
+panel, with Mercator and Skitter panels qualitatively similar.
+"""
+
+from repro.core import experiments, report
+
+
+def test_fig2_density_regression(result, benchmark, record_artifact):
+    panels = benchmark.pedantic(
+        experiments.figure2, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("fig2_density_regression", report.render_figure2(panels))
+
+    assert len(panels) == 6
+    for (measurement, region), panel in panels.items():
+        # Superlinearity in every panel (paper: 1.20-1.75; we allow a
+        # wider band because patch counts are far smaller than CIESIN's).
+        assert panel.fit.slope > 1.0, (measurement, region, panel.fit.slope)
+        assert panel.fit.slope < 2.3
+        assert panel.fit.n >= 10
+    # Mercator and Skitter agree per region (the paper's "qualitatively
+    # quite similar" panels).
+    for region in ("US", "Europe", "Japan"):
+        ms = panels[("Mercator", region)].fit.slope
+        sk = panels[("Skitter", region)].fit.slope
+        assert abs(ms - sk) < 0.5

@@ -1,0 +1,34 @@
+"""F4 — Figure 4: the empirical distance preference function.
+
+Paper: f(d), estimated over 100 bins (35/15/11 miles for US/Europe/
+Japan), declines with distance at small d and flattens at large d, for
+both datasets and all three regions.
+"""
+
+import numpy as np
+
+from repro.core import experiments, report
+
+
+def test_fig4_distance_preference(result, benchmark, record_artifact):
+    panels = benchmark.pedantic(
+        experiments.figure4, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("fig4_distance_preference", report.render_figure4(panels))
+
+    assert len(panels) == 6
+    for (measurement, region), pref in panels.items():
+        assert pref.n_nodes > 1000, (measurement, region)
+        assert pref.link_lengths.size > 1000
+        # The estimate declines: the first quarter of populated bins
+        # averages a higher f than the second quarter.
+        extent = pref.populated_extent()
+        quarter = max(extent // 4, 2)
+        f = np.nan_to_num(pref.f_hat[:extent])
+        assert f[:quarter].mean() > f[quarter : 2 * quarter].mean(), (
+            measurement, region,
+        )
+    # Bin sizes follow the paper.
+    assert panels[("Skitter", "US")].bin_miles == 35.0
+    assert panels[("Skitter", "Europe")].bin_miles == 15.0
+    assert panels[("Skitter", "Japan")].bin_miles == 11.0

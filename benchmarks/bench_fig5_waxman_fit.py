@@ -1,0 +1,29 @@
+"""F5 — Figure 5: small-d semi-log fits (the Waxman form).
+
+Paper: ln f(d) vs d is linear at small d — an exponentially declining
+connection probability, the Waxman assumption — with decay scales of
+L ~ 140 miles for the US and Japan and ~80 miles for Europe.
+"""
+
+from repro.core import experiments, report
+
+
+def test_fig5_waxman_fit(ixmapper_panels, benchmark, record_artifact):
+    fits = benchmark.pedantic(
+        experiments.figure5, args=(ixmapper_panels,), rounds=1, iterations=1
+    )
+    record_artifact("fig5_waxman_fit", report.render_figure5(fits))
+
+    assert len(fits) == 6
+    for (measurement, region), fit in fits.items():
+        assert fit.fit.slope < 0, (measurement, region)
+        # Decay scales within a factor ~3 of the paper's estimates.
+        assert 30.0 < fit.l_miles < 500.0, (measurement, region, fit.l_miles)
+    # Europe decays faster than the US (paper: L ~ 80 vs ~140 miles).
+    assert (
+        fits[("Skitter", "Europe")].l_miles < fits[("Skitter", "US")].l_miles
+    )
+    # Planted-parameter recovery: the generator used L = 140/80/140 miles
+    # for US/Europe/Japan; the Skitter US estimate lands near it.
+    assert 70.0 < fits[("Skitter", "US")].l_miles < 280.0
+    assert 40.0 < fits[("Skitter", "Europe")].l_miles < 160.0

@@ -1,0 +1,27 @@
+"""F6 — Figure 6: the cumulated preference function at large d.
+
+Paper: F(d) = sum of f(d') for d' < d is close to linear over the
+large-d half of each panel, i.e. connection probability is
+distance-independent beyond the sensitivity limit.
+"""
+
+from repro.core import experiments, report
+
+
+def test_fig6_cumulated_preference(ixmapper_panels, benchmark, record_artifact):
+    curves = benchmark.pedantic(
+        experiments.figure6, args=(ixmapper_panels,), rounds=1, iterations=1
+    )
+    record_artifact("fig6_cumulated_preference", report.render_figure6(curves))
+
+    assert len(curves) == 6
+    good_fits = 0
+    for (measurement, region), curve in curves.items():
+        # F is a cumulative sum: non-decreasing by construction.
+        assert (curve.big_f[1:] >= curve.big_f[:-1] - 1e-15).all()
+        assert curve.large_d_fit.slope >= 0
+        if curve.large_d_fit.r_squared > 0.6:
+            good_fits += 1
+    # The paper: all panels but one (Mercator Europe) show good linear
+    # agreement; require a majority here.
+    assert good_fits >= 4

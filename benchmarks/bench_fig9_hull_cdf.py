@@ -1,0 +1,46 @@
+"""F9 — Figure 9: CDFs of AS convex hull size.
+
+Paper: ~80% of ASes have one or two locations (zero hull area); the
+remainder show wide variability in geographic dispersion, up to hulls
+covering much of the projected world/region.
+"""
+
+import numpy as np
+
+from repro.core.asgeo import hull_areas
+from repro.geo.regions import EUROPE, US
+
+
+def test_fig9_hull_cdf(result, asgeo_bundle, benchmark, record_artifact):
+    dataset = result.dataset("IxMapper", "Skitter")
+    us, europe = benchmark.pedantic(
+        lambda: (hull_areas(dataset, region=US), hull_areas(dataset, region=EUROPE)),
+        rounds=1,
+        iterations=1,
+    )
+    world = asgeo_bundle.hulls_world
+
+    lines = ["FIGURE 9: AS CONVEX HULL AREA CDFs", "-" * 70]
+    for name, hulls in (("World", world), ("US", us), ("Europe", europe)):
+        nonzero = hulls.areas[hulls.areas > 0]
+        lines.append(
+            f"{name:7s} ASes={hulls.areas.size:5d} zero-extent="
+            f"{hulls.zero_fraction * 100:5.1f}%  max hull="
+            f"{hulls.areas.max():,.0f} sq mi  median nonzero="
+            f"{np.median(nonzero) if nonzero.size else 0:,.0f}"
+        )
+    record_artifact("fig9_hull_cdf", "\n".join(lines))
+
+    # The large majority of ASes have zero extent (paper: ~80%).
+    assert 0.5 < world.zero_fraction < 0.95
+    # Among the rest, dispersion varies over orders of magnitude.
+    nonzero = world.areas[world.areas > 0]
+    assert nonzero.max() / nonzero.min() > 1e3
+    # Regional hulls are bounded by their region boxes.
+    assert us.areas.max() < world.areas.max()
+    assert europe.areas.max() < us.areas.max()
+    # CDFs are proper distributions.
+    for hulls in (world, us, europe):
+        areas, p = hulls.cdf_points()
+        assert p[-1] == 1.0
+        assert np.all(np.diff(areas) >= 0)

@@ -1,0 +1,101 @@
+"""Performance benchmarks for the pipeline's heavy stages.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the substrate kernels, at reduced scale so rounds stay fast: world
+synthesis, ground-truth generation, Skitter/Mercator campaigns,
+geolocation + AS mapping, and the exact pair-count kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bgp.routeviews import build_routeviews_snapshot
+from repro.config import (
+    BgpConfig,
+    GroundTruthConfig,
+    MercatorConfig,
+    SkitterConfig,
+)
+from repro.core.distance import exact_pair_counts
+from repro.datasets.pipeline import build_snapshot
+from repro.geoloc.base import build_context
+from repro.geoloc.ixmapper import IxMapper
+from repro.measure.artifacts import clean_inventory
+from repro.measure.mercator import run_mercator
+from repro.measure.skitter import run_skitter
+from repro.net.generate import generate_ground_truth
+from repro.population.worldmodel import build_world
+
+
+@pytest.fixture(scope="module")
+def bench_world():
+    return build_world(np.random.default_rng(8), city_scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def bench_truth(bench_world):
+    config = GroundTruthConfig(
+        total_routers=5_000, n_ases=200, tier1_count=8, tier2_count=40
+    )
+    return generate_ground_truth(
+        bench_world, config, np.random.default_rng(9)
+    )
+
+
+def test_bench_world_synthesis(benchmark):
+    benchmark(lambda: build_world(np.random.default_rng(1), city_scale=0.5))
+
+
+def test_bench_ground_truth_generation(benchmark, bench_world):
+    config = GroundTruthConfig(
+        total_routers=3_000, n_ases=120, tier1_count=6, tier2_count=24
+    )
+
+    benchmark(
+        lambda: generate_ground_truth(
+            bench_world, config, np.random.default_rng(2)
+        )
+    )
+
+
+def test_bench_skitter_campaign(benchmark, bench_truth):
+    topology, _, _ = bench_truth
+    config = SkitterConfig(n_monitors=8, destinations_per_monitor=800)
+
+    benchmark(lambda: run_skitter(topology, config, np.random.default_rng(3)))
+
+
+def test_bench_mercator_campaign(benchmark, bench_truth):
+    topology, _, _ = bench_truth
+    config = MercatorConfig(n_targets=1_200, n_source_routed=500)
+
+    benchmark(lambda: run_mercator(topology, config, np.random.default_rng(4)))
+
+
+def test_bench_geolocation_and_as_mapping(benchmark, bench_world, bench_truth):
+    topology, plan, _ = bench_truth
+    rng = np.random.default_rng(5)
+    from repro.config import GeolocConfig
+
+    context = build_context(bench_world, topology, plan, GeolocConfig(), rng)
+    table = build_routeviews_snapshot(plan, BgpConfig(), rng)
+    inventory = run_skitter(
+        topology,
+        SkitterConfig(n_monitors=6, destinations_per_monitor=600),
+        rng,
+    )
+    cleaned, _ = clean_inventory(inventory)
+
+    def map_once():
+        mapper = IxMapper(context, np.random.default_rng(6))
+        return build_snapshot(cleaned, mapper, table, "bench")
+
+    benchmark(map_once)
+
+
+def test_bench_exact_pair_counts(benchmark):
+    rng = np.random.default_rng(7)
+    lats = rng.uniform(26, 49, 4_000)
+    lons = rng.uniform(-124, -66, 4_000)
+
+    benchmark(lambda: exact_pair_counts(lats, lons, 35.0, 100))

@@ -1,0 +1,23 @@
+"""The closed loop in one call: planted laws vs recovered estimates.
+
+This is the reproduction's summary health check (DESIGN.md section 5):
+every law the generator plants — density exponents, Waxman scales,
+distance-sensitive shares, interdomain structure, AS geography, the
+Table III contrast — compared against what the full pipeline's analyses
+recover at full scale.
+"""
+
+from repro.core.validation import validate_recovery
+
+
+def test_recovery_validation(result, benchmark, record_artifact):
+    report = benchmark.pedantic(
+        validate_recovery, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("recovery_validation", report.render())
+
+    # At full scale, at most one check may miss its band (Japan's
+    # Waxman-L intersection is noisy, exactly as the paper warns).
+    failed = [check for check in report.checks if not check.ok]
+    assert len(failed) <= 1, [c.law for c in failed]
+    assert len(report.checks) >= 12

@@ -1,0 +1,33 @@
+"""T1 — Table I: sizes of processed datasets.
+
+Paper: four processed datasets ({IxMapper, EdgeScape} x {Mercator,
+Skitter}) with node, link and location counts; Skitter datasets are
+substantially larger than Mercator ones, and both mapping tools agree on
+sizes to within a few percent.
+"""
+
+from repro.core import experiments, report
+
+
+def test_table1_dataset_sizes(result, benchmark, record_artifact):
+    rows = benchmark.pedantic(
+        experiments.table1, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("table1_dataset_sizes", report.render_table1(rows))
+
+    by_label = {r.label: r for r in rows}
+    assert len(rows) == 4
+    # Skitter (interface granularity) sees more nodes than Mercator.
+    assert (
+        by_label["IxMapper, Skitter"].n_nodes
+        > by_label["IxMapper, Mercator"].n_nodes
+    )
+    # The two mapping tools agree on dataset sizes to within 10%.
+    for measurement in ("Mercator", "Skitter"):
+        ix = by_label[f"IxMapper, {measurement}"].n_nodes
+        es = by_label[f"EdgeScape, {measurement}"].n_nodes
+        assert abs(ix - es) / max(ix, es) < 0.10
+    # Every dataset resolves a substantial number of distinct locations.
+    for row in rows:
+        assert row.n_locations > 200
+        assert row.n_links > row.n_nodes * 0.5

@@ -1,0 +1,26 @@
+"""T3 — Table III: variation in people/interface density across regions.
+
+Paper: people-per-interface varies by a factor > 100 between less and
+highly developed regions, while online-users-per-interface varies only
+by about a factor of 4.
+"""
+
+from repro.core import experiments, report
+
+
+def test_table3_region_density(result, benchmark, record_artifact):
+    table = benchmark.pedantic(
+        experiments.table3, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("table3_region_density", report.render_table3(table))
+
+    assert table.people_variation > 40      # paper: > 100 at Internet scale
+    assert table.online_variation < 10      # paper: ~ 4
+    assert table.people_variation > 8 * table.online_variation
+
+    by_region = {r.region: r for r in table.rows}
+    # Developed regions have far fewer people per interface.
+    assert by_region["Africa"].people_per_node > 20 * by_region["USA"].people_per_node
+    # The USA hosts the most interfaces, as in the paper's Skitter data.
+    named = [r for r in table.rows if r.region != "World"]
+    assert max(named, key=lambda r: r.n_nodes).region == "USA"

@@ -1,0 +1,26 @@
+"""T4 — Table IV: testing for homogeneity.
+
+Paper: the northern and southern halves of the US show similar
+people-per-interface (991 vs 1305), while the Central American box is
+dramatically different (35,533) — justifying the restriction of the
+density analysis to economically homogeneous regions.
+"""
+
+from repro.core import experiments, report
+
+
+def test_table4_homogeneity(result, benchmark, record_artifact):
+    rows = benchmark.pedantic(
+        experiments.table4, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("table4_homogeneity", report.render_table4(rows))
+
+    by_region = {r.region: r for r in rows}
+    north = by_region["Northern US"].people_per_node
+    south = by_region["Southern US"].people_per_node
+    central = by_region["Central Am."].people_per_node
+    # The US halves agree within a factor ~2 (paper: 1.3x).
+    assert max(north, south) / min(north, south) < 2.5
+    # Central America is at least an order of magnitude sparser
+    # (paper: ~30x).
+    assert central / max(north, south) > 10

@@ -1,0 +1,34 @@
+"""T6 — Table VI: intradomain vs. interdomain links.
+
+Paper: intradomain links are the large majority (83%+ in every region)
+and interdomain links are about twice as long on average; roughly half
+of all links lie within the continental US.
+"""
+
+from repro.core import experiments, report
+
+
+def test_table6_link_domains(result, benchmark, record_artifact):
+    rows = benchmark.pedantic(
+        experiments.table6, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("table6_link_domains", report.render_table6(rows))
+
+    by_region = {r.region: r for r in rows}
+    world = by_region["World"]
+    # Majority intradomain (paper: >= 83%).
+    assert world.intradomain_fraction > 0.75
+    # Interdomain links roughly twice as long (paper: ~2.2x world).
+    ratio = world.mean_interdomain_miles / world.mean_intradomain_miles
+    assert 1.5 < ratio < 6.0
+    # About half of the links lie in the US box.
+    us = by_region["US"]
+    us_share = (us.n_interdomain + us.n_intradomain) / (
+        world.n_interdomain + world.n_intradomain
+    )
+    assert 0.3 < us_share < 0.8
+    # The pattern holds per region too.
+    for name in ("US", "Europe", "Japan"):
+        row = by_region[name]
+        assert row.intradomain_fraction > 0.75
+        assert row.mean_interdomain_miles > row.mean_intradomain_miles

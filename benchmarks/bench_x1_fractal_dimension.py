@@ -1,0 +1,28 @@
+"""X1 — Section II confirmation: fractal dimension via box counting.
+
+Paper (citing Yook, Jeong & Barabasi and confirming on its own data):
+routers, ASes and population density share a fractal dimension of about
+1.5.  Our synthetic settlement model is clustered but somewhat less
+plane-filling than real settlement patterns, so we assert the defining
+qualitative property — a fractional dimension well away from both a
+point mass (D ~ 0) and uniform placement (D ~ 2) — and that routers and
+population have similar dimensions.
+"""
+
+from repro.core import experiments, report
+
+
+def test_x1_fractal_dimension(result, benchmark, record_artifact):
+    fractal = benchmark.pedantic(
+        experiments.experiment_x1, args=(result,), rounds=1, iterations=1
+    )
+    record_artifact("x1_fractal_dimension", report.render_fractal(fractal))
+
+    assert 0.5 < fractal.routers.dimension < 1.9
+    assert 0.5 < fractal.population.dimension < 1.9
+    # Routers and population share their clustering geometry (the
+    # paper's point): dimensions agree within ~0.5.
+    assert abs(fractal.routers.dimension - fractal.population.dimension) < 0.5
+    # Both fits are clean scaling regions.
+    assert fractal.routers.fit.r_squared > 0.85
+    assert fractal.population.fit.r_squared > 0.85

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+The full-scale pipeline (the paper's workload) runs once per session;
+every bench measures one analysis stage over that shared result and
+writes its rendered paper artefact under ``benchmarks/output/``.
+
+Full-scale acceptance bands (DESIGN.md section 5) are asserted here, in
+the benches, rather than in the unit-test suite, because they only hold
+at realistic scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import default_scenario
+from repro.core import experiments
+from repro.datasets.pipeline import PipelineResult, run_pipeline
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def result() -> PipelineResult:
+    """The full-scale pipeline result (one run per benchmark session)."""
+    return run_pipeline(default_scenario())
+
+
+@pytest.fixture(scope="session")
+def ixmapper_panels(result):
+    """Figure 4 distance-preference panels (IxMapper), computed once."""
+    return experiments.figure4(result, mapper="IxMapper")
+
+
+@pytest.fixture(scope="session")
+def edgescape_panels(result):
+    """Figure 4 panels for the EdgeScape appendix variants."""
+    return experiments.figure4(result, mapper="EdgeScape")
+
+
+@pytest.fixture(scope="session")
+def asgeo_bundle(result):
+    """Figures 7-10 bundle (IxMapper, Skitter), computed once."""
+    return experiments.figures7_to_10(result)
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Writer for rendered paper artefacts: record_artifact(name, text)."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return write

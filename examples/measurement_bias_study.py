@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""How measurement design changes what you see: a bias study.
+
+The paper's two inventories differ in method (multi-monitor traceroute
+union vs single source + source routing + alias resolution), and the
+paper argues its conclusions are robust to those differences.  This
+example quantifies the differences directly against ground truth:
+
+* coverage: fraction of true routers/links observed;
+* monitor count: how the observed graph grows with vantage points;
+* alias resolution failures: how interface-level maps inflate node
+  counts;
+* geolocation error: mean distance between mapped and true positions.
+
+Run:
+    python examples/measurement_bias_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import small_scenario
+from repro.config import MercatorConfig, SkitterConfig
+from repro.datasets.pipeline import run_pipeline
+from repro.geo.distance import haversine_miles
+from repro.measure.mercator import run_mercator
+from repro.measure.skitter import run_skitter
+
+
+def link_recall(topology, inventory) -> float:
+    """Fraction of true links with at least one observed counterpart."""
+    observed_router_pairs = set()
+    by_loopback = {r.loopback: r.router_id for r in topology.routers}
+    for a, b in inventory.links:
+        ra = by_loopback.get(a)
+        rb = by_loopback.get(b)
+        if ra is None:
+            ra = topology.interfaces[a].router_id
+        if rb is None:
+            rb = topology.interfaces[b].router_id
+        observed_router_pairs.add((min(ra, rb), max(ra, rb)))
+    return len(observed_router_pairs) / topology.n_links
+
+
+def router_recall(topology, inventory) -> float:
+    """Fraction of true routers observed at least once."""
+    by_loopback = {r.loopback: r.router_id for r in topology.routers}
+    seen = set()
+    for address in inventory.nodes:
+        rid = by_loopback.get(address)
+        if rid is None:
+            rid = topology.interfaces[address].router_id
+        seen.add(rid)
+    return len(seen) / topology.n_routers
+
+
+def main() -> None:
+    config = small_scenario()
+    print("building ground truth and running the standard campaigns...")
+    result = run_pipeline(config)
+    topology = result.topology
+    rng = np.random.default_rng(99)
+
+    print(f"\nground truth: {topology.n_routers:,} routers, "
+          f"{topology.n_links:,} links\n")
+
+    # --- monitor-count sweep (the marginal utility of vantage points) ---
+    print("Skitter vantage-point sweep (destinations fixed at 600/monitor):")
+    print(f"{'monitors':>9s} {'nodes':>8s} {'links':>8s} "
+          f"{'router recall':>14s} {'link recall':>12s}")
+    for n_monitors in (1, 2, 4, 8):
+        inventory = run_skitter(
+            topology,
+            SkitterConfig(n_monitors=n_monitors, destinations_per_monitor=600),
+            np.random.default_rng(7),
+        )
+        print(
+            f"{n_monitors:>9d} {inventory.n_nodes:>8,d} "
+            f"{inventory.n_links:>8,d} "
+            f"{router_recall(topology, inventory):>13.1%} "
+            f"{link_recall(topology, inventory):>11.1%}"
+        )
+    print("  -> each extra monitor adds lateral links a single tree misses")
+    print("     (the marginal-utility effect of Barford et al. cited in the paper)")
+
+    # --- alias resolution sweep -----------------------------------------
+    print("\nMercator alias-resolution sweep (same probes, varying success):")
+    print(f"{'success rate':>13s} {'nodes':>8s} {'true routers seen':>18s} "
+          f"{'inflation':>10s}")
+    for rate in (1.0, 0.9, 0.6, 0.3):
+        inventory = run_mercator(
+            topology,
+            MercatorConfig(
+                n_targets=800, n_source_routed=300, alias_resolution_rate=rate
+            ),
+            np.random.default_rng(13),
+        )
+        recall = router_recall(topology, inventory)
+        inflation = inventory.n_nodes / (recall * topology.n_routers)
+        print(f"{rate:>13.0%} {inventory.n_nodes:>8,d} "
+              f"{recall:>17.1%} {inflation:>9.2f}x")
+    print("  -> failed alias probes split routers into phantom nodes,")
+    print("     the interface-map inaccuracy the paper cites [3]")
+
+    # --- geolocation error ------------------------------------------------
+    print("\nGeolocation error against true router positions:")
+    truth_by_address = {
+        address: topology.routers[iface.router_id].location
+        for address, iface in topology.interfaces.items()
+    }
+    for mapper in ("IxMapper", "EdgeScape"):
+        dataset = result.dataset(mapper, "Skitter")
+        errors = []
+        for i in range(dataset.n_nodes):
+            truth = truth_by_address.get(int(dataset.addresses[i]))
+            if truth is None:
+                continue
+            errors.append(
+                float(
+                    haversine_miles(
+                        dataset.lats[i], dataset.lons[i], truth.lat, truth.lon
+                    )
+                )
+            )
+        errors_arr = np.asarray(errors)
+        print(
+            f"  {mapper:10s} median {np.median(errors_arr):6.1f} mi, "
+            f"mean {errors_arr.mean():6.1f} mi, "
+            f"90th pct {np.percentile(errors_arr, 90):7.1f} mi"
+        )
+    print("  -> city-level accuracy for hostname/ISP mapping, with a long")
+    print("     error tail from whois-HQ fallbacks (dispersed ASes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare topology generators against measured geographic structure.
+
+The paper's conclusion calls for geography-aware topology generation.
+This example builds five generator families — Waxman, Erdos-Renyi,
+Barabasi-Albert, a GT-ITM-style transit-stub hierarchy, and GeoGen (the
+generator the paper envisions) — and contrasts their distance
+preference function f(d) with a measured dataset's, printing:
+
+* the small-d decay slope of ln f(d) (distance sensitivity),
+* the mean edge length,
+* the degree distribution's tail weight.
+
+GeoGen additionally demonstrates the annotations the paper says
+geography makes easy: per-link latencies and per-node AS labels.
+
+Run:
+    python examples/topology_generator_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import small_scenario, run_pipeline
+from repro.core.experiments import compare_generator
+from repro.core.distance import preference_function, waxman_fit
+from repro.errors import AnalysisError
+from repro.generators import (
+    GeoGenConfig,
+    barabasi_albert_graph,
+    erdos_renyi_for_mean_degree,
+    geogen_graph,
+    transit_stub_graph,
+    waxman_for_mean_degree,
+)
+from repro.geo.regions import US, WORLD
+
+N_NODES = 1_500
+US_BOX = dict(south=26.0, north=49.0, west=-124.0, east=-66.0)
+
+
+def tail_weight(degrees: np.ndarray) -> float:
+    """max degree / median degree: a quick heavy-tail indicator."""
+    return float(degrees.max() / max(np.median(degrees), 1.0))
+
+
+def main() -> None:
+    rng = np.random.default_rng(31415)
+
+    print("measuring the synthetic Internet (small scenario)...")
+    result = run_pipeline(small_scenario())
+    measured = result.dataset("IxMapper", "Skitter")
+    pref = preference_function(measured, US, bin_miles=35.0)
+    try:
+        measured_l = f"{waxman_fit(pref).l_miles:.0f} mi"
+    except AnalysisError:
+        measured_l = "n/a at this scale"
+    print(f"measured US decay scale L ~ {measured_l}\n")
+
+    graphs = [
+        waxman_for_mean_degree(N_NODES, alpha=0.05, mean_degree=3.0, rng=rng,
+                               **US_BOX),
+        erdos_renyi_for_mean_degree(N_NODES, mean_degree=3.0, rng=rng, **US_BOX),
+        barabasi_albert_graph(N_NODES, m=2, rng=rng, **US_BOX),
+        transit_stub_graph(8, 5, 5, 6, rng=rng, **US_BOX),
+        geogen_graph(
+            result.world, GeoGenConfig(n_nodes=N_NODES, n_ases=50), rng
+        ).graph,
+    ]
+
+    header = (
+        f"{'generator':17s} {'nodes':>6s} {'edges':>7s} {'mean deg':>9s} "
+        f"{'decay slope':>12s} {'mean edge mi':>13s} {'deg tail':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for graph in graphs:
+        region = WORLD if graph.name == "geogen" else US
+        comparison = compare_generator(graph, region=region, bin_miles=35.0)
+        slope = (
+            f"{comparison.decay_slope:+.5f}"
+            if np.isfinite(comparison.decay_slope)
+            else "     n/a"
+        )
+        print(
+            f"{graph.name:17s} {graph.n_nodes:>6,d} {graph.n_edges:>7,d} "
+            f"{graph.mean_degree():>9.2f} {slope:>12s} "
+            f"{graph.edge_lengths_miles().mean():>13.0f} "
+            f"{tail_weight(graph.degrees()):>9.1f}"
+        )
+
+    print()
+    print("GeoGen annotations (what geography buys a generator):")
+    annotated = geogen_graph(
+        result.world, GeoGenConfig(n_nodes=400, n_ases=20), rng
+    )
+    lat = annotated.latencies_ms
+    print(f"  link latency: min {lat.min():.2f} ms, median "
+          f"{np.median(lat):.2f} ms, max {lat.max():.2f} ms")
+    asns, counts = np.unique(annotated.graph.asns, return_counts=True)
+    print(f"  AS labels: {asns.size} ASes, largest holds {counts.max()} of "
+          f"{annotated.graph.n_nodes} routers")
+    print()
+    print("Reading: negative decay slope = distance-sensitive link")
+    print("formation (what the paper measures for the real Internet);")
+    print("Erdos-Renyi and Barabasi-Albert are flat, as Section II argues.")
+
+
+if __name__ == "__main__":
+    main()

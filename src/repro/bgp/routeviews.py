@@ -1,0 +1,83 @@
+"""RouteViews-style snapshot synthesis.
+
+Builds a :class:`~repro.bgp.table.BgpTable` from the ground truth's
+registry (the address plan's prefix-to-AS grants), with two realistic
+distortions:
+
+* a fraction of allocated prefixes is simply **not announced** — the
+  paper finds 1.5-2.8% of addresses unmappable, and groups them into a
+  separate AS omitted from the Section VI analysis;
+* a fraction of announced prefixes is **deaggregated** into their two
+  more-specific halves (as traffic engineering does), which exercises
+  true longest-prefix matching rather than exact-match lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgp.table import BgpTable, RibEntry
+from repro.config import BgpConfig
+from repro.net.ip import Prefix, is_private
+from repro.net.topology import Topology
+from repro.net.addressing import AddressPlan
+
+
+def build_routeviews_snapshot(
+    plan: AddressPlan,
+    config: BgpConfig,
+    rng: np.random.Generator,
+) -> BgpTable:
+    """Synthesise a RIB snapshot from the registry's allocations."""
+    table = BgpTable()
+    for prefix, asn in plan.prefix_origin_pairs():
+        if rng.random() < config.unannounced_rate:
+            continue
+        if rng.random() < config.deaggregation_rate:
+            for half in prefix.subdivide(prefix.length + 1):
+                table.announce(RibEntry(half, asn))
+        else:
+            table.announce(RibEntry(prefix, asn))
+    return table
+
+
+def perfect_snapshot(plan: AddressPlan) -> BgpTable:
+    """A distortion-free RIB: every granted prefix announced by its owner."""
+    table = BgpTable()
+    for prefix, asn in plan.prefix_origin_pairs():
+        table.announce(RibEntry(prefix, asn))
+    return table
+
+
+def snapshot_from_topology(
+    topology: Topology,
+    config: BgpConfig,
+    rng: np.random.Generator,
+    block_length: int = 16,
+) -> BgpTable:
+    """Reconstruct a RIB directly from a topology's interface addresses.
+
+    Used when the address plan is unavailable (e.g. a deserialised
+    topology): every observed interface address is attributed to its
+    router's AS at ``block_length`` granularity, then the same
+    announcement distortions are applied.
+    """
+    blocks: dict[int, int] = {}
+    step = 32 - block_length
+    for address, iface in topology.interfaces.items():
+        if is_private(address):
+            continue
+        base = (address >> step) << step
+        blocks.setdefault(base, topology.routers[iface.router_id].asn)
+    table = BgpTable()
+    for base in sorted(blocks):
+        asn = blocks[base]
+        prefix = Prefix(base, block_length)
+        if rng.random() < config.unannounced_rate:
+            continue
+        if rng.random() < config.deaggregation_rate:
+            for half in prefix.subdivide(block_length + 1):
+                table.announce(RibEntry(half, asn))
+        else:
+            table.announce(RibEntry(prefix, asn))
+    return table

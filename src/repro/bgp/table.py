@@ -1,0 +1,82 @@
+"""BGP RIB snapshots and origin-AS lookup.
+
+A :class:`BgpTable` is the processed equivalent of a RouteViews backbone
+table dump: a set of announced prefixes, each with an origin AS.  The
+paper maps every router/interface address to its parent AS through such
+a table; addresses covered by no announced prefix go to a sentinel
+"unmapped" group that Section VI's analysis omits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.trie import PrefixTrie
+from repro.errors import AddressError
+from repro.net.ip import Prefix
+
+#: Sentinel ASN for addresses no announced prefix covers.
+UNMAPPED_ASN = -1
+
+
+@dataclass(frozen=True, slots=True)
+class RibEntry:
+    """One announced route.
+
+    Attributes:
+        prefix: the announced CIDR prefix.
+        origin_asn: the AS originating the announcement.
+    """
+
+    prefix: Prefix
+    origin_asn: int
+
+    def __post_init__(self) -> None:
+        if self.origin_asn <= 0:
+            raise AddressError(
+                f"origin ASN must be positive, got {self.origin_asn}"
+            )
+
+
+class BgpTable:
+    """An immutable-after-build RIB with longest-prefix-match lookup."""
+
+    def __init__(self, entries: list[RibEntry] | None = None) -> None:
+        self._trie = PrefixTrie()
+        self._entries: list[RibEntry] = []
+        for entry in entries or []:
+            self.announce(entry)
+
+    def announce(self, entry: RibEntry) -> None:
+        """Add one announcement (later duplicates replace earlier origins)."""
+        self._trie.insert(entry.prefix, entry.origin_asn)
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    @property
+    def entries(self) -> list[RibEntry]:
+        """All announcements in insertion order."""
+        return list(self._entries)
+
+    def origin_of(self, address: int) -> int:
+        """Origin AS of the longest announced prefix covering ``address``.
+
+        Returns:
+            The origin ASN, or :data:`UNMAPPED_ASN` when nothing matches.
+        """
+        match = self._trie.longest_match(address)
+        if match is None:
+            return UNMAPPED_ASN
+        _, asn = match
+        return int(asn)  # type: ignore[arg-type]
+
+    def matching_prefix(self, address: int) -> Prefix | None:
+        """The longest announced prefix covering ``address``, if any."""
+        match = self._trie.longest_match(address)
+        return None if match is None else match[0]
+
+    def map_addresses(self, addresses: list[int]) -> dict[int, int]:
+        """Bulk origin lookup: address -> ASN (or UNMAPPED_ASN)."""
+        return {addr: self.origin_of(addr) for addr in addresses}

@@ -1,0 +1,121 @@
+"""Binary prefix trie with longest-prefix match.
+
+This is the core data structure behind AS mapping in the paper's
+methodology: "identifying the longest advertised prefix in a BGP table
+that matches the IP address and recording the AS which originated that
+prefix".  The trie stores origin values at prefix nodes and answers
+longest-prefix-match queries in at most 32 bit-steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import AddressError
+from repro.net.ip import ADDRESS_BITS, Prefix, check_address
+
+
+@dataclass
+class _Node:
+    """One trie node; children indexed by next address bit."""
+
+    value: object | None = None
+    has_value: bool = False
+    children: list["_Node | None"] = field(default_factory=lambda: [None, None])
+
+
+class PrefixTrie:
+    """Maps CIDR prefixes to values with longest-prefix-match lookups."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, prefix: Prefix, value: object) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.base >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> None:
+        """Remove the entry at ``prefix``.
+
+        Raises:
+            AddressError: if the exact prefix is not present.
+        """
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.base >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                raise AddressError(f"prefix {prefix} not in trie")
+            node = child
+        if not node.has_value:
+            raise AddressError(f"prefix {prefix} not in trie")
+        node.value = None
+        node.has_value = False
+        self._count -= 1
+
+    def longest_match(self, address: int) -> tuple[Prefix, object] | None:
+        """The most-specific stored prefix covering ``address``, if any.
+
+        Returns:
+            ``(prefix, value)`` of the longest match, or None.
+        """
+        check_address(address)
+        node = self._root
+        best: tuple[int, object] | None = None
+        if node.has_value:
+            best = (0, node.value)
+        for depth in range(ADDRESS_BITS):
+            bit = (address >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        mask_shift = ADDRESS_BITS - length
+        base = (address >> mask_shift) << mask_shift if length else 0
+        return Prefix(base, length), value
+
+    def exact_match(self, prefix: Prefix) -> object | None:
+        """Value stored exactly at ``prefix``, or None."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.base >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[tuple[Prefix, object]]:
+        """Iterate ``(prefix, value)`` pairs in address order."""
+
+        def walk(node: _Node, base: int, depth: int) -> Iterator[tuple[Prefix, object]]:
+            if node.has_value:
+                yield Prefix(base, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    child_base = base | (bit << (ADDRESS_BITS - 1 - depth))
+                    yield from walk(child, child_base, depth + 1)
+
+        yield from walk(self._root, 0, 0)

@@ -1,0 +1,122 @@
+"""Command-line experiment driver.
+
+``python -m repro.cli --scale small --experiments table1 table5`` runs
+the pipeline once and prints the requested paper artefacts.  ``all``
+(the default) prints every table and figure summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import default_scenario, small_scenario
+from repro.core import experiments, report
+from repro.datasets.pipeline import PipelineResult, run_pipeline
+from repro.errors import ReproError
+
+_EXPERIMENT_NAMES = (
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figures7-10",
+    "x1",
+)
+
+
+def _render(name: str, result: PipelineResult, mapper: str) -> str:
+    if name == "table1":
+        return report.render_table1(experiments.table1(result))
+    if name == "table3":
+        return report.render_table3(experiments.table3(result, mapper))
+    if name == "table4":
+        return report.render_table4(experiments.table4(result, mapper))
+    if name == "table5":
+        return report.render_table5(experiments.table5(result, mapper))
+    if name == "table6":
+        return report.render_table6(experiments.table6(result, mapper))
+    if name == "figure2":
+        return report.render_figure2(experiments.figure2(result, mapper))
+    if name in ("figure4", "figure5", "figure6"):
+        panels = experiments.figure4(result, mapper)
+        if name == "figure4":
+            return report.render_figure4(panels)
+        if name == "figure5":
+            return report.render_figure5(experiments.figure5(panels))
+        return report.render_figure6(experiments.figure6(panels))
+    if name == "figures7-10":
+        return report.render_as_geography(
+            experiments.figures7_to_10(result, mapper)
+        )
+    if name == "x1":
+        return report.render_fractal(experiments.experiment_x1(result))
+    raise ReproError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce tables and figures of Lakhina et al. (IMC 2002)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default"),
+        default="small",
+        help="scenario size (small: seconds; default: minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    parser.add_argument(
+        "--mapper",
+        choices=("IxMapper", "EdgeScape"),
+        default="IxMapper",
+        help="geolocation tool to analyse (EdgeScape = appendix variants)",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=["all"],
+        help=f"which artefacts to print: all, or any of {', '.join(_EXPERIMENT_NAMES)}",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale == "small":
+        config = small_scenario() if args.seed is None else small_scenario(args.seed)
+    else:
+        config = (
+            default_scenario() if args.seed is None else default_scenario(args.seed)
+        )
+
+    wanted = (
+        list(_EXPERIMENT_NAMES)
+        if "all" in args.experiments
+        else args.experiments
+    )
+    unknown = [name for name in wanted if name not in _EXPERIMENT_NAMES]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    start = time.time()
+    print(f"running pipeline (scale={args.scale}, seed={config.seed})...",
+          file=sys.stderr)
+    result = run_pipeline(config)
+    print(f"pipeline done in {time.time() - start:.1f}s", file=sys.stderr)
+
+    for name in wanted:
+        try:
+            print(_render(name, result, args.mapper))
+        except ReproError as exc:
+            print(f"[{name} unavailable at this scale: {exc}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Section IV: routers/interfaces vs population.
+
+Three analyses:
+
+* :func:`region_density_table` — the paper's Table III: population,
+  node count, people per node, online users, online users per node, for
+  each economic region.  The planted contrast is a factor > 100 in
+  people-per-node against only a small factor in online-per-node.
+* :func:`homogeneity_table` — Table IV: splitting the US in half gives
+  similar people-per-interface; Central America is dramatically
+  different.
+* :func:`patch_regression` — Figure 2: tally population and nodes over
+  75'x75' patches and fit a log-log least-squares line; the slope is the
+  superlinearity exponent (paper: 1.2-1.75).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import LinearFit, loglog_fit
+from repro.datasets.mapped import MappedDataset
+from repro.errors import AnalysisError
+from repro.geo.grid import PAPER_PATCH_ARCMIN, PatchGrid
+from repro.geo.regions import ECONOMIC_REGIONS, HOMOGENEITY_REGIONS, Region
+from repro.population.worldmodel import PopulationField
+
+
+@dataclass(frozen=True, slots=True)
+class RegionDensityRow:
+    """One row of Table III / Table IV.
+
+    Attributes:
+        region: region name.
+        population_millions: persons in the region (millions).
+        n_nodes: mapped nodes (interfaces or routers) in the region.
+        people_per_node: population / nodes.
+        online_millions: online users in the region (millions).
+        online_per_node: online users / nodes.
+    """
+
+    region: str
+    population_millions: float
+    n_nodes: int
+    people_per_node: float
+    online_millions: float
+    online_per_node: float
+
+
+def region_density_row(
+    dataset: MappedDataset, field: PopulationField, region: Region
+) -> RegionDensityRow:
+    """Compute one region's density statistics.
+
+    Raises:
+        AnalysisError: when the region contains no mapped nodes (the
+            ratio would be undefined).
+    """
+    population = field.region_population(region)
+    online = field.region_online(region)
+    n_nodes = int(region.contains_mask(dataset.lats, dataset.lons).sum())
+    if n_nodes == 0:
+        raise AnalysisError(f"no mapped nodes inside region {region.name!r}")
+    return RegionDensityRow(
+        region=region.name,
+        population_millions=population / 1e6,
+        n_nodes=n_nodes,
+        people_per_node=population / n_nodes,
+        online_millions=online / 1e6,
+        online_per_node=online / n_nodes,
+    )
+
+
+def region_density_table(
+    dataset: MappedDataset,
+    field: PopulationField,
+    regions: tuple[Region, ...] = ECONOMIC_REGIONS,
+) -> list[RegionDensityRow]:
+    """Table III: density rows for the economic regions (skips empty ones)."""
+    rows = []
+    for region in regions:
+        try:
+            rows.append(region_density_row(dataset, field, region))
+        except AnalysisError:
+            continue
+    if not rows:
+        raise AnalysisError("no region contained any mapped nodes")
+    return rows
+
+
+def homogeneity_table(
+    dataset: MappedDataset, field: PopulationField
+) -> list[RegionDensityRow]:
+    """Table IV: the US-halves vs Central America homogeneity test."""
+    return region_density_table(dataset, field, HOMOGENEITY_REGIONS)
+
+
+def density_variation(rows: list[RegionDensityRow]) -> tuple[float, float]:
+    """(max/min people-per-node, max/min online-per-node) across rows.
+
+    The paper's headline Table III observation is the contrast between
+    these two ratios (>100 vs ~4).
+    """
+    if not rows:
+        raise AnalysisError("no rows to compare")
+    people = np.array([r.people_per_node for r in rows])
+    online = np.array([r.online_per_node for r in rows])
+    return float(people.max() / people.min()), float(online.max() / online.min())
+
+
+@dataclass(frozen=True)
+class PatchRegression:
+    """One Figure 2 panel: per-patch densities and the fitted line.
+
+    Attributes:
+        region: region name.
+        population: persons per patch (only patches with both counts > 0
+            contribute to the fit, but all are kept here).
+        nodes: mapped nodes per patch.
+        fit: least-squares line on log10/log10 axes; ``fit.slope`` is the
+            superlinearity exponent.
+    """
+
+    region: str
+    population: np.ndarray
+    nodes: np.ndarray
+    fit: LinearFit
+
+    def loglog_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(log10 population, log10 nodes) for patches with both > 0."""
+        keep = (self.population > 0) & (self.nodes > 0)
+        return np.log10(self.population[keep]), np.log10(self.nodes[keep])
+
+
+def patch_regression(
+    dataset: MappedDataset,
+    field: PopulationField,
+    region: Region,
+    cell_arcmin: float = PAPER_PATCH_ARCMIN,
+) -> PatchRegression:
+    """Figure 2: node count vs population per patch, with log-log fit.
+
+    Raises:
+        AnalysisError: if fewer than 2 patches have both population and
+            nodes (no fit possible).
+    """
+    grid = PatchGrid(region=region, cell_arcmin=cell_arcmin)
+    population = grid.tally(field.lats, field.lons, weights=field.weights)
+    nodes = grid.tally(dataset.lats, dataset.lons)
+    fit = loglog_fit(population, nodes)
+    return PatchRegression(
+        region=region.name, population=population, nodes=nodes, fit=fit
+    )

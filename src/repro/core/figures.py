@@ -1,0 +1,246 @@
+"""Figure data export and terminal plots.
+
+The paper's figures are gnuplot scatter/line plots.  This module turns
+every figure's underlying data into:
+
+* **series files** — whitespace-separated ``x y`` columns, one file per
+  curve, loadable by gnuplot/matplotlib/numpy (the exchange format used
+  around measurement papers of the era), and
+* **ASCII plots** — dependency-free terminal renderings for quick looks
+  and for the benchmark artefacts.
+
+Rendering is deliberately minimal: a fixed-size character canvas,
+linear or log axes, one mark per series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.core.asgeo import HullTable
+
+_MARKS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plottable curve.
+
+    Attributes:
+        name: legend label (also the export file stem).
+        x, y: data points.
+    """
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.shape != self.y.shape or self.x.ndim != 1:
+            raise AnalysisError(f"series {self.name!r}: x/y must be parallel 1-D")
+
+
+@dataclass
+class FigureData:
+    """A figure: several series plus axis metadata.
+
+    Attributes:
+        title: figure title (paper figure number + caption fragment).
+        xlabel, ylabel: axis labels.
+        series: the curves.
+        logx, logy: log-scale flags for the ASCII rendering.
+    """
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    logx: bool = False
+    logy: bool = False
+
+    def add(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
+        """Append one curve (non-finite points are dropped)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        keep = np.isfinite(x) & np.isfinite(y)
+        self.series.append(Series(name=name, x=x[keep], y=y[keep]))
+
+    # -- export ---------------------------------------------------------------
+
+    def export(self, directory: str | Path) -> list[Path]:
+        """Write one ``<stem>.dat`` file per series; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for series in self.series:
+            stem = "".join(
+                ch if ch.isalnum() else "_" for ch in series.name.lower()
+            ).strip("_")
+            path = directory / f"{stem}.dat"
+            header = f"# {self.title}\n# {series.name}\n# {self.xlabel}\t{self.ylabel}\n"
+            rows = "\n".join(
+                f"{x:.10g}\t{y:.10g}" for x, y in zip(series.x, series.y)
+            )
+            path.write_text(header + rows + "\n", encoding="utf-8")
+            paths.append(path)
+        return paths
+
+    # -- ASCII rendering --------------------------------------------------------
+
+    def _transform(self, values: np.ndarray, log: bool) -> np.ndarray:
+        if not log:
+            return values
+        positive = values > 0
+        out = np.full(values.shape, np.nan)
+        out[positive] = np.log10(values[positive])
+        return out
+
+    def render(self, width: int = 72, height: int = 20) -> str:
+        """Render the figure as ASCII art.
+
+        Raises:
+            AnalysisError: if no series holds any plottable point.
+        """
+        xs: list[np.ndarray] = []
+        ys: list[np.ndarray] = []
+        for series in self.series:
+            tx = self._transform(series.x, self.logx)
+            ty = self._transform(series.y, self.logy)
+            keep = np.isfinite(tx) & np.isfinite(ty)
+            xs.append(tx[keep])
+            ys.append(ty[keep])
+        all_x = np.concatenate(xs) if xs else np.empty(0)
+        all_y = np.concatenate(ys) if ys else np.empty(0)
+        if all_x.size == 0:
+            raise AnalysisError(f"figure {self.title!r} has no plottable data")
+        x_min, x_max = float(all_x.min()), float(all_x.max())
+        y_min, y_max = float(all_y.min()), float(all_y.max())
+        x_span = (x_max - x_min) or 1.0
+        y_span = (y_max - y_min) or 1.0
+
+        canvas = [[" "] * width for _ in range(height)]
+        for si, (tx, ty) in enumerate(zip(xs, ys)):
+            mark = _MARKS[si % len(_MARKS)]
+            cols = ((tx - x_min) / x_span * (width - 1)).astype(int)
+            rows = ((ty - y_min) / y_span * (height - 1)).astype(int)
+            for c, r in zip(cols, rows):
+                canvas[height - 1 - r][c] = mark
+
+        x_tag = f"log10({self.xlabel})" if self.logx else self.xlabel
+        y_tag = f"log10({self.ylabel})" if self.logy else self.ylabel
+        lines = [self.title, ""]
+        lines.append(f"{y_max:10.3g} +" + "-" * width + "+")
+        for row in canvas:
+            lines.append(" " * 11 + "|" + "".join(row) + "|")
+        lines.append(f"{y_min:10.3g} +" + "-" * width + "+")
+        lines.append(
+            " " * 12 + f"{x_min:<12.3g}{x_tag:^{max(width - 24, 1)}}{x_max:>12.3g}"
+        )
+        legend = "   ".join(
+            f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(self.series)
+        )
+        lines.append(" " * 12 + f"y: {y_tag}")
+        lines.append(" " * 12 + legend)
+        return "\n".join(lines)
+
+
+# -- builders for the paper's figures ---------------------------------------------
+
+
+def figure2_data(panels) -> list[FigureData]:
+    """Figure 2 panels as log-log scatter + fitted-line figures."""
+    figures = []
+    for (measurement, region), panel in sorted(panels.items()):
+        fig = FigureData(
+            title=f"Figure 2 ({measurement}, {region}): node vs population density",
+            xlabel="population per patch",
+            ylabel="nodes per patch",
+            logx=True,
+            logy=True,
+        )
+        log_pop, log_nodes = panel.loglog_points()
+        fig.add("patches", 10**log_pop, 10**log_nodes)
+        line_x = np.linspace(log_pop.min(), log_pop.max(), 30)
+        fig.add("fit", 10**line_x, 10 ** panel.fit.predict(line_x))
+        figures.append(fig)
+    return figures
+
+
+def figure4_data(panels) -> list[FigureData]:
+    """Figure 4 panels: f_hat(d) against distance."""
+    figures = []
+    for (measurement, region), pref in sorted(panels.items()):
+        fig = FigureData(
+            title=f"Figure 4 ({measurement}, {region}): distance preference",
+            xlabel="d (miles)",
+            ylabel="f(d) estimate",
+        )
+        usable = pref.valid_bins()
+        fig.add("f(d)", pref.bin_left[usable], np.nan_to_num(pref.f_hat[usable]))
+        figures.append(fig)
+    return figures
+
+
+def figure5_data(panels, fits) -> list[FigureData]:
+    """Figure 5 panels: ln f(d) vs d with the exponential fit line."""
+    figures = []
+    for key, fit in sorted(fits.items()):
+        measurement, region = key
+        pref = panels[key]
+        fig = FigureData(
+            title=f"Figure 5 ({measurement}, {region}): small-d semi-log",
+            xlabel="d (miles)",
+            ylabel="ln f(d)",
+        )
+        window = (
+            (pref.bin_left < fit.small_d_max)
+            & (pref.pair_counts > 0)
+            & (pref.link_counts > 0)
+        )
+        x = pref.bin_left[window] + pref.bin_miles / 2.0
+        fig.add("ln f(d)", x, np.log(pref.f_hat[window]))
+        fig.add("fit", x, np.asarray(fit.fit.predict(x)))
+        figures.append(fig)
+    return figures
+
+
+def figure7_data(distributions) -> FigureData:
+    """Figure 7: the three AS-size CCDFs on one log-log figure."""
+    fig = FigureData(
+        title="Figure 7: CCDFs of AS size measures",
+        xlabel="size",
+        ylabel="P[X > x]",
+        logx=False,
+        logy=False,
+    )
+    for name, (lx, ly) in (
+        ("interfaces", distributions.nodes_ccdf),
+        ("locations", distributions.locations_ccdf),
+        ("degree", distributions.degree_ccdf),
+    ):
+        fig.add(name, lx, ly)
+    fig.xlabel = "log10(size)"
+    fig.ylabel = "log10 P[X > x]"
+    return fig
+
+
+def figure9_data(hull_tables: dict[str, "HullTable"]) -> list[FigureData]:
+    """Figure 9: hull-area CDFs, one figure per region."""
+    figures = []
+    for name, hulls in hull_tables.items():
+        fig = FigureData(
+            title=f"Figure 9 ({name}): CDF of AS convex hull area",
+            xlabel="hull area (sq mi)",
+            ylabel="P[X <= x]",
+        )
+        areas, p = hulls.cdf_points()
+        fig.add("cdf", areas, p)
+        figures.append(fig)
+    return figures

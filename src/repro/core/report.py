@@ -1,0 +1,214 @@
+"""Paper-style text rendering of experiment results.
+
+Each ``render_*`` function formats one experiment's result the way the
+paper's corresponding table presents it (same columns, same ordering),
+so benchmark output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.asgeo import LinkDomainRow
+from repro.core.density import PatchRegression, RegionDensityRow
+from repro.core.experiments import (
+    AsGeographyResult,
+    FractalResult,
+    GeneratorComparison,
+    Table1Row,
+    Table3Result,
+    Table5Row,
+)
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Table I: sizes of processed datasets."""
+    lines = ["TABLE I: SIZES OF PROCESSED DATASETS", _rule()]
+    lines.append(f"{'Dataset':28s} {'Nodes':>10s} {'Links':>10s} {'Locations':>10s}")
+    for row in rows:
+        lines.append(
+            f"{row.label:28s} {row.n_nodes:>10,d} {row.n_links:>10,d} "
+            f"{row.n_locations:>10,d}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Table III: variation in people/node density across regions."""
+    lines = ["TABLE III: VARIATION IN PEOPLE/INTERFACE DENSITY", _rule(86)]
+    lines.append(
+        f"{'Region':15s} {'Pop (M)':>9s} {'Nodes':>9s} {'People/Node':>12s} "
+        f"{'Online (M)':>11s} {'Online/Node':>12s}"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.region:15s} {row.population_millions:>9.1f} "
+            f"{row.n_nodes:>9,d} {row.people_per_node:>12,.0f} "
+            f"{row.online_millions:>11.2f} {row.online_per_node:>12,.0f}"
+        )
+    lines.append(_rule(86))
+    lines.append(
+        f"people/node varies x{result.people_variation:.1f} across regions; "
+        f"online/node varies only x{result.online_variation:.1f}"
+    )
+    return "\n".join(lines)
+
+
+def render_table4(rows: list[RegionDensityRow]) -> str:
+    """Table IV: testing for homogeneity."""
+    lines = ["TABLE IV: TESTING FOR HOMOGENEITY", _rule()]
+    lines.append(f"{'Region':15s} {'Pop (M)':>10s} {'Nodes':>10s} {'People/Node':>12s}")
+    for row in rows:
+        lines.append(
+            f"{row.region:15s} {row.population_millions:>10.1f} "
+            f"{row.n_nodes:>10,d} {row.people_per_node:>12,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table5(rows: list[Table5Row]) -> str:
+    """Table V: limits of distance sensitivity."""
+    lines = ["TABLE V: LIMITS OF DISTANCE SENSITIVITY", _rule()]
+    lines.append(
+        f"{'Dataset':10s} {'Region':8s} {'Limit (mi)':>11s} {'% Links < Limit':>16s} "
+        f"{'L (mi)':>8s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.measurement:10s} {row.region:8s} {row.limit.limit_miles:>11.0f} "
+            f"{row.limit.fraction_below * 100:>15.1f}% "
+            f"{row.limit.waxman.l_miles:>8.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table6(rows: list[LinkDomainRow]) -> str:
+    """Table VI: intradomain vs interdomain links."""
+    lines = ["TABLE VI: INTRADOMAIN VS. INTERDOMAIN LINKS", _rule(86)]
+    lines.append(
+        f"{'Region':8s} {'Inter count':>12s} {'Inter mean (mi)':>16s} "
+        f"{'Intra count':>12s} {'Intra mean (mi)':>16s} {'% intra':>8s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.region:8s} {row.n_interdomain:>12,d} "
+            f"{row.mean_interdomain_miles:>16.0f} {row.n_intradomain:>12,d} "
+            f"{row.mean_intradomain_miles:>16.0f} "
+            f"{row.intradomain_fraction * 100:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_figure2(panels: dict[tuple[str, str], PatchRegression]) -> str:
+    """Figure 2: fitted superlinearity exponents per panel."""
+    lines = ["FIGURE 2: NODE DENSITY VS POPULATION DENSITY (log-log slopes)", _rule()]
+    lines.append(f"{'Dataset':10s} {'Region':8s} {'Slope':>7s} {'Intercept':>10s} "
+                 f"{'R^2':>6s} {'Patches':>8s}")
+    for (measurement, region), panel in sorted(panels.items()):
+        lines.append(
+            f"{measurement:10s} {region:8s} {panel.fit.slope:>7.2f} "
+            f"{panel.fit.intercept:>10.2f} {panel.fit.r_squared:>6.2f} "
+            f"{panel.fit.n:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure4(panels: dict) -> str:
+    """Figure 4: f(d) summary per panel (first bins and totals)."""
+    lines = ["FIGURE 4: EMPIRICAL DISTANCE PREFERENCE FUNCTION", _rule()]
+    for (measurement, region), pref in sorted(panels.items()):
+        usable = pref.valid_bins()
+        f_first = pref.f_hat[usable[:5]] if usable.size else []
+        first = ", ".join(f"{v:.2e}" for v in f_first)
+        lines.append(
+            f"{measurement:10s} {region:8s} bin={pref.bin_miles:.0f} mi  "
+            f"nodes={pref.n_nodes:,d} links={pref.link_lengths.size:,d}  "
+            f"f(first bins)=[{first}]"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(fits: dict) -> str:
+    """Figure 5: Waxman fits per panel."""
+    lines = ["FIGURE 5: SMALL-d EXPONENTIAL (WAXMAN) FITS", _rule()]
+    lines.append(f"{'Dataset':10s} {'Region':8s} {'slope':>10s} {'L (mi)':>8s} "
+                 f"{'R^2':>6s} {'equation'}")
+    for (measurement, region), fit in sorted(fits.items()):
+        lines.append(
+            f"{measurement:10s} {region:8s} {fit.fit.slope:>10.5f} "
+            f"{fit.l_miles:>8.0f} {fit.fit.r_squared:>6.2f} "
+            f"{fit.fit.equation('d')}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure6(curves: dict) -> str:
+    """Figure 6: cumulated F(d) large-d linearity per panel."""
+    lines = ["FIGURE 6: CUMULATED F(d), LARGE-d LINEAR FITS", _rule()]
+    lines.append(f"{'Dataset':10s} {'Region':8s} {'slope':>12s} {'R^2':>6s}")
+    for (measurement, region), curve in sorted(curves.items()):
+        lines.append(
+            f"{measurement:10s} {region:8s} {curve.large_d_fit.slope:>12.3e} "
+            f"{curve.large_d_fit.r_squared:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_as_geography(result: AsGeographyResult) -> str:
+    """Figures 7-10 condensed: tails, correlations, hulls, dispersal."""
+    d = result.distributions.decades
+    c = result.correlations
+    lines = ["FIGURES 7-10: AUTONOMOUS SYSTEMS AND GEOGRAPHY", _rule(80)]
+    lines.append(
+        f"Figure 7 (CCDF decades spanned): nodes={d['nodes']:.1f} "
+        f"locations={d['locations']:.1f} degree={d['degree']:.1f}"
+    )
+    lines.append(
+        "Figure 8 (log-log Pearson): "
+        f"nodes~locations={c.pearson_nodes_locations:.2f} "
+        f"nodes~degree={c.pearson_nodes_degree:.2f} "
+        f"locations~degree={c.pearson_locations_degree:.2f}"
+    )
+    for name, hulls in (
+        ("World", result.hulls_world),
+        ("US", result.hulls_us),
+        ("Europe", result.hulls_europe),
+    ):
+        nonzero = hulls.areas[hulls.areas > 0]
+        top = float(np.max(hulls.areas)) if hulls.areas.size else 0.0
+        lines.append(
+            f"Figure 9 ({name}): {hulls.zero_fraction * 100:.0f}% zero-extent ASes; "
+            f"{nonzero.size} with extent, max hull {top:,.0f} sq mi"
+        )
+    for measure, summary in sorted(result.dispersal.items()):
+        lines.append(
+            f"Figure 10 ({measure}): cutoff {summary.cutoff:,.0f}; "
+            f"large-AS min hull / max hull = {summary.dispersal_ratio:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_fractal(result: FractalResult) -> str:
+    """X1: box-counting dimensions."""
+    return (
+        "X1: BOX-COUNTING FRACTAL DIMENSION\n"
+        + _rule()
+        + f"\nrouters:    D = {result.routers.dimension:.2f} "
+        f"(R^2 {result.routers.fit.r_squared:.2f})"
+        f"\npopulation: D = {result.population.dimension:.2f} "
+        f"(R^2 {result.population.fit.r_squared:.2f})"
+    )
+
+
+def render_generator_comparison(rows: list[GeneratorComparison]) -> str:
+    """X2: generator distance-preference comparison."""
+    lines = ["X2: GENERATOR DISTANCE-PREFERENCE COMPARISON", _rule()]
+    lines.append(f"{'Generator':16s} {'decay slope':>12s} {'mean degree':>12s}")
+    for row in rows:
+        slope = f"{row.decay_slope:.5f}" if np.isfinite(row.decay_slope) else "n/a"
+        lines.append(f"{row.name:16s} {slope:>12s} {row.mean_degree:>12.2f}")
+    return "\n".join(lines)

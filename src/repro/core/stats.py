@@ -1,0 +1,245 @@
+"""Statistical primitives shared by every analysis in the paper.
+
+All of the paper's quantitative claims rest on a handful of estimators:
+ordinary least squares lines (on raw, semi-log, or log-log axes),
+empirical CDF/CCDF curves, histogram binning, and correlation
+coefficients.  They are implemented once here, with small typed result
+objects, so each analysis module reads like the corresponding section of
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class LinearFit:
+    """An ordinary least squares line ``y = slope * x + intercept``.
+
+    Attributes:
+        slope: fitted slope.
+        intercept: fitted intercept.
+        r_squared: coefficient of determination of the fit.
+        n: number of points fitted.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the fitted line."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    def equation(self, x_name: str = "x") -> str:
+        """Human-readable ``y = ax+b`` string, as printed on paper plots."""
+        sign = "-" if self.intercept < 0 else "+"
+        return f"y = {self.slope:.3g}{x_name} {sign} {abs(self.intercept):.3g}"
+
+
+def least_squares_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Fit ``y = a x + b`` by ordinary least squares.
+
+    Raises:
+        AnalysisError: if fewer than 2 points, mismatched shapes, zero
+            variance in x, or non-finite values.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("x and y must be equal-length 1-D arrays")
+    if x.size < 2:
+        raise AnalysisError(f"need at least 2 points to fit a line, got {x.size}")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise AnalysisError("fit inputs must be finite")
+    x_mean = x.mean()
+    y_mean = y.mean()
+    sxx = float(np.sum((x - x_mean) ** 2))
+    if sxx <= 0.0:
+        raise AnalysisError("x has zero variance; slope is undefined")
+    sxy = float(np.sum((x - x_mean) * (y - y_mean)))
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+    residual = y - (slope * x + intercept)
+    ss_res = float(np.sum(residual**2))
+    ss_tot = float(np.sum((y - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot <= 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared, n=x.size)
+
+
+def loglog_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """OLS fit of ``log10(y)`` against ``log10(x)``.
+
+    Non-positive entries in either array are dropped (a patch with zero
+    routers contributes no point, exactly as on the paper's log-log
+    scatter plots).
+
+    Raises:
+        AnalysisError: if fewer than 2 positive pairs remain.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("x and y must be equal-length 1-D arrays")
+    keep = (x > 0) & (y > 0) & np.isfinite(x) & np.isfinite(y)
+    if int(keep.sum()) < 2:
+        raise AnalysisError("need at least 2 strictly positive pairs")
+    return least_squares_fit(np.log10(x[keep]), np.log10(y[keep]))
+
+
+def semilog_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """OLS fit of ``ln(y)`` against ``x`` (exponential-decay detection).
+
+    Non-positive ``y`` entries are dropped.  The paper uses this form in
+    Figure 5 to read off the Waxman decay constant.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("x and y must be equal-length 1-D arrays")
+    keep = (y > 0) & np.isfinite(x) & np.isfinite(y)
+    if int(keep.sum()) < 2:
+        raise AnalysisError("need at least 2 pairs with positive y")
+    return least_squares_fit(x[keep], np.log(y[keep]))
+
+
+@dataclass(frozen=True, slots=True)
+class EmpiricalDistribution:
+    """An empirical distribution over sorted support values.
+
+    Attributes:
+        values: sorted distinct sample values.
+        cdf: ``P[X <= value]`` at each value.
+        ccdf: ``P[X > value]`` at each value.
+        n: sample count.
+    """
+
+    values: np.ndarray
+    cdf: np.ndarray
+    ccdf: np.ndarray
+    n: int
+
+
+def empirical_distribution(samples: np.ndarray) -> EmpiricalDistribution:
+    """Empirical CDF/CCDF of a 1-D sample.
+
+    Raises:
+        AnalysisError: on empty or non-finite input.
+    """
+    samples = np.asarray(samples, dtype=float).ravel()
+    if samples.size == 0:
+        raise AnalysisError("cannot build a distribution from no samples")
+    if not np.all(np.isfinite(samples)):
+        raise AnalysisError("samples must be finite")
+    values, counts = np.unique(samples, return_counts=True)
+    cum = np.cumsum(counts)
+    n = samples.size
+    cdf = cum / n
+    ccdf = 1.0 - cdf
+    return EmpiricalDistribution(values=values, cdf=cdf, ccdf=ccdf, n=n)
+
+
+def ccdf_loglog_points(
+    samples: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(log10 value, log10 P[X > value])`` pairs for long-tail plots.
+
+    Zero-probability tail points and non-positive values are dropped,
+    matching the paper's Figure 7 axes (log10 of size vs log10 CCDF).
+    """
+    dist = empirical_distribution(samples)
+    keep = (dist.values > 0) & (dist.ccdf > 0)
+    return np.log10(dist.values[keep]), np.log10(dist.ccdf[keep])
+
+
+def tail_span_decades(samples: np.ndarray) -> float:
+    """Number of decades spanned by the positive sample values.
+
+    A quick long-tail summary used by the acceptance tests: the paper's
+    AS size distributions span several orders of magnitude.
+    """
+    samples = np.asarray(samples, dtype=float)
+    positive = samples[samples > 0]
+    if positive.size == 0:
+        return 0.0
+    return float(np.log10(positive.max()) - np.log10(positive.min()))
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Raises:
+        AnalysisError: if inputs are unusable or either side is constant.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise AnalysisError("need two equal-length 1-D arrays of >= 2 samples")
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = float(np.sqrt(np.sum(xd**2) * np.sum(yd**2)))
+    if denom <= 0.0:
+        raise AnalysisError("correlation undefined for constant input")
+    return float(np.sum(xd * yd) / denom)
+
+
+def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson on midranks)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    return pearson_correlation(_midranks(x), _midranks(y))
+
+
+def _midranks(values: np.ndarray) -> np.ndarray:
+    """Midranks (ties get the average of their rank range)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True, slots=True)
+class BinnedSeries:
+    """Values aggregated into fixed-width bins over ``[0, n_bins * width)``.
+
+    Attributes:
+        bin_left: left edge of each bin.
+        values: aggregated value per bin.
+        width: bin width.
+    """
+
+    bin_left: np.ndarray
+    values: np.ndarray
+    width: float
+
+
+def bin_counts(samples: np.ndarray, width: float, n_bins: int) -> BinnedSeries:
+    """Count samples per fixed-width bin starting at zero.
+
+    Samples at or beyond ``n_bins * width`` are discarded (the paper
+    omits the noisy largest distances from its plots).
+
+    Raises:
+        AnalysisError: on non-positive width or bin count.
+    """
+    if width <= 0 or n_bins <= 0:
+        raise AnalysisError("width and n_bins must be positive")
+    samples = np.asarray(samples, dtype=float)
+    idx = np.floor(samples / width).astype(np.int64)
+    keep = (idx >= 0) & (idx < n_bins)
+    counts = np.bincount(idx[keep], minlength=n_bins).astype(float)
+    left = np.arange(n_bins, dtype=float) * width
+    return BinnedSeries(bin_left=left, values=counts, width=float(width))

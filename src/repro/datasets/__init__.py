@@ -1,0 +1,32 @@
+"""Processed datasets and the end-to-end reproduction pipeline."""
+
+from repro.datasets.mapped import LOCATION_DECIMALS, MappedDataset
+from repro.datasets.pipeline import (
+    PipelineResult,
+    ProcessingReport,
+    build_snapshot,
+    run_pipeline,
+)
+from repro.datasets.serialize import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset_csv,
+    load_dataset_json,
+    save_dataset_csv,
+    save_dataset_json,
+)
+
+__all__ = [
+    "LOCATION_DECIMALS",
+    "MappedDataset",
+    "PipelineResult",
+    "ProcessingReport",
+    "build_snapshot",
+    "run_pipeline",
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_dataset_csv",
+    "load_dataset_json",
+    "save_dataset_csv",
+    "save_dataset_json",
+]

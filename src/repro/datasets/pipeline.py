@@ -1,0 +1,243 @@
+"""The end-to-end pipeline: generate, measure, geolocate, AS-map.
+
+``run_pipeline`` reproduces the paper's whole methodology section and
+yields the four processed datasets of its Table I
+({IxMapper, EdgeScape} x {Mercator, Skitter}) plus everything needed to
+validate them against ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.routeviews import build_routeviews_snapshot
+from repro.bgp.table import UNMAPPED_ASN, BgpTable
+from repro.config import ScenarioConfig
+from repro.datasets.mapped import LOCATION_DECIMALS, MappedDataset
+from repro.errors import DatasetError
+from repro.geoloc.base import GeoContext, Geolocator, build_context
+from repro.geoloc.edgescape import EdgeScape
+from repro.geoloc.ixmapper import IxMapper
+from repro.measure.artifacts import clean_inventory
+from repro.measure.inventory import RawInventory
+from repro.measure.mercator import run_mercator
+from repro.measure.skitter import run_skitter
+from repro.net.addressing import AddressPlan
+from repro.net.generate import GenerationReport, generate_ground_truth
+from repro.net.topology import Topology
+from repro.population.worldmodel import World, build_world
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingReport:
+    """Per-dataset bookkeeping of the mapping stage.
+
+    Attributes:
+        label: dataset label.
+        n_raw_nodes: nodes before geolocation.
+        n_unmapped: nodes discarded because the tool could not place them.
+        n_location_ties: Mercator routers discarded for tied interface
+            location votes (the paper's 2.5-2.9%).
+        n_as_unmapped: surviving nodes whose address matched no announced
+            prefix (grouped into the sentinel AS).
+    """
+
+    label: str
+    n_raw_nodes: int
+    n_unmapped: int
+    n_location_ties: int
+    n_as_unmapped: int
+
+
+def _majority_vote(values: list[tuple[float, float]]) -> tuple[float, float] | None:
+    """Most common rounded location; None on a tie for first place."""
+    counts = Counter(values)
+    ranked = counts.most_common()
+    if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+        return None
+    return ranked[0][0]
+
+
+def build_snapshot(
+    inventory: RawInventory,
+    geolocator: Geolocator,
+    bgp_table: BgpTable,
+    label: str,
+) -> tuple[MappedDataset, ProcessingReport]:
+    """Geolocate and AS-map a cleaned inventory into a dataset.
+
+    Skitter nodes are located directly.  Mercator nodes take the location
+    most commonly reported across their member interfaces (rounded to
+    city granularity); ties discard the router.  The parent AS is, for
+    Mercator, the AS most commonly reported by the member interfaces.
+
+    Raises:
+        DatasetError: if the inventory fails validation.
+    """
+    inventory.validate()
+    n_raw = inventory.n_nodes
+    kept_addresses: list[int] = []
+    kept_lats: list[float] = []
+    kept_lons: list[float] = []
+    kept_asns: list[int] = []
+    n_unmapped = 0
+    n_ties = 0
+    n_as_unmapped = 0
+
+    for node in sorted(inventory.nodes):
+        members = inventory.aliases[node]
+        votes: list[tuple[float, float]] = []
+        exact: dict[tuple[float, float], tuple[float, float]] = {}
+        for member in members:
+            result = geolocator.locate(member)
+            if not result.mapped:
+                continue
+            assert result.location is not None
+            key = (
+                round(result.location.lat, LOCATION_DECIMALS),
+                round(result.location.lon, LOCATION_DECIMALS),
+            )
+            votes.append(key)
+            exact.setdefault(key, (result.location.lat, result.location.lon))
+        if not votes:
+            n_unmapped += 1
+            continue
+        winner = _majority_vote(votes)
+        if winner is None:
+            n_ties += 1
+            continue
+        lat, lon = exact[winner]
+        # Parent AS: most common across member interfaces.
+        as_votes = Counter(bgp_table.origin_of(member) for member in members)
+        asn, _ = as_votes.most_common(1)[0]
+        if asn == UNMAPPED_ASN:
+            n_as_unmapped += 1
+        kept_addresses.append(node)
+        kept_lats.append(lat)
+        kept_lons.append(lon)
+        kept_asns.append(asn)
+
+    address_to_index = {addr: i for i, addr in enumerate(kept_addresses)}
+    link_rows = [
+        (address_to_index[a], address_to_index[b])
+        for a, b in inventory.links
+        if a in address_to_index and b in address_to_index
+    ]
+    dataset = MappedDataset(
+        label=label,
+        kind=inventory.kind,
+        addresses=np.asarray(kept_addresses, dtype=np.int64),
+        lats=np.asarray(kept_lats, dtype=float),
+        lons=np.asarray(kept_lons, dtype=float),
+        asns=np.asarray(kept_asns, dtype=np.int64),
+        links=(
+            np.asarray(link_rows, dtype=np.intp)
+            if link_rows
+            else np.empty((0, 2), dtype=np.intp)
+        ),
+    )
+    report = ProcessingReport(
+        label=label,
+        n_raw_nodes=n_raw,
+        n_unmapped=n_unmapped,
+        n_location_ties=n_ties,
+        n_as_unmapped=n_as_unmapped,
+    )
+    return dataset, report
+
+
+@dataclass
+class PipelineResult:
+    """Everything a reproduction run produces.
+
+    Attributes:
+        config: the scenario that was run.
+        world: the synthetic world (population, cities, zones).
+        topology: the planted ground truth.
+        plan: the address registry.
+        generation_report: planted-parameter record.
+        bgp_table: the RouteViews-style snapshot used for AS mapping.
+        datasets: label -> processed dataset, for all four Table I rows.
+        processing_reports: label -> mapping-stage bookkeeping.
+    """
+
+    config: ScenarioConfig
+    world: World
+    topology: Topology
+    plan: AddressPlan
+    generation_report: GenerationReport
+    bgp_table: BgpTable
+    datasets: dict[str, MappedDataset] = field(default_factory=dict)
+    processing_reports: dict[str, ProcessingReport] = field(default_factory=dict)
+
+    def dataset(self, mapper: str, measurement: str) -> MappedDataset:
+        """Fetch one dataset by tool names, e.g. ``("IxMapper", "Skitter")``.
+
+        Raises:
+            DatasetError: when the combination was not produced.
+        """
+        label = f"{mapper}, {measurement}"
+        if label not in self.datasets:
+            raise DatasetError(
+                f"no dataset {label!r}; have {sorted(self.datasets)}"
+            )
+        return self.datasets[label]
+
+
+def run_pipeline(config: ScenarioConfig) -> PipelineResult:
+    """Run the full reproduction pipeline for one scenario."""
+    rng = config.rng()
+    world = build_world(rng, city_scale=config.city_scale)
+    topology, plan, generation_report = generate_ground_truth(
+        world, config.ground_truth, rng
+    )
+    bgp_table = build_routeviews_snapshot(plan, config.bgp, rng)
+    context = build_context(world, topology, plan, config.geoloc, rng)
+
+    skitter_raw = run_skitter(topology, config.skitter, rng)
+    skitter_clean, _ = clean_inventory(skitter_raw)
+    mercator_raw = run_mercator(topology, config.mercator, rng)
+    mercator_clean, _ = clean_inventory(mercator_raw)
+
+    result = PipelineResult(
+        config=config,
+        world=world,
+        topology=topology,
+        plan=plan,
+        generation_report=generation_report,
+        bgp_table=bgp_table,
+    )
+    for inventory, measurement in (
+        (mercator_clean, "Mercator"),
+        (skitter_clean, "Skitter"),
+    ):
+        for mapper in _mappers(context, topology, config, rng):
+            label = f"{mapper.name}, {measurement}"
+            dataset, report = build_snapshot(inventory, mapper, bgp_table, label)
+            result.datasets[label] = dataset
+            result.processing_reports[label] = report
+    return result
+
+
+def _mappers(
+    context: GeoContext,
+    topology: Topology,
+    config: ScenarioConfig,
+    rng: np.random.Generator,
+) -> list[Geolocator]:
+    """Fresh geolocator instances for one measurement's mapping passes."""
+    return [
+        IxMapper(
+            context, rng, failure_rate=config.geoloc.ixmapper_unmapped_rate
+        ),
+        EdgeScape(
+            context,
+            topology,
+            rng,
+            isp_coverage=config.geoloc.edgescape_isp_coverage,
+            failure_rate=config.geoloc.edgescape_unmapped_rate,
+        ),
+    ]

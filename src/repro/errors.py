@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses exist per
+substrate so tests and downstream users can discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A scenario or component configuration is invalid."""
+
+
+class GeoError(ReproError):
+    """Invalid geographic input (bad latitude/longitude, empty region...)."""
+
+
+class ProjectionError(GeoError):
+    """A map projection cannot be applied to the given input."""
+
+
+class AddressError(ReproError):
+    """Invalid IPv4 address or prefix."""
+
+
+class AllocationError(AddressError):
+    """The address allocator ran out of space or was misused."""
+
+
+class TopologyError(ReproError):
+    """Inconsistent topology state (unknown router, duplicate link...)."""
+
+
+class RoutingError(ReproError):
+    """A forwarding path could not be computed."""
+
+
+class MeasurementError(ReproError):
+    """A measurement simulator was driven with invalid input."""
+
+
+class GeolocationError(ReproError):
+    """A geolocation simulator was driven with invalid input."""
+
+
+class DatasetError(ReproError):
+    """A processed dataset is malformed or inconsistent."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on unusable data."""

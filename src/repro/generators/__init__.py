@@ -1,0 +1,46 @@
+"""Topology generators: classical baselines and the geography-aware GeoGen."""
+
+from repro.generators.barabasi_albert import barabasi_albert_graph
+from repro.generators.brite import (
+    MODE_HYBRID,
+    MODE_PREFERENTIAL,
+    MODE_WAXMAN,
+    brite_graph,
+)
+from repro.generators.base import (
+    GeneratedGraph,
+    dedupe_edges,
+    uniform_points_in_box,
+)
+from repro.generators.erdos_renyi import (
+    erdos_renyi_for_mean_degree,
+    erdos_renyi_graph,
+)
+from repro.generators.geogen import (
+    LATENCY_MS_PER_MILE,
+    AnnotatedGraph,
+    GeoGenConfig,
+    geogen_graph,
+)
+from repro.generators.hierarchical import transit_stub_graph
+from repro.generators.waxman import waxman_for_mean_degree, waxman_graph
+
+__all__ = [
+    "barabasi_albert_graph",
+    "MODE_HYBRID",
+    "MODE_PREFERENTIAL",
+    "MODE_WAXMAN",
+    "brite_graph",
+    "GeneratedGraph",
+    "dedupe_edges",
+    "uniform_points_in_box",
+    "erdos_renyi_for_mean_degree",
+    "erdos_renyi_graph",
+    "LATENCY_MS_PER_MILE",
+    "AnnotatedGraph",
+    "GeoGenConfig",
+    "geogen_graph",
+    "transit_stub_graph",
+    "waxman_for_mean_degree",
+    "waxman_graph",
+]

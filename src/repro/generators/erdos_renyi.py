@@ -1,0 +1,63 @@
+"""Erdos-Renyi random graphs with geographic node placement.
+
+The G(n, p) model connects every node pair with a fixed probability,
+ignoring geometry entirely — the paper's canonical example of a
+generator with *no* distance preference (its f(d) is flat by
+construction).  Nodes still receive coordinates so the same analyses
+can run over the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.generators.base import GeneratedGraph, uniform_points_in_box
+
+
+def erdos_renyi_graph(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    **box: float,
+) -> GeneratedGraph:
+    """Generate G(n, p) over uniformly placed nodes.
+
+    Raises:
+        ConfigError: for invalid n or p.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ConfigError(f"p must be in [0, 1], got {p}")
+    if n > 20_000:
+        raise ConfigError("erdos_renyi_graph evaluates O(n^2) pairs; n too large")
+    lats, lons = uniform_points_in_box(n, rng, **box)
+    edges: list[tuple[int, int]] = []
+    for i in range(n - 1):
+        hits = np.flatnonzero(rng.random(n - i - 1) < p)
+        edges.extend((i, i + 1 + int(j)) for j in hits)
+    edge_array = (
+        np.asarray(edges, dtype=np.intp) if edges else np.empty((0, 2), dtype=np.intp)
+    )
+    return GeneratedGraph(
+        name="erdos-renyi",
+        lats=lats,
+        lons=lons,
+        edges=edge_array,
+        asns=np.full(n, -1, dtype=np.int64),
+    )
+
+
+def erdos_renyi_for_mean_degree(
+    n: int, mean_degree: float, rng: np.random.Generator, **box: float
+) -> GeneratedGraph:
+    """G(n, p) with p chosen for a target mean degree.
+
+    Raises:
+        ConfigError: when the target exceeds n - 1.
+    """
+    if n < 2:
+        raise ConfigError("need at least 2 nodes")
+    p = mean_degree / (n - 1)
+    if p > 1.0:
+        raise ConfigError(f"mean degree {mean_degree} exceeds n-1")
+    return erdos_renyi_graph(n, p, rng, **box)

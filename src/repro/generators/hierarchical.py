@@ -1,0 +1,87 @@
+"""A GT-ITM / Tiers-style hierarchical (transit-stub) generator.
+
+Structural models build an explicit hierarchy: transit domains span the
+map, stub domains attach locally.  The paper cites these as the other
+main pre-power-law family of generators; including one lets experiment
+X2 compare a hierarchy-first model's distance preference against the
+measured two-regime shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.generators.base import GeneratedGraph, dedupe_edges, uniform_points_in_box
+from repro.geo.distance import haversine_miles
+
+
+def transit_stub_graph(
+    n_transit_domains: int,
+    transit_size: int,
+    stubs_per_transit: int,
+    stub_size: int,
+    rng: np.random.Generator,
+    stub_spread_deg: float = 2.0,
+    **box: float,
+) -> GeneratedGraph:
+    """Generate a two-level transit-stub topology.
+
+    Transit domains are uniformly placed cliques-with-chords; each stub
+    domain is a small connected cluster near its transit attachment
+    point, linked to one transit router.
+
+    Raises:
+        ConfigError: for non-positive structural parameters.
+    """
+    if min(n_transit_domains, transit_size, stubs_per_transit, stub_size) < 1:
+        raise ConfigError("all structural parameters must be >= 1")
+    lats: list[float] = []
+    lons: list[float] = []
+    edges: list[tuple[int, int]] = []
+    transit_gateways: list[int] = []
+
+    for _ in range(n_transit_domains):
+        center_lat, center_lon = uniform_points_in_box(1, rng, **box)
+        base = len(lats)
+        for k in range(transit_size):
+            lats.append(float(np.clip(center_lat[0] + rng.normal(0, 1.0), -89, 89)))
+            lons.append(float(np.clip(center_lon[0] + rng.normal(0, 1.0), -179, 179)))
+            if k > 0:
+                edges.append((base + k - 1, base + k))
+        # A chord to keep the transit domain 2-connected when possible.
+        if transit_size >= 3:
+            edges.append((base, base + transit_size - 1))
+        transit_gateways.append(base)
+
+        for _ in range(stubs_per_transit):
+            attach = base + int(rng.integers(transit_size))
+            stub_base = len(lats)
+            stub_lat = lats[attach] + rng.normal(0, stub_spread_deg)
+            stub_lon = lons[attach] + rng.normal(0, stub_spread_deg)
+            for k in range(stub_size):
+                lats.append(float(np.clip(stub_lat + rng.normal(0, 0.2), -89, 89)))
+                lons.append(float(np.clip(stub_lon + rng.normal(0, 0.2), -179, 179)))
+                if k > 0:
+                    edges.append((stub_base + k - 1, stub_base + k))
+            edges.append((attach, stub_base))
+
+    # Inter-transit backbone: nearest-neighbour chain over gateways.
+    for i in range(1, len(transit_gateways)):
+        gi = transit_gateways[i]
+        best = min(
+            transit_gateways[:i],
+            key=lambda g: float(
+                haversine_miles(lats[gi], lons[gi], lats[g], lons[g])
+            ),
+        )
+        edges.append((gi, best))
+
+    n = len(lats)
+    return GeneratedGraph(
+        name="transit-stub",
+        lats=np.asarray(lats),
+        lons=np.asarray(lons),
+        edges=dedupe_edges(edges),
+        asns=np.full(n, -1, dtype=np.int64),
+    )

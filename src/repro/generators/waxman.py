@@ -1,0 +1,111 @@
+"""The Waxman topology generator.
+
+Waxman (1988): nodes are placed uniformly at random in the plane, and a
+pair at distance ``d`` is connected with probability
+
+    f_W(d) = beta * exp(-d / (alpha * L_max))
+
+where ``L_max`` is the maximum node separation, ``alpha`` in (0, 1]
+controls distance sensitivity and ``beta`` in (0, 1] controls density.
+The paper finds Waxman's *connection rule* descriptive of real data at
+small distances, while its *uniform placement* assumption is badly wrong
+— which is exactly what experiment X2 demonstrates by comparing this
+generator with the geography-aware one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.generators.base import GeneratedGraph, uniform_points_in_box
+from repro.geo.distance import haversine_miles
+
+
+def waxman_graph(
+    n: int,
+    alpha: float,
+    beta: float,
+    rng: np.random.Generator,
+    south: float = 25.0,
+    north: float = 50.0,
+    west: float = -125.0,
+    east: float = -65.0,
+) -> GeneratedGraph:
+    """Generate a Waxman random graph over a lat/lon box.
+
+    Args:
+        n: node count (pairwise probabilities are evaluated exactly, so
+            keep n moderate — a few thousand).
+        alpha: distance sensitivity in (0, 1].
+        beta: link density in (0, 1].
+
+    Raises:
+        ConfigError: for out-of-range parameters.
+    """
+    if not (0.0 < alpha <= 1.0):
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+    if not (0.0 < beta <= 1.0):
+        raise ConfigError(f"beta must be in (0, 1], got {beta}")
+    if n > 20_000:
+        raise ConfigError("waxman_graph evaluates O(n^2) pairs; n too large")
+    lats, lons = uniform_points_in_box(n, rng, south, north, west, east)
+    edges: list[tuple[int, int]] = []
+    # Maximum separation: box corner to corner.
+    l_max = float(haversine_miles(south, west, north, east))
+    for i in range(n - 1):
+        d = np.asarray(
+            haversine_miles(lats[i], lons[i], lats[i + 1 :], lons[i + 1 :])
+        )
+        p = beta * np.exp(-d / (alpha * l_max))
+        hits = np.flatnonzero(rng.random(d.shape[0]) < p)
+        edges.extend((i, i + 1 + int(j)) for j in hits)
+    edge_array = (
+        np.asarray(edges, dtype=np.intp) if edges else np.empty((0, 2), dtype=np.intp)
+    )
+    return GeneratedGraph(
+        name="waxman",
+        lats=lats,
+        lons=lons,
+        edges=edge_array,
+        asns=np.full(n, -1, dtype=np.int64),
+    )
+
+
+def waxman_for_mean_degree(
+    n: int,
+    alpha: float,
+    mean_degree: float,
+    rng: np.random.Generator,
+    **box: float,
+) -> GeneratedGraph:
+    """Waxman graph with ``beta`` calibrated for a target mean degree.
+
+    Calibration estimates the expected degree integral by sampling node
+    pairs, then solves for beta (clipped to (0, 1]).
+
+    Raises:
+        ConfigError: if the target is unreachable even at beta = 1.
+    """
+    if mean_degree <= 0:
+        raise ConfigError("mean_degree must be positive")
+    lats, lons = uniform_points_in_box(n, rng, **box)
+    south = box.get("south", 25.0)
+    north = box.get("north", 50.0)
+    west = box.get("west", -125.0)
+    east = box.get("east", -65.0)
+    l_max = float(haversine_miles(south, west, north, east))
+    sample = min(n, 400)
+    idx = rng.choice(n, size=sample, replace=False)
+    d = np.asarray(
+        haversine_miles(
+            lats[idx][:, None], lons[idx][:, None], lats[idx][None, :], lons[idx][None, :]
+        )
+    )
+    mean_weight = float(np.exp(-d / (alpha * l_max))[np.triu_indices(sample, 1)].mean())
+    wanted = mean_degree / ((n - 1) * mean_weight)
+    if wanted > 1.0:
+        raise ConfigError(
+            f"mean degree {mean_degree} unreachable with alpha={alpha} at n={n}"
+        )
+    return waxman_graph(n, alpha, max(wanted, 1e-9), rng, south, north, west, east)

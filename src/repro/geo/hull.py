@@ -1,0 +1,91 @@
+"""Planar convex hulls and polygon areas.
+
+Implemented from scratch (Andrew's monotone chain + the shoelace
+formula) so the AS geographic-extent analysis has no dependency beyond
+numpy.  Degenerate point sets (fewer than three distinct points, or all
+points collinear) have zero area, matching the paper's observation that
+ASes present at one or two locations "have no extent at all".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeoError
+
+
+def _cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    """Z-component of the cross product (a - o) x (b - o)."""
+    return float((a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]))
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Convex hull of 2-D points via Andrew's monotone chain.
+
+    Args:
+        points: array of shape ``(n, 2)``.
+
+    Returns:
+        Hull vertices in counter-clockwise order, shape ``(h, 2)``.
+        Degenerate inputs return what distinct geometry exists: a single
+        point, or the two extreme points of a collinear set.
+
+    Raises:
+        GeoError: if the input is not an ``(n, 2)`` array or holds
+            non-finite values.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeoError(f"expected an (n, 2) array, got shape {pts.shape}")
+    if pts.size and not np.all(np.isfinite(pts)):
+        raise GeoError("points must be finite")
+    if pts.shape[0] == 0:
+        return pts.copy()
+    # Sort lexicographically and drop duplicates.
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+    keep = np.ones(pts.shape[0], dtype=bool)
+    keep[1:] = np.any(np.diff(pts, axis=0) != 0.0, axis=1)
+    pts = pts[keep]
+    n = pts.shape[0]
+    if n <= 2:
+        return pts.copy()
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # fully collinear set
+        return np.vstack([pts[0], pts[-1]])
+    return np.vstack(hull)
+
+
+def polygon_area(vertices: np.ndarray) -> float:
+    """Absolute area of a simple polygon via the shoelace formula.
+
+    Inputs with fewer than three vertices have zero area.
+    """
+    v = np.asarray(vertices, dtype=float)
+    if v.ndim != 2 or (v.size and v.shape[1] != 2):
+        raise GeoError(f"expected an (n, 2) array, got shape {v.shape}")
+    if v.shape[0] < 3:
+        return 0.0
+    x = v[:, 0]
+    y = v[:, 1]
+    return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+
+def convex_hull_area(points: np.ndarray) -> float:
+    """Area of the convex hull of a 2-D point set.
+
+    The composition used by the AS-extent analysis: project interface
+    locations to the plane, then call this.
+    """
+    return polygon_area(convex_hull(points))

@@ -1,0 +1,115 @@
+"""Map projections.
+
+Section VI of the paper measures the geographic extent of an AS as the
+area of the convex hull of its interface locations.  Convexity is not
+well defined on the sphere, so the paper projects points to the plane
+with the Albers Equal Area conic projection (unfolding the globe at the
+poles and the International Date Line) and takes hulls there.  We
+implement that projection, plus a simple equirectangular projection used
+by the box-counting fractal estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProjectionError
+from repro.geo.coords import EARTH_RADIUS_MILES
+
+
+@dataclass(frozen=True, slots=True)
+class AlbersEqualArea:
+    """Albers Equal Area conic projection on a spherical Earth.
+
+    Coordinates are returned in miles so hull areas come out in square
+    miles, matching the paper's Figure 9/10 axes.
+
+    Attributes:
+        std_parallel_1: first standard parallel, degrees.
+        std_parallel_2: second standard parallel, degrees.
+        origin_lat: latitude of projection origin, degrees.
+        origin_lon: central meridian, degrees.
+    """
+
+    std_parallel_1: float = 20.0
+    std_parallel_2: float = 50.0
+    origin_lat: float = 0.0
+    origin_lon: float = 0.0
+
+    def _constants(self) -> tuple[float, float, float]:
+        phi1 = np.radians(self.std_parallel_1)
+        phi2 = np.radians(self.std_parallel_2)
+        phi0 = np.radians(self.origin_lat)
+        n = (np.sin(phi1) + np.sin(phi2)) / 2.0
+        if abs(n) < 1e-12:
+            raise ProjectionError(
+                "standard parallels are symmetric about the equator; "
+                "the Albers cone constant degenerates to zero"
+            )
+        c = np.cos(phi1) ** 2 + 2.0 * n * np.sin(phi1)
+        rho0 = np.sqrt(max(c - 2.0 * n * np.sin(phi0), 0.0)) / n
+        return float(n), float(c), float(rho0)
+
+    def project(
+        self, lats: np.ndarray | float, lons: np.ndarray | float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project degrees lat/lon to planar ``(x, y)`` in miles.
+
+        The globe is unfolded at the date line relative to the central
+        meridian, so longitudes are first wrapped to within 180 degrees
+        of :attr:`origin_lon`.
+        """
+        n, c, rho0 = self._constants()
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        if np.any(np.abs(lats) > 90.0):
+            raise ProjectionError("latitude out of range for projection")
+        phi = np.radians(lats)
+        dlon = np.radians(((lons - self.origin_lon + 180.0) % 360.0) - 180.0)
+        theta = n * dlon
+        under = c - 2.0 * n * np.sin(phi)
+        if np.any(under < -1e-9):
+            raise ProjectionError(
+                "point is outside the domain of this Albers parameterisation"
+            )
+        rho = np.sqrt(np.clip(under, 0.0, None)) / n
+        x = EARTH_RADIUS_MILES * rho * np.sin(theta)
+        y = EARTH_RADIUS_MILES * (rho0 - rho * np.cos(theta))
+        return x, y
+
+
+#: Projection used for world-scale hull measurements, standard parallels
+#: chosen to bracket the latitudes where most infrastructure lives.
+WORLD_ALBERS = AlbersEqualArea(
+    std_parallel_1=20.0, std_parallel_2=50.0, origin_lat=0.0, origin_lon=0.0
+)
+
+
+def equirectangular_miles(
+    lats: np.ndarray, lons: np.ndarray, ref_lat: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fast local planar projection: x scaled by cos(reference latitude).
+
+    Adequate for box counting and other local, qualitative geometry; not
+    area preserving over large extents (use :class:`AlbersEqualArea` for
+    hull areas).
+
+    Args:
+        ref_lat: latitude whose cosine scales the x axis; defaults to the
+            mean latitude of the input.
+
+    Returns:
+        ``(x, y)`` in miles.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.size == 0:
+        return lats.copy(), lons.copy()
+    if ref_lat is None:
+        ref_lat = float(np.mean(lats))
+    per_deg = EARTH_RADIUS_MILES * np.pi / 180.0
+    x = lons * per_deg * np.cos(np.radians(ref_lat))
+    y = lats * per_deg
+    return x, y

@@ -1,0 +1,139 @@
+"""Geographic regions delineated by latitude/longitude boxes.
+
+The paper studies simple lat/lon rectangles (its Table II), plus a set of
+world economic regions (Table III) and the homogeneity-test sub-regions
+(Figure 3 / Table IV).  We reproduce all of them here as constants so
+every analysis and benchmark refers to a single definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeoError
+from repro.geo.coords import validate_latitude, validate_longitude
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A latitude/longitude bounding box on the globe.
+
+    Attributes:
+        name: human-readable name (approximate; boxes are not political
+            boundaries, exactly as in the paper).
+        north, south: latitude bounds in degrees (north > south).
+        west, east: longitude bounds in degrees (west < east; boxes
+            crossing the date line are not needed for the paper's regions
+            and are rejected).
+    """
+
+    name: str
+    north: float
+    south: float
+    west: float
+    east: float
+
+    def __post_init__(self) -> None:
+        validate_latitude(self.north)
+        validate_latitude(self.south)
+        validate_longitude(self.west)
+        validate_longitude(self.east)
+        if self.north <= self.south:
+            raise GeoError(f"region {self.name!r}: north must exceed south")
+        if self.east <= self.west:
+            raise GeoError(f"region {self.name!r}: east must exceed west")
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """True if the point lies inside the box (inclusive bounds)."""
+        return (
+            self.south <= lat <= self.north and self.west <= lon <= self.east
+        )
+
+    def contains_mask(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Boolean mask of which coordinate pairs fall inside the box."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        return (
+            (lats >= self.south)
+            & (lats <= self.north)
+            & (lons >= self.west)
+            & (lons <= self.east)
+        )
+
+    @property
+    def lat_span(self) -> float:
+        """Height of the box in degrees of latitude."""
+        return self.north - self.south
+
+    @property
+    def lon_span(self) -> float:
+        """Width of the box in degrees of longitude."""
+        return self.east - self.west
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(lat, lon)`` of the box centre."""
+        return ((self.north + self.south) / 2.0, (self.east + self.west) / 2.0)
+
+
+# --- Table II: the three homogeneous study regions -----------------------
+
+US = Region("US", north=50.0, south=25.0, west=-150.0, east=-45.0)
+EUROPE = Region("Europe", north=58.0, south=42.0, west=-5.0, east=22.0)
+JAPAN = Region("Japan", north=60.0, south=30.0, west=130.0, east=150.0)
+
+#: The paper's three homogeneous study regions, in presentation order.
+STUDY_REGIONS: tuple[Region, ...] = (US, EUROPE, JAPAN)
+
+# --- Figure 3 / Table IV: homogeneity-test sub-regions -------------------
+
+NORTHERN_US = Region("Northern US", north=50.0, south=37.5, west=-150.0, east=-45.0)
+SOUTHERN_US = Region("Southern US", north=37.5, south=25.0, west=-150.0, east=-45.0)
+CENTRAL_AMERICA = Region(
+    "Central Am.", north=25.0, south=10.0, west=-120.0, east=-60.0
+)
+
+#: Sub-regions used for the homogeneity test (Table IV).
+HOMOGENEITY_REGIONS: tuple[Region, ...] = (
+    NORTHERN_US,
+    SOUTHERN_US,
+    CENTRAL_AMERICA,
+)
+
+# --- Table III: world economic regions ------------------------------------
+# Approximate lat/lon boxes; as in the paper, names are indicative only.
+
+AFRICA = Region("Africa", north=35.0, south=-35.0, west=-18.0, east=50.0)
+SOUTH_AMERICA = Region("South America", north=13.0, south=-55.0, west=-82.0, east=-34.0)
+MEXICO = Region("Mexico", north=25.0, south=10.0, west=-120.0, east=-60.0)
+WESTERN_EUROPE = Region("W. Europe", north=58.0, south=42.0, west=-5.0, east=22.0)
+JAPAN_ECON = Region("Japan", north=60.0, south=30.0, west=130.0, east=150.0)
+AUSTRALIA = Region("Australia", north=-10.0, south=-45.0, west=110.0, east=155.0)
+USA_ECON = Region("USA", north=50.0, south=25.0, west=-150.0, east=-45.0)
+WORLD = Region("World", north=85.0, south=-60.0, west=-180.0, east=179.999)
+
+#: Economic regions tabulated in Table III, in presentation order.
+ECONOMIC_REGIONS: tuple[Region, ...] = (
+    AFRICA,
+    SOUTH_AMERICA,
+    MEXICO,
+    WESTERN_EUROPE,
+    JAPAN_ECON,
+    AUSTRALIA,
+    USA_ECON,
+    WORLD,
+)
+
+
+def region_by_name(name: str) -> Region:
+    """Look up any of the named constant regions by name.
+
+    Raises:
+        GeoError: if no constant region carries that name.
+    """
+    for region in (*STUDY_REGIONS, *HOMOGENEITY_REGIONS, *ECONOMIC_REGIONS):
+        if region.name == name:
+            return region
+    raise GeoError(f"unknown region name {name!r}")

@@ -1,0 +1,106 @@
+"""Geolocator interface and the shared lookup context.
+
+A geolocator maps one interface address to geographic coordinates, or
+declares it unmappable.  Both simulated tools (IxMapper, EdgeScape) read
+from a :class:`GeoContext` — the world knowledge a real mapping service
+would have assembled: the city-code directory, observed DNS hostnames,
+the whois registry, and published DNS LOC records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.config import GeolocConfig
+from repro.geo.coords import GeoPoint
+from repro.geoloc.dnsloc import build_loc_records
+from repro.geoloc.whois import WhoisRegistry
+from repro.net.addressing import AddressPlan
+from repro.net.topology import Topology
+from repro.population.worldmodel import World
+
+#: Method tags a geolocator can report.
+METHOD_HOSTNAME = "hostname"
+METHOD_DNSLOC = "dnsloc"
+METHOD_WHOIS = "whois"
+METHOD_ISP = "isp"
+METHOD_UNMAPPED = "unmapped"
+
+
+@dataclass(frozen=True, slots=True)
+class MappingResult:
+    """Outcome of locating one address.
+
+    Attributes:
+        location: coordinates, or None when unmappable.
+        method: which technique produced the answer.
+    """
+
+    location: GeoPoint | None
+    method: str
+
+    @property
+    def mapped(self) -> bool:
+        """True when a location was produced."""
+        return self.location is not None
+
+
+@dataclass(frozen=True)
+class GeoContext:
+    """Everything a mapping service knows about the world.
+
+    Attributes:
+        city_locations: city code -> city centre.
+        hostnames: interface address -> DNS hostname.
+        whois: the simulated registry.
+        loc_records: interface address -> exact LOC-record location.
+        as_of_address: precomputed true owner ASN per interface (used
+            only by EdgeScape's ISP-feed path, which models contractual
+            data shared by the ISPs themselves).
+    """
+
+    city_locations: dict[str, GeoPoint]
+    hostnames: dict[int, str]
+    whois: WhoisRegistry
+    loc_records: dict[int, GeoPoint]
+    as_of_address: dict[int, int]
+
+
+def build_context(
+    world: World,
+    topology: Topology,
+    plan: AddressPlan,
+    config: GeolocConfig,
+    rng: np.random.Generator,
+) -> GeoContext:
+    """Assemble the lookup context from the ground truth."""
+    city_locations = {city.code: city.location for city in world.cities}
+    whois = WhoisRegistry.from_plan(plan, topology.asns)
+    loc_records = build_loc_records(topology, config.ixmapper_dnsloc_rate, rng)
+    as_of_address = {
+        address: topology.routers[iface.router_id].asn
+        for address, iface in topology.interfaces.items()
+    }
+    return GeoContext(
+        city_locations=city_locations,
+        hostnames=dict(topology.hostnames),
+        whois=whois,
+        loc_records=loc_records,
+        as_of_address=as_of_address,
+    )
+
+
+class Geolocator(Protocol):
+    """Anything that can place an interface address on the map."""
+
+    @property
+    def name(self) -> str:
+        """Tool name (used in dataset labels, e.g. Table I rows)."""
+        ...
+
+    def locate(self, address: int) -> MappingResult:
+        """Locate one interface address."""
+        ...

@@ -1,0 +1,31 @@
+"""Simulated DNS LOC records (RFC 1876).
+
+LOC records give an exact machine location but are optional and rarely
+published; geolocators use them as a high-accuracy fallback.  We give a
+small random subset of interfaces a LOC record carrying the true router
+coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.net.topology import Topology
+
+
+def build_loc_records(
+    topology: Topology, rate: float, rng: np.random.Generator
+) -> dict[int, GeoPoint]:
+    """LOC records for a random ``rate`` fraction of interfaces.
+
+    Returns:
+        interface address -> exact router location.
+    """
+    records: dict[int, GeoPoint] = {}
+    if rate <= 0:
+        return records
+    for address, iface in topology.interfaces.items():
+        if rng.random() < rate:
+            records[address] = topology.routers[iface.router_id].location
+    return records

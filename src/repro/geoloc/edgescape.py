@@ -1,0 +1,114 @@
+"""EdgeScape-style geolocation.
+
+Akamai's EdgeScape supplements hostname techniques with *internal ISP
+geographical information* obtained through its network relationships and
+server deployment.  The simulator models that as per-AS coverage: for a
+covered AS, the tool knows the true city of every router (returned with
+city-snap accuracy); otherwise it falls back to hostname parsing and
+finally whois.  Coverage is broad, so the unmapped residual is smaller
+than IxMapper's (the paper reports 0.3-0.6% vs 1-1.5%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeolocationError
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_miles
+from repro.geoloc.base import (
+    METHOD_HOSTNAME,
+    METHOD_ISP,
+    METHOD_UNMAPPED,
+    METHOD_WHOIS,
+    GeoContext,
+    MappingResult,
+)
+from repro.net.hostnames import extract_city_code
+from repro.net.topology import Topology
+
+
+class EdgeScape:
+    """ISP-feed-first geolocator with hostname and whois fallbacks."""
+
+    def __init__(
+        self,
+        context: GeoContext,
+        topology: Topology,
+        rng: np.random.Generator,
+        isp_coverage: float = 0.85,
+        failure_rate: float = 0.004,
+    ) -> None:
+        if not (0.0 <= isp_coverage <= 1.0):
+            raise GeolocationError("isp_coverage must be in [0, 1]")
+        if not (0.0 <= failure_rate <= 1.0):
+            raise GeolocationError("failure_rate must be in [0, 1]")
+        self._context = context
+        self._rng = rng
+        self._failure_rate = failure_rate
+        # Which ASes share location feeds: one draw per AS, fixed for the
+        # lifetime of the tool (a contract either exists or does not).
+        self._covered_asns = {
+            asn for asn in topology.asns if rng.random() < isp_coverage
+        }
+        # The ISP feed reports each interface's city: the hosting PoP's
+        # city when known, else the town nearest the true position (the
+        # real service returns city/postal centroids, never exact
+        # machine coordinates).
+        self._isp_locations: dict[int, GeoPoint] = {}
+        city_by_code = context.city_locations
+        city_points = list(city_by_code.values())
+        city_lats = np.array([p.lat for p in city_points])
+        city_lons = np.array([p.lon for p in city_points])
+        for address, iface in topology.interfaces.items():
+            router = topology.routers[iface.router_id]
+            if router.asn not in self._covered_asns:
+                continue
+            city = city_by_code.get(router.city_code) if router.city_code else None
+            if city is None and city_lats.size:
+                nearest = int(
+                    np.argmin(
+                        haversine_miles(
+                            router.location.lat,
+                            router.location.lon,
+                            city_lats,
+                            city_lons,
+                        )
+                    )
+                )
+                city = city_points[nearest]
+            self._isp_locations[address] = (
+                city if city is not None else router.location
+            )
+
+    @property
+    def name(self) -> str:
+        """Tool name as used in dataset labels."""
+        return "EdgeScape"
+
+    @property
+    def covered_asns(self) -> set[int]:
+        """ASes with ISP location feeds."""
+        return set(self._covered_asns)
+
+    def locate(self, address: int) -> MappingResult:
+        """Locate an address via ISP feed, then hostname, then whois."""
+        if self._rng.random() < self._failure_rate:
+            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        isp = self._isp_locations.get(address)
+        if isp is not None:
+            return MappingResult(location=isp, method=METHOD_ISP)
+        hostname = self._context.hostnames.get(address)
+        if hostname is not None:
+            try:
+                code = extract_city_code(hostname)
+            except GeolocationError:
+                code = None
+            if code is not None:
+                city = self._context.city_locations.get(code)
+                if city is not None:
+                    return MappingResult(location=city, method=METHOD_HOSTNAME)
+        org = self._context.whois.lookup(address)
+        if org is not None:
+            return MappingResult(location=org.headquarters, method=METHOD_WHOIS)
+        return MappingResult(location=None, method=METHOD_UNMAPPED)

@@ -1,0 +1,52 @@
+"""NetGeo-style geolocation: the whois-only baseline.
+
+CAIDA's NetGeo — the ancestor IxMapper extends — built its database
+primarily from whois lookups against the regional registries.  As the
+paper notes, that is "generally accurate for small organizations but
+may fail in cases where geographically dispersed hosts are mapped to an
+organization's registered headquarters".  This mapper is useful as a
+baseline in geolocation-sensitivity studies: it shows how far the
+hostname/ISP techniques moved the state of the art.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeolocationError
+from repro.geoloc.base import (
+    METHOD_UNMAPPED,
+    METHOD_WHOIS,
+    GeoContext,
+    MappingResult,
+)
+
+
+class NetGeo:
+    """Whois-registry-only geolocator (every host maps to its org HQ)."""
+
+    def __init__(
+        self,
+        context: GeoContext,
+        rng: np.random.Generator,
+        failure_rate: float = 0.05,
+    ) -> None:
+        if not (0.0 <= failure_rate <= 1.0):
+            raise GeolocationError("failure_rate must be in [0, 1]")
+        self._context = context
+        self._rng = rng
+        self._failure_rate = failure_rate
+
+    @property
+    def name(self) -> str:
+        """Tool name as used in dataset labels."""
+        return "NetGeo"
+
+    def locate(self, address: int) -> MappingResult:
+        """Locate an address via whois only."""
+        if self._rng.random() < self._failure_rate:
+            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        org = self._context.whois.lookup(address)
+        if org is None:
+            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        return MappingResult(location=org.headquarters, method=METHOD_WHOIS)

@@ -1,0 +1,68 @@
+"""Simulated whois registry.
+
+Whois-based geolocation resolves an address to the *registered
+organisation* and returns the organisation's headquarters — accurate for
+small single-site organisations, but systematically wrong for ISPs with
+geographically dispersed infrastructure, whose every router then maps to
+one HQ city.  That failure mode is important: it produces the piles of
+interfaces at a handful of locations visible in the paper's Figure 8(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.trie import PrefixTrie
+from repro.geo.coords import GeoPoint
+from repro.net.addressing import AddressPlan
+from repro.net.elements import AutonomousSystem
+
+
+@dataclass(frozen=True, slots=True)
+class OrgRecord:
+    """A whois organisation record.
+
+    Attributes:
+        asn: the organisation's AS number.
+        name: organisation name.
+        headquarters: registered address location.
+    """
+
+    asn: int
+    name: str
+    headquarters: GeoPoint
+
+
+class WhoisRegistry:
+    """Address -> organisation lookups backed by registry allocations."""
+
+    def __init__(self) -> None:
+        self._trie = PrefixTrie()
+        self._orgs: dict[int, OrgRecord] = {}
+
+    @classmethod
+    def from_plan(
+        cls, plan: AddressPlan, asns: dict[int, AutonomousSystem]
+    ) -> "WhoisRegistry":
+        """Build the registry from the ground truth's address grants."""
+        registry = cls()
+        for asn, asys in asns.items():
+            registry._orgs[asn] = OrgRecord(
+                asn=asn, name=asys.name, headquarters=asys.headquarters
+            )
+        for prefix, asn in plan.prefix_origin_pairs():
+            registry._trie.insert(prefix, asn)
+        return registry
+
+    def lookup(self, address: int) -> OrgRecord | None:
+        """The organisation registered for ``address``, if any."""
+        match = self._trie.longest_match(address)
+        if match is None:
+            return None
+        _, asn = match
+        return self._orgs.get(int(asn))  # type: ignore[arg-type]
+
+    @property
+    def n_orgs(self) -> int:
+        """Number of registered organisations."""
+        return len(self._orgs)

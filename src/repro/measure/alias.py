@@ -1,0 +1,65 @@
+"""Alias resolution: collapsing interfaces onto canonical router addresses.
+
+Mercator sends a UDP probe to an unknown port on every discovered
+interface; a router that answers does so with ICMP Port Unreachable
+messages carrying a single source address, revealing which interfaces
+share a router.  The technique fails for routers that do not respond
+correctly (firewalling, intrusion-detection suppression) — those
+routers' interfaces remain distinct, inflating the router count, which
+is exactly the known inaccuracy of interface-level maps the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.net.topology import Topology
+
+
+def resolve_aliases(
+    topology: Topology,
+    interface_addresses: set[int],
+    rng: np.random.Generator,
+    success_rate: float,
+) -> dict[int, int]:
+    """Map each observed interface address to its canonical node address.
+
+    For routers answering the alias probe (an independent draw per
+    router), every one of their observed interfaces maps to the router's
+    loopback; for silent routers, each interface maps to itself.
+
+    Returns:
+        interface address -> canonical node address.
+
+    Raises:
+        MeasurementError: if an address is unknown to the topology or the
+            success rate is out of range.
+    """
+    if not (0.0 < success_rate <= 1.0):
+        raise MeasurementError("success_rate must be in (0, 1]")
+    answers = rng.random(topology.n_routers) < success_rate
+    mapping: dict[int, int] = {}
+    for address in interface_addresses:
+        iface = topology.interfaces.get(address)
+        if iface is None:
+            raise MeasurementError(f"unknown interface address {address}")
+        router = topology.routers[iface.router_id]
+        if answers[iface.router_id]:
+            mapping[address] = router.loopback
+        else:
+            mapping[address] = address
+    return mapping
+
+
+def merge_members(mapping: dict[int, int]) -> dict[int, list[int]]:
+    """Invert an alias mapping: canonical address -> member interfaces."""
+    members: dict[int, list[int]] = {}
+    for interface, canonical in mapping.items():
+        members.setdefault(canonical, []).append(interface)
+    for canonical, interfaces in members.items():
+        if canonical not in interfaces:
+            interfaces.append(canonical)
+        interfaces.sort()
+    return members

@@ -1,0 +1,80 @@
+"""Anomaly filtering over raw inventories.
+
+The paper, following Broido and claffy's processing of Skitter data,
+discards self-loops and other anomalies, and removes every interface
+that appears on a destination list (destinations are mostly end hosts,
+and the study concerns routers).  These filters transform a
+:class:`~repro.measure.inventory.RawInventory` into a cleaned one,
+reporting what was dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measure.inventory import RawInventory
+from repro.net.ip import is_private
+
+
+@dataclass(frozen=True, slots=True)
+class FilterReport:
+    """What a cleaning pass removed.
+
+    Attributes:
+        dropped_destination_nodes: nodes removed for being on destination
+            lists.
+        dropped_private_nodes: nodes removed for having private addresses.
+        dropped_links: links removed because an endpoint was dropped.
+    """
+
+    dropped_destination_nodes: int
+    dropped_private_nodes: int
+    dropped_links: int
+
+
+def drop_nodes(inventory: RawInventory, to_drop: set[int]) -> RawInventory:
+    """A new inventory without ``to_drop`` nodes and their links."""
+    cleaned = RawInventory(kind=inventory.kind)
+    cleaned.destinations = set(inventory.destinations)
+    for node in inventory.nodes:
+        if node not in to_drop:
+            cleaned.add_node(node)
+            cleaned.aliases[node] = list(inventory.aliases[node])
+    for a, b in inventory.links:
+        if a not in to_drop and b not in to_drop:
+            cleaned.add_link(a, b)
+    return cleaned
+
+
+def discard_destinations(
+    inventory: RawInventory,
+) -> tuple[RawInventory, int]:
+    """Remove nodes probed as destinations (Skitter's end-host discard)."""
+    to_drop = inventory.nodes & inventory.destinations
+    return drop_nodes(inventory, to_drop), len(to_drop)
+
+
+def discard_private(inventory: RawInventory) -> tuple[RawInventory, int]:
+    """Remove nodes with RFC 1918 addresses (misconfigured routers)."""
+    to_drop = {node for node in inventory.nodes if is_private(node)}
+    return drop_nodes(inventory, to_drop), len(to_drop)
+
+
+def clean_inventory(inventory: RawInventory) -> tuple[RawInventory, FilterReport]:
+    """Full cleaning pass: destination discard, then private discard.
+
+    Destination discard only applies to interface-granularity inventories
+    (Mercator has no destination-list semantics).
+    """
+    links_before = inventory.n_links
+    dropped_dest = 0
+    if inventory.kind == "skitter":
+        inventory, dropped_dest = discard_destinations(inventory)
+    inventory, dropped_private = discard_private(inventory)
+    report = FilterReport(
+        dropped_destination_nodes=dropped_dest,
+        dropped_private_nodes=dropped_private,
+        dropped_links=links_before - inventory.n_links,
+    )
+    inventory.validate()
+    return inventory, report

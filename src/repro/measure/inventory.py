@@ -1,0 +1,108 @@
+"""Raw measurement inventories.
+
+Both measurement simulators produce a :class:`RawInventory`: the set of
+observed node addresses, the observed adjacencies between them, and the
+bookkeeping needed by later pipeline stages (alias membership for
+Mercator's router-level view, destination lists for Skitter's discard
+step).  Node keys are interface addresses for Skitter and canonical
+router addresses for Mercator — the paper's interface/router distinction
+made explicit in the type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MeasurementError
+
+
+def normalize_pair(a: int, b: int) -> tuple[int, int]:
+    """Order a node pair canonically (small address first).
+
+    Raises:
+        MeasurementError: on a self-pair.
+    """
+    if a == b:
+        raise MeasurementError(f"self-link on address {a}")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class RawInventory:
+    """The output of one measurement campaign.
+
+    Attributes:
+        kind: ``"skitter"`` (interface granularity) or ``"mercator"``
+            (router granularity after alias resolution).
+        nodes: observed node addresses.
+        links: normalised address pairs between adjacent observed nodes.
+        aliases: node address -> all interface addresses merged into it
+            (singleton lists at interface granularity).
+        destinations: every address on the campaign's destination lists.
+    """
+
+    kind: str
+    nodes: set[int] = field(default_factory=set)
+    links: set[tuple[int, int]] = field(default_factory=set)
+    aliases: dict[int, list[int]] = field(default_factory=dict)
+    destinations: set[int] = field(default_factory=set)
+
+    def add_node(self, address: int) -> None:
+        """Record an observed node (idempotent)."""
+        if address not in self.nodes:
+            self.nodes.add(address)
+            self.aliases.setdefault(address, [address])
+
+    def add_link(self, a: int, b: int) -> None:
+        """Record an observed adjacency between two already-seen nodes.
+
+        Raises:
+            MeasurementError: on self-links or unknown endpoints.
+        """
+        pair = normalize_pair(a, b)
+        for addr in pair:
+            if addr not in self.nodes:
+                raise MeasurementError(
+                    f"link endpoint {addr} was never recorded as a node"
+                )
+        self.links.add(pair)
+
+    @property
+    def n_nodes(self) -> int:
+        """Observed node count."""
+        return len(self.nodes)
+
+    @property
+    def n_links(self) -> int:
+        """Observed link count."""
+        return len(self.links)
+
+    def interfaces_of(self, node: int) -> list[int]:
+        """All interface addresses merged into a node.
+
+        Raises:
+            MeasurementError: for an unknown node.
+        """
+        if node not in self.aliases:
+            raise MeasurementError(f"unknown node {node}")
+        return list(self.aliases[node])
+
+    def validate(self) -> None:
+        """Consistency check over nodes/links/aliases.
+
+        Raises:
+            MeasurementError: on the first violation found.
+        """
+        for a, b in self.links:
+            if a >= b:
+                raise MeasurementError(f"link pair ({a}, {b}) not normalised")
+            if a not in self.nodes or b not in self.nodes:
+                raise MeasurementError(f"link ({a}, {b}) has unknown endpoint")
+        for node in self.nodes:
+            members = self.aliases.get(node)
+            if not members:
+                raise MeasurementError(f"node {node} has no alias entry")
+            if node not in members:
+                raise MeasurementError(
+                    f"node {node} missing from its own alias set"
+                )

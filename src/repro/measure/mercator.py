@@ -1,0 +1,138 @@
+"""Mercator-style measurement: single source, source routing, aliases.
+
+The Scan project's Mercator mapped the Internet from *one* host, using
+hop-limited probes to a heuristically grown target list plus loose
+source routing through previously discovered routers to expose lateral
+links its own shortest-path tree would miss.  Interfaces are then
+collapsed to routers by UDP alias probing.  This simulator reproduces
+all three mechanisms; its output inventory is at *router* granularity
+(canonical addresses), matching the paper's Mercator dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MercatorConfig
+from repro.errors import MeasurementError
+from repro.measure.alias import merge_members, resolve_aliases
+from repro.measure.inventory import RawInventory
+from repro.net.topology import Topology
+from repro.routing.forwarding import source_routed_path
+from repro.routing.shortest_path import (
+    largest_component,
+    shortest_path_tree,
+    shortest_path_trees,
+)
+
+#: Number of distinct via-routers used for loose-source-routed probes.
+_N_VIA_ROUTERS = 48
+
+
+def run_mercator(
+    topology: Topology,
+    config: MercatorConfig,
+    rng: np.random.Generator,
+    source: int | None = None,
+) -> RawInventory:
+    """Execute a Mercator campaign; returns a router-level inventory.
+
+    Raises:
+        MeasurementError: if the topology is too small to probe.
+    """
+    component = largest_component(topology.routing_graph())
+    if component.size < 3:
+        raise MeasurementError("topology too small for a Mercator campaign")
+    if source is None:
+        source = int(component[int(rng.integers(component.size))])
+    graph = topology.routing_graph()
+    source_tree = shortest_path_tree(graph, source)
+    responds = rng.random(topology.n_routers) < config.response_rate
+    responds[source] = True
+
+    # Stage 1: direct probes to the heuristic target list.
+    interface_links: set[tuple[int, int]] = set()
+    observed_interfaces: set[int] = set()
+    n_targets = min(config.n_targets, component.size)
+    targets = rng.choice(component, size=n_targets, replace=False)
+    for target in targets:
+        target = int(target)
+        if target == source or not source_tree.reachable(target):
+            continue
+        path = source_tree.path_to(target)[: config.max_hops + 1]
+        _record_interface_path(
+            topology, path, responds, observed_interfaces, interface_links
+        )
+
+    # Stage 2: loose source routing through a pool of discovered routers.
+    if config.n_source_routed > 0:
+        discovered = sorted(
+            {topology.interfaces[a].router_id for a in observed_interfaces}
+        )
+        if discovered:
+            n_via = min(_N_VIA_ROUTERS, len(discovered))
+            via_ids = [
+                int(discovered[i])
+                for i in rng.choice(len(discovered), size=n_via, replace=False)
+            ]
+            via_trees = {
+                t.source: t for t in shortest_path_trees(graph, via_ids)
+            }
+            for _ in range(config.n_source_routed):
+                via = via_ids[int(rng.integers(len(via_ids)))]
+                target = int(component[int(rng.integers(component.size))])
+                if target == via or target == source:
+                    continue
+                via_tree = via_trees[via]
+                if not via_tree.reachable(target):
+                    continue
+                path = source_routed_path(via_tree, source_tree, via, target)
+                path = path[: config.max_hops + 1]
+                _record_interface_path(
+                    topology, path, responds, observed_interfaces, interface_links
+                )
+
+    # Stage 3: alias resolution to canonical router addresses.
+    mapping = resolve_aliases(
+        topology, observed_interfaces, rng, config.alias_resolution_rate
+    )
+    inventory = RawInventory(kind="mercator")
+    for canonical, members in merge_members(mapping).items():
+        inventory.add_node(canonical)
+        inventory.aliases[canonical] = members
+    for a, b in interface_links:
+        ca, cb = mapping[a], mapping[b]
+        if ca == cb:
+            continue  # both interfaces merged onto one router: not a link
+        inventory.add_link(ca, cb)
+    inventory.validate()
+    return inventory
+
+
+def _record_interface_path(
+    topology: Topology,
+    path: list[int],
+    responds: np.ndarray,
+    observed_interfaces: set[int],
+    interface_links: set[tuple[int, int]],
+) -> None:
+    """Record inbound interfaces and adjacent-pair links along a path."""
+    previous_address: int | None = None
+    previous_router: int | None = None
+    for i in range(1, len(path)):
+        router = path[i]
+        if not responds[router]:
+            previous_address = None
+            previous_router = None
+            continue
+        address = topology.link_interface_toward(path[i - 1], router)
+        observed_interfaces.add(address)
+        if previous_address is not None and previous_router == path[i - 1]:
+            pair = (
+                (previous_address, address)
+                if previous_address < address
+                else (address, previous_address)
+            )
+            interface_links.add(pair)
+        previous_address = address
+        previous_router = router

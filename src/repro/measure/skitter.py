@@ -1,0 +1,160 @@
+"""Skitter-style measurement: a union of traceroute campaigns.
+
+CAIDA's Skitter ran on ~20 monitors worldwide, each sending hop-limited
+probes to a large destination list; the dataset is the union of the
+observed forward paths, at *interface* granularity.  This simulator
+reproduces that process over the ground-truth topology:
+
+* monitors are routers in distinct ASes spread across the world;
+* each monitor explores its own shortest-path tree (per-source tree
+  bias, as in the real data);
+* every intermediate hop reports its inbound interface; the destination
+  hop reports the probed address itself;
+* non-responding routers (a per-router property) leave gaps, and no
+  adjacency is recorded across a gap — the false-link anomalies real
+  processing discards never enter the inventory;
+* the probed destination addresses are recorded so the pipeline can
+  discard them, as the paper does (destinations are mostly end hosts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SkitterConfig
+from repro.errors import MeasurementError
+from repro.measure.inventory import RawInventory
+from repro.net.topology import Topology
+from repro.routing.shortest_path import largest_component, shortest_path_trees
+
+
+@dataclass(frozen=True)
+class SkitterCampaign:
+    """A configured Skitter run: monitors plus per-monitor destinations.
+
+    Attributes:
+        monitors: router ids acting as probing sources.
+        destination_lists: per-monitor router-id destination arrays.
+    """
+
+    monitors: list[int]
+    destination_lists: list[np.ndarray]
+
+
+def choose_monitors(
+    topology: Topology, n_monitors: int, rng: np.random.Generator
+) -> list[int]:
+    """Pick monitor routers: distinct ASes, inside the giant component.
+
+    Raises:
+        MeasurementError: if the topology cannot host that many monitors.
+    """
+    component = set(largest_component(topology.routing_graph()).tolist())
+    candidates = [r.router_id for r in topology.routers if r.router_id in component]
+    if len(candidates) < n_monitors:
+        raise MeasurementError(
+            f"cannot place {n_monitors} monitors in a component of "
+            f"{len(candidates)} routers"
+        )
+    order = rng.permutation(len(candidates))
+    monitors: list[int] = []
+    seen_asns: set[int] = set()
+    for idx in order:
+        router = topology.routers[candidates[int(idx)]]
+        if router.asn in seen_asns:
+            continue
+        seen_asns.add(router.asn)
+        monitors.append(router.router_id)
+        if len(monitors) == n_monitors:
+            return monitors
+    # Fewer ASes than monitors: relax the distinct-AS constraint.
+    for idx in order:
+        rid = candidates[int(idx)]
+        if rid not in monitors:
+            monitors.append(rid)
+            if len(monitors) == n_monitors:
+                return monitors
+    raise MeasurementError("could not assemble the requested monitor set")
+
+
+def plan_campaign(
+    topology: Topology, config: SkitterConfig, rng: np.random.Generator
+) -> SkitterCampaign:
+    """Choose monitors and sample per-monitor destination lists.
+
+    Destinations are sampled uniformly over all routers (Skitter's lists
+    aim to cover the whole address space), independently per monitor.
+    """
+    monitors = choose_monitors(topology, config.n_monitors, rng)
+    n = topology.n_routers
+    count = min(config.destinations_per_monitor, n)
+    lists = [
+        rng.choice(n, size=count, replace=False) for _ in monitors
+    ]
+    return SkitterCampaign(monitors=monitors, destination_lists=lists)
+
+
+def run_skitter(
+    topology: Topology,
+    config: SkitterConfig,
+    rng: np.random.Generator,
+    campaign: SkitterCampaign | None = None,
+) -> RawInventory:
+    """Execute the campaign and return the interface-level inventory."""
+    if campaign is None:
+        campaign = plan_campaign(topology, config, rng)
+    responds = rng.random(topology.n_routers) < config.response_rate
+    for monitor in campaign.monitors:
+        responds[monitor] = True
+
+    inventory = RawInventory(kind="skitter")
+    graph = topology.routing_graph()
+    trees = shortest_path_trees(graph, campaign.monitors)
+    for tree, destinations in zip(trees, campaign.destination_lists):
+        for dest in destinations:
+            dest = int(dest)
+            inventory.destinations.add(topology.routers[dest].loopback)
+            if dest == tree.source or not tree.reachable(dest):
+                continue
+            path = tree.path_to(dest)[: config.max_hops + 1]
+            _record_path(topology, inventory, path, responds,
+                         reached_destination=(path[-1] == dest))
+    inventory.validate()
+    return inventory
+
+
+def _record_path(
+    topology: Topology,
+    inventory: RawInventory,
+    path: list[int],
+    responds: np.ndarray,
+    reached_destination: bool,
+) -> None:
+    """Record one probe's observations into the inventory.
+
+    ``path[0]`` is the monitor (never observed).  Each responding later
+    router contributes its inbound interface; the final router, when it
+    is the probed destination, answers with the probed (loopback)
+    address instead.  Links are recorded only between consecutively
+    responding hops.
+    """
+    previous_observed: int | None = None  # address of the previous hop
+    previous_router: int | None = None
+    for i in range(1, len(path)):
+        router = path[i]
+        if not responds[router]:
+            previous_observed = None
+            previous_router = None
+            continue
+        is_final_destination = reached_destination and i == len(path) - 1
+        if is_final_destination:
+            address = topology.routers[router].loopback
+        else:
+            address = topology.link_interface_toward(path[i - 1], router)
+        inventory.add_node(address)
+        if previous_observed is not None and previous_router == path[i - 1]:
+            inventory.add_link(previous_observed, address)
+        previous_observed = address
+        previous_router = router

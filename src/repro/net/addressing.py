@@ -1,0 +1,102 @@
+"""Per-AS address allocation.
+
+Each AS receives one or more CIDR blocks from a registry-style allocator
+carving the public unicast space; router loopbacks and link interfaces
+draw sequential host addresses from their AS's blocks.  The resulting
+prefix-to-AS map is what the RouteViews snapshot builder later announces,
+closing the loop for longest-prefix-match AS mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.net.ip import ADDRESS_BITS, Prefix
+
+#: First base handed out: 16.0.0.0, safely past 10/8 private space.
+_DEFAULT_POOL = Prefix.parse("16.0.0.0/4")
+
+
+@dataclass
+class AsBlock:
+    """One CIDR block owned by an AS, with a sequential host cursor."""
+
+    prefix: Prefix
+    next_offset: int = 1  # skip the network address
+
+    def remaining(self) -> int:
+        """Host addresses still available (one is reserved for broadcast)."""
+        return max(0, self.prefix.size - 1 - self.next_offset)
+
+    def take(self) -> int:
+        """Allocate the next host address.
+
+        Raises:
+            AllocationError: when the block is exhausted.
+        """
+        if self.remaining() <= 0:
+            raise AllocationError(f"block {self.prefix} exhausted")
+        address = self.prefix.base + self.next_offset
+        self.next_offset += 1
+        return address
+
+
+@dataclass
+class AddressPlan:
+    """Registry + per-AS allocator over a top-level address pool.
+
+    Attributes:
+        pool: the address space carved into AS blocks.
+        block_length: prefix length of each block handed to an AS.
+    """
+
+    pool: Prefix = _DEFAULT_POOL
+    block_length: int = 16
+    _next_block: int = 0
+    _blocks: dict[int, list[AsBlock]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.block_length <= self.pool.length or self.block_length > ADDRESS_BITS - 2:
+            raise AllocationError(
+                f"block_length {self.block_length} incompatible with pool {self.pool}"
+            )
+
+    @property
+    def block_count(self) -> int:
+        """Number of blocks the pool can supply in total."""
+        return 1 << (self.block_length - self.pool.length)
+
+    def grant_block(self, asn: int) -> Prefix:
+        """Grant the AS a fresh block from the pool.
+
+        Raises:
+            AllocationError: when the pool is exhausted.
+        """
+        if self._next_block >= self.block_count:
+            raise AllocationError("address pool exhausted")
+        step = 1 << (ADDRESS_BITS - self.block_length)
+        prefix = Prefix(self.pool.base + self._next_block * step, self.block_length)
+        self._next_block += 1
+        self._blocks.setdefault(asn, []).append(AsBlock(prefix))
+        return prefix
+
+    def allocate(self, asn: int) -> int:
+        """Allocate one host address for the AS, granting blocks as needed."""
+        blocks = self._blocks.setdefault(asn, [])
+        for block in blocks:
+            if block.remaining() > 0:
+                return block.take()
+        self.grant_block(asn)
+        return self._blocks[asn][-1].take()
+
+    def prefixes_of(self, asn: int) -> list[Prefix]:
+        """All blocks granted to the AS so far."""
+        return [b.prefix for b in self._blocks.get(asn, [])]
+
+    def prefix_origin_pairs(self) -> list[tuple[Prefix, int]]:
+        """Every ``(prefix, origin ASN)`` pair — the registry's view."""
+        pairs: list[tuple[Prefix, int]] = []
+        for asn, blocks in self._blocks.items():
+            pairs.extend((b.prefix, asn) for b in blocks)
+        return pairs

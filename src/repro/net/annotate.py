@@ -1,0 +1,124 @@
+"""Link annotations: latency and bandwidth from geography.
+
+The paper's conclusion argues that geographically placed topologies make
+two labelling problems straightforward: link *latency* follows from
+great-circle length (propagation in fibre at ~0.6 c plus per-hop
+equipment delay), and link *bandwidth* can be assigned from structural
+role (backbone long-haul vs metro vs access).  This module implements
+both annotations for ground-truth topologies and generated graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.net.topology import Topology
+
+#: Propagation delay in milliseconds per mile of fibre (~0.6 c), plus a
+#: typical per-hop forwarding/serialisation constant.
+PROPAGATION_MS_PER_MILE = 0.0087
+PER_HOP_MS = 0.05
+
+#: Bandwidth classes in Mbit/s, era-appropriate (OC-48 / OC-12 / OC-3 /
+#: T3-ish metro and access tiers).
+BANDWIDTH_CLASSES_MBPS = (2488.0, 622.0, 155.0, 45.0)
+
+
+@dataclass(frozen=True)
+class LinkAnnotations:
+    """Per-link latency and bandwidth, parallel to ``topology.links``.
+
+    Attributes:
+        latencies_ms: one-way propagation + forwarding latency.
+        bandwidths_mbps: assigned capacity class.
+    """
+
+    latencies_ms: np.ndarray
+    bandwidths_mbps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.latencies_ms.shape != self.bandwidths_mbps.shape:
+            raise TopologyError("annotation arrays must be parallel")
+
+
+def annotate_links(topology: Topology) -> LinkAnnotations:
+    """Compute latency and bandwidth annotations for every link.
+
+    Latency is deterministic from length.  Bandwidth is structural:
+
+    * interdomain links and links between tier-1/tier-2 ASes' routers
+      get backbone classes scaled by length (long haul is provisioned
+      fatter);
+    * intradomain metro links (short) get access/metro classes.
+
+    Raises:
+        TopologyError: for an empty topology.
+    """
+    if topology.n_links == 0:
+        raise TopologyError("cannot annotate a topology with no links")
+    lengths = topology.link_lengths()
+    latencies = lengths * PROPAGATION_MS_PER_MILE + PER_HOP_MS
+
+    bandwidths = np.empty(topology.n_links)
+    for i, link in enumerate(topology.links):
+        tier_a = topology.asns[topology.routers[link.router_a].asn].tier
+        tier_b = topology.asns[topology.routers[link.router_b].asn].tier
+        backbone = min(tier_a, tier_b) == 1 or link.length_miles > 500.0
+        regional = min(tier_a, tier_b) == 2 or link.interdomain
+        if backbone:
+            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[0]
+        elif regional:
+            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[1]
+        elif link.length_miles > 50.0:
+            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[2]
+        else:
+            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[3]
+    return LinkAnnotations(latencies_ms=latencies, bandwidths_mbps=bandwidths)
+
+
+def path_latency_ms(
+    topology: Topology,
+    annotations: LinkAnnotations,
+    router_path: list[int],
+) -> float:
+    """One-way latency of a router path under the annotations.
+
+    Raises:
+        TopologyError: if consecutive routers are not adjacent.
+    """
+    total = 0.0
+    for a, b in zip(router_path, router_path[1:]):
+        link = topology.link_between(a, b)
+        total += float(annotations.latencies_ms[link.link_id])
+    return total
+
+
+def latency_matrix_sample(
+    topology: Topology,
+    annotations: LinkAnnotations,
+    sources: list[int],
+    targets: list[int],
+) -> np.ndarray:
+    """Latency between sampled router pairs along shortest paths.
+
+    Returns:
+        Array of shape ``(len(sources), len(targets))`` in milliseconds;
+        ``inf`` marks unreachable pairs.
+    """
+    from repro.routing.shortest_path import shortest_path_trees
+
+    graph = topology.routing_graph()
+    trees = shortest_path_trees(graph, list(sources))
+    out = np.full((len(sources), len(targets)), np.inf)
+    for i, tree in enumerate(trees):
+        for j, target in enumerate(targets):
+            if target == tree.source:
+                out[i, j] = 0.0
+            elif tree.reachable(target):
+                out[i, j] = path_latency_ms(
+                    topology, annotations, tree.path_to(target)
+                )
+    return out

@@ -1,0 +1,707 @@
+"""Generation of the planted ground-truth Internet.
+
+This module synthesises the *system under measurement*: a router-level
+Internet whose geographic statistics are planted to match the phenomena
+the paper reports, so that the full pipeline (measure -> geolocate ->
+AS-map -> analyse) can be validated by recovering them.
+
+The planted properties, and where they are injected:
+
+* **Superlinear router density** (Section IV): city router counts are
+  drawn multinomially with weights ``zone_budget * population ** alpha``
+  where ``alpha`` is the per-zone exponent from the scenario config.
+* **Distance-dependent link formation** (Section V): extra intra-AS
+  links are sampled with probability proportional to ``exp(-d / L)``
+  using the per-zone Waxman scale ``L``; a configured fraction is drawn
+  distance-independently, producing the flat large-``d`` regime.
+* **AS size/dispersal structure** (Section VI): AS router shares are
+  Zipf; PoP counts grow sublinearly with size; small ASes disperse
+  locally with a heavy-tailed radius (or, rarely, globally), while every
+  AS beyond a size threshold is globally dispersed.
+* **Inter vs intra domain link lengths**: interdomain links join an AS's
+  PoP to its neighbour's *nearest* PoP, which is typically in another
+  city, making them systematically longer than intra-PoP/metro links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import GroundTruthConfig
+from repro.errors import ConfigError, TopologyError
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_miles
+from repro.net.addressing import AddressPlan
+from repro.net.elements import AutonomousSystem
+from repro.net.hostnames import make_hostname
+from repro.net.ip import Prefix
+from repro.net.topology import Topology
+from repro.population.worldmodel import World
+
+_NAME_STEMS = (
+    "corenet", "globix", "transglobe", "netspan", "interlink", "backhaul",
+    "fibernet", "pacrim", "atlantix", "eurolink", "quicknet", "telegrid",
+    "omnipop", "densewave", "metrolight", "skyroute", "westlink", "eastnet",
+    "polarnet", "equinet", "longhaul", "shortpath", "deeppeer", "fastlane",
+)
+
+#: Private 10/8 pool used for the occasional misconfigured interface.
+_PRIVATE_POOL = Prefix.parse("10.0.0.0/8")
+
+
+@dataclass
+class _AsSpec:
+    """Working state for one AS during generation."""
+
+    asn: int
+    name: str
+    tier: int
+    target_size: int
+    adherence: float
+    home_city: int
+    pop_cities: list[int] = field(default_factory=list)
+    router_ids: list[int] = field(default_factory=list)
+    routers_by_city: dict[int, list[int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """What was planted, for validation against what analyses recover.
+
+    Attributes:
+        zone_router_budgets: routers allotted per zone name.
+        planted_alpha: per-zone density exponents.
+        planted_waxman_l: per-zone Waxman scales in miles.
+        n_routers, n_links, n_interfaces: final topology sizes.
+        interdomain_fraction: realised fraction of interdomain links.
+        as_sizes: realised router count per ASN.
+    """
+
+    zone_router_budgets: dict[str, int]
+    planted_alpha: dict[str, float]
+    planted_waxman_l: dict[str, float]
+    n_routers: int
+    n_links: int
+    n_interfaces: int
+    interdomain_fraction: float
+    as_sizes: dict[int, int]
+
+
+class GroundTruthGenerator:
+    """Builds a :class:`~repro.net.topology.Topology` from a world model."""
+
+    def __init__(self, world: World, config: GroundTruthConfig,
+                 rng: np.random.Generator) -> None:
+        self.world = world
+        self.config = config
+        self.rng = rng
+        self.topology = Topology()
+        self.plan = AddressPlan()
+        self._private_next = 1
+        # City arrays.
+        self._city_lat = np.array([c.location.lat for c in world.cities])
+        self._city_lon = np.array([c.location.lon for c in world.cities])
+        self._city_pop = np.array([c.population for c in world.cities])
+        self._city_zone = np.array(
+            [self._zone_index(c.zone) for c in world.cities], dtype=np.intp
+        )
+        self._zone_names = [z.name for z in world.zones]
+        self._router_zone: list[int] = []
+        self.report: GenerationReport | None = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _zone_index(self, name: str) -> int:
+        for i, zone in enumerate(self.world.zones):
+            if zone.name == name:
+                return i
+        raise ConfigError(f"city references unknown zone {name!r}")
+
+    def _alpha_for_zone(self, zone_name: str) -> float:
+        return self.config.alpha.get(zone_name, 1.3)
+
+    def _waxman_l_for_zone(self, zone_name: str) -> float:
+        return self.config.waxman_l_miles.get(zone_name, 150.0)
+
+    def _allocate_address(self, asn: int) -> int:
+        """Allocate an interface address; rarely a private one.
+
+        A small fraction of real interfaces answer probes with RFC 1918
+        addresses (misconfiguration); the geolocation stage must discard
+        them, so we plant a few.
+        """
+        if self.rng.random() < 0.005:
+            address = _PRIVATE_POOL.base + self._private_next
+            self._private_next += 1
+            return address
+        return self.plan.allocate(asn)
+
+    # -- stage 1: budgets and city router counts ----------------------------
+
+    def _zone_budgets(self) -> np.ndarray:
+        weights = np.array(
+            [z.online_millions * 1e6 * z.interfaces_per_online
+             for z in self.world.zones]
+        )
+        shares = weights / weights.sum()
+        budgets = np.floor(
+            shares * self.config.total_routers * (1.0 - self.config.rural_router_fraction)
+        ).astype(int)
+        budgets = np.maximum(budgets, 2)
+        return budgets
+
+    def _city_attractiveness(self) -> np.ndarray:
+        """Per-city router attraction: zone budget x population^alpha.
+
+        A small uniform share (1%) of each zone's budget spreads across
+        all of its cities regardless of size: carriers keep minimal
+        presence in small towns, which is what gives real datasets their
+        very large distinct-location counts.
+        """
+        attraction = np.zeros(len(self.world.cities))
+        budgets = self._zone_budgets()
+        for zi, zone in enumerate(self.world.zones):
+            mask = self._city_zone == zi
+            if not np.any(mask):
+                continue
+            alpha = self._alpha_for_zone(zone.name)
+            weighted = self._city_pop[mask] ** alpha
+            share = budgets[zi] * weighted / weighted.sum()
+            floor = 0.01 * budgets[zi] / int(mask.sum())
+            attraction[mask] = 0.99 * share + floor
+        return attraction
+
+    def _city_router_counts(self, attraction: np.ndarray) -> np.ndarray:
+        """Multinomial split of each zone's budget across its cities."""
+        counts = np.zeros(len(self.world.cities), dtype=int)
+        budgets = self._zone_budgets()
+        for zi in range(len(self.world.zones)):
+            mask = self._city_zone == zi
+            weights = attraction[mask]
+            if weights.sum() <= 0:
+                continue
+            draw = self.rng.multinomial(int(budgets[zi]), weights / weights.sum())
+            counts[np.flatnonzero(mask)] = draw
+        return counts
+
+    # -- stage 2: AS specifications ------------------------------------------
+
+    def _as_sizes(self) -> np.ndarray:
+        ranks = np.arange(1, self.config.n_ases + 1, dtype=float)
+        shares = 1.0 / ranks**self.config.as_size_exponent
+        shares /= shares.sum()
+        sizes = np.maximum(
+            np.round(shares * self.config.total_routers).astype(int), 1
+        )
+        return sizes
+
+    def _make_as_specs(self, attraction: np.ndarray) -> list[_AsSpec]:
+        cfg = self.config
+        sizes = self._as_sizes()
+        budgets = self._zone_budgets().astype(float)
+        zone_probs = budgets / budgets.sum()
+        specs: list[_AsSpec] = []
+        for rank in range(cfg.n_ases):
+            asn = 100 + rank
+            tier = 1 if rank < cfg.tier1_count else (
+                2 if rank < cfg.tier1_count + cfg.tier2_count else 3
+            )
+            stem = _NAME_STEMS[rank % len(_NAME_STEMS)]
+            name = f"{stem}{asn}"
+            zone = int(self.rng.choice(len(self.world.zones), p=zone_probs))
+            zone_cities = np.flatnonzero(self._city_zone == zone)
+            weights = attraction[zone_cities]
+            if weights.sum() <= 0:
+                weights = np.ones(zone_cities.size)
+            home = int(self.rng.choice(zone_cities, p=weights / weights.sum()))
+            # Naming discipline: most ISPs are strict, a minority sloppy,
+            # and a few embed no location at all — those are the ASes
+            # whose hundreds of interfaces geolocate to a couple of
+            # whois-HQ points (the low line in the paper's Figure 8a).
+            roll = self.rng.random()
+            if roll < 0.8:
+                adherence = float(self.rng.uniform(0.82, 0.98))
+            elif roll < 0.94:
+                adherence = float(self.rng.uniform(0.1, 0.6))
+            else:
+                adherence = 0.0
+            specs.append(
+                _AsSpec(
+                    asn=asn,
+                    name=name,
+                    tier=tier,
+                    target_size=int(sizes[rank]),
+                    adherence=adherence,
+                    home_city=home,
+                )
+            )
+        return specs
+
+    def _choose_pop_cities(self, spec: _AsSpec, attraction: np.ndarray) -> None:
+        """Pick the cities where this AS is present (its PoPs)."""
+        cfg = self.config
+        n_cities = len(self.world.cities)
+        raw = spec.target_size**0.72 * float(self.rng.lognormal(0.0, 0.4))
+        n_pops = int(
+            np.clip(
+                round(raw),
+                1,
+                min(max(1, int(np.ceil(spec.target_size * cfg.max_pops_fraction))),
+                    n_cities),
+            )
+        )
+        globally = (
+            spec.target_size > cfg.global_dispersal_threshold
+            or spec.tier == 1
+            or self.rng.random() < cfg.small_global_probability
+        )
+        if globally:
+            candidates = np.arange(n_cities)
+        else:
+            home_lat = self._city_lat[spec.home_city]
+            home_lon = self._city_lon[spec.home_city]
+            dist = haversine_miles(home_lat, home_lon, self._city_lat, self._city_lon)
+            radius = float(self.rng.lognormal(np.log(300.0), 1.1))
+            candidates = np.flatnonzero(dist <= radius)
+            if candidates.size < n_pops:
+                candidates = np.argsort(dist)[: max(n_pops, 4)]
+        weights = attraction[candidates] + 1e-9
+        n_pops = min(n_pops, candidates.size)
+        chosen = self.rng.choice(
+            candidates, size=n_pops, replace=False, p=weights / weights.sum()
+        )
+        pops = set(int(c) for c in chosen)
+        pops.add(spec.home_city)
+        # Global carriers keep a PoP on every continent (the paper's
+        # "maximally dispersed" regime above the size cutoff): include
+        # each zone's top city.
+        if globally and (
+            spec.tier == 1 or spec.target_size > cfg.global_dispersal_threshold
+        ):
+            for zi in range(len(self.world.zones)):
+                zone_cities = np.flatnonzero(self._city_zone == zi)
+                if zone_cities.size:
+                    top = zone_cities[int(np.argmax(attraction[zone_cities]))]
+                    pops.add(int(top))
+        spec.pop_cities = sorted(pops)
+
+    # -- stage 3: routers ----------------------------------------------------
+
+    def _create_routers(
+        self, specs: list[_AsSpec], city_counts: np.ndarray
+    ) -> None:
+        """Split each city's router count among the ASes present there."""
+        cfg = self.config
+        presence: dict[int, list[int]] = {c: [] for c in range(len(self.world.cities))}
+        for si, spec in enumerate(specs):
+            for city in spec.pop_cities:
+                presence[city].append(si)
+        # Zone incumbents (largest AS homed in the zone) absorb cities no
+        # AS chose, so every placed router has an owner.
+        incumbents = self._zone_incumbents(specs)
+        for city in range(len(self.world.cities)):
+            count = int(city_counts[city])
+            if count == 0:
+                continue
+            owners = presence[city]
+            if not owners:
+                owners = [incumbents[int(self._city_zone[city])]]
+            weights = np.array([specs[si].target_size for si in owners], dtype=float)
+            split = self.rng.multinomial(count, weights / weights.sum())
+            for si, n_here in zip(owners, split):
+                if n_here == 0:
+                    continue
+                spec = specs[si]
+                self._place_routers_in_city(spec, city, int(n_here))
+        # Guarantee every AS exists in the topology with at least one router.
+        for spec in specs:
+            if not spec.router_ids:
+                self._place_routers_in_city(spec, spec.home_city, 1)
+
+    def _zone_incumbents(self, specs: list[_AsSpec]) -> dict[int, int]:
+        incumbents: dict[int, int] = {}
+        for si, spec in enumerate(specs):
+            zone = int(self._city_zone[spec.home_city])
+            best = incumbents.get(zone)
+            if best is None or specs[best].target_size < spec.target_size:
+                incumbents[zone] = si
+        # Fall back to the globally largest AS for zones without a homed AS.
+        largest = max(range(len(specs)), key=lambda i: specs[i].target_size)
+        for zone in range(len(self.world.zones)):
+            incumbents.setdefault(zone, largest)
+        return incumbents
+
+    def _place_routers_in_city(self, spec: _AsSpec, city: int, count: int) -> None:
+        jitter = self.config.pop_jitter_deg
+        code = self.world.cities[city].code
+        for _ in range(count):
+            # Heavy-tailed metro sprawl: most routers sit near the city
+            # core, a minority in exurban facilities.  (A Gaussian kernel
+            # leaves a scale gap between city spacing and city size that
+            # depresses the box-counting dimension far below the ~1.5 the
+            # paper confirms for real router placement.)
+            radius = jitter * float(self.rng.pareto(1.2) + 0.3)
+            radius = min(radius, 1.5)
+            angle = float(self.rng.uniform(0.0, 2.0 * np.pi))
+            lat = float(
+                np.clip(
+                    self._city_lat[city] + radius * np.sin(angle), -89.9, 89.9
+                )
+            )
+            lon = float(
+                np.clip(
+                    self._city_lon[city] + radius * np.cos(angle), -179.9, 179.9
+                )
+            )
+            router = self.topology.add_router(
+                asn=spec.asn,
+                location=GeoPoint(lat, lon),
+                city_code=code,
+                loopback=self._allocate_address(spec.asn),
+            )
+            spec.router_ids.append(router.router_id)
+            spec.routers_by_city.setdefault(city, []).append(router.router_id)
+            self._router_zone.append(int(self._city_zone[city]))
+
+    def _create_rural_routers(self, specs: list[_AsSpec]) -> None:
+        """Place the rural fraction at population points, owned by incumbents."""
+        n_rural = int(self.config.total_routers * self.config.rural_router_fraction)
+        if n_rural <= 0:
+            return
+        field_ = self.world.field
+        weights = field_.weights / field_.weights.sum()
+        idx = self.rng.choice(field_.lats.size, size=n_rural, p=weights)
+        incumbents = self._zone_incumbents(specs)
+        for point in idx:
+            zone = int(field_.zone_index[point])
+            spec = specs[incumbents[zone]]
+            lat = float(np.clip(field_.lats[point] + self.rng.normal(0, 0.05), -89.9, 89.9))
+            lon = float(np.clip(field_.lons[point] + self.rng.normal(0, 0.05), -179.9, 179.9))
+            router = self.topology.add_router(
+                asn=spec.asn,
+                location=GeoPoint(lat, lon),
+                city_code="",
+                loopback=self._allocate_address(spec.asn),
+            )
+            spec.router_ids.append(router.router_id)
+            spec.routers_by_city.setdefault(-1 - int(point), []).append(
+                router.router_id
+            )
+            self._router_zone.append(zone)
+
+    # -- stage 4: links --------------------------------------------------------
+
+    def _add_link_checked(self, ra: int, rb: int) -> bool:
+        """Add a link with fresh interface addresses; False on duplicates."""
+        if ra == rb or self.topology.has_link(ra, rb):
+            return False
+        asn_a = self.topology.routers[ra].asn
+        asn_b = self.topology.routers[rb].asn
+        self.topology.add_link(
+            ra, rb, self._allocate_address(asn_a), self._allocate_address(asn_b)
+        )
+        return True
+
+    def _intra_pop_links(self, spec: _AsSpec) -> None:
+        for routers in spec.routers_by_city.values():
+            for i in range(1, len(routers)):
+                self._add_link_checked(routers[i - 1], routers[i])
+            # A few redundant metro links in big PoPs.
+            extra = len(routers) // 4
+            for _ in range(extra):
+                pair = self.rng.choice(len(routers), size=2, replace=False)
+                self._add_link_checked(routers[int(pair[0])], routers[int(pair[1])])
+
+    def _backbone_links(self, spec: _AsSpec) -> None:
+        """Greedy nearest-neighbour tree over the AS's PoP gateways."""
+        gateways = [routers[0] for routers in spec.routers_by_city.values()]
+        if len(gateways) <= 1:
+            return
+        lats = np.array([self.topology.routers[g].location.lat for g in gateways])
+        lons = np.array([self.topology.routers[g].location.lon for g in gateways])
+        connected = [0]
+        remaining = list(range(1, len(gateways)))
+        for _ in range(len(remaining)):
+            best_pair: tuple[int, int] | None = None
+            best_dist = np.inf
+            sub = np.array(connected)
+            for r in remaining:
+                dists = haversine_miles(lats[r], lons[r], lats[sub], lons[sub])
+                j = int(np.argmin(dists))
+                if dists[j] < best_dist:
+                    best_dist = float(dists[j])
+                    best_pair = (r, int(sub[j]))
+            if best_pair is None:
+                break
+            r, c = best_pair
+            self._add_link_checked(gateways[r], gateways[c])
+            connected.append(r)
+            remaining.remove(r)
+
+    def _waxman_extra_links(self, spec: _AsSpec, n_extra: int) -> None:
+        """Distance-sampled (or occasionally long-range) intra-AS links."""
+        members = np.array(spec.router_ids)
+        if members.size < 3 or n_extra <= 0:
+            return
+        lats = np.array([self.topology.routers[r].location.lat for r in members])
+        lons = np.array([self.topology.routers[r].location.lon for r in members])
+        zones = [self._zone_names[self._router_zone[r]] for r in members]
+        added = 0
+        attempts = 0
+        while added < n_extra and attempts < n_extra * 8:
+            attempts += 1
+            ui = int(self.rng.integers(members.size))
+            if self.rng.random() < self.config.long_range_fraction:
+                vi = int(self.rng.integers(members.size))
+            else:
+                scale = self._waxman_l_for_zone(zones[ui])
+                dists = haversine_miles(lats[ui], lons[ui], lats, lons)
+                weights = np.exp(-dists / scale)
+                weights[ui] = 0.0
+                total = weights.sum()
+                if total <= 0:
+                    continue
+                vi = int(self.rng.choice(members.size, p=weights / total))
+            if self._add_link_checked(int(members[ui]), int(members[vi])):
+                added += 1
+
+    def _intra_as_links(self, specs: list[_AsSpec]) -> None:
+        cfg = self.config
+        target_total = cfg.mean_links_per_router * self.topology.n_routers
+        target_inter = cfg.interdomain_link_fraction * target_total
+        for spec in specs:
+            self._intra_pop_links(spec)
+            self._backbone_links(spec)
+        structural = self.topology.n_links
+        extra_budget = max(0, int(target_total - target_inter - structural))
+        sizes = np.array([max(len(s.router_ids), 1) for s in specs], dtype=float)
+        weights = sizes**1.1
+        allocation = self.rng.multinomial(extra_budget, weights / weights.sum())
+        for spec, n_extra in zip(specs, allocation):
+            self._waxman_extra_links(spec, int(n_extra))
+
+    # -- stage 5: interdomain -----------------------------------------------
+
+    def _as_graph_edges(self, specs: list[_AsSpec]) -> list[tuple[int, int]]:
+        edges: set[tuple[int, int]] = set()
+
+        def add(a: int, b: int) -> None:
+            if a != b:
+                edges.add((min(a, b), max(a, b)))
+
+        tier1 = [i for i, s in enumerate(specs) if s.tier == 1]
+        tier12 = [i for i, s in enumerate(specs) if s.tier in (1, 2)]
+        # Backbone: deterministic chain for connectivity + dense mesh.
+        for i in range(1, len(tier1)):
+            add(tier1[i - 1], tier1[i])
+        for i in tier1:
+            for j in tier1:
+                if i < j and self.rng.random() < 0.8:
+                    add(i, j)
+        sizes = np.array([s.target_size for s in specs], dtype=float)
+        for si, spec in enumerate(specs):
+            if spec.tier == 1:
+                continue
+            providers = tier1 if spec.tier == 2 else tier12
+            candidates = [p for p in providers if p != si]
+            home_lat = self._city_lat[spec.home_city]
+            home_lon = self._city_lon[spec.home_city]
+            prov_lat = self._city_lat[[specs[p].home_city for p in candidates]]
+            prov_lon = self._city_lon[[specs[p].home_city for p in candidates]]
+            dist = haversine_miles(home_lat, home_lon, prov_lat, prov_lon)
+            weights = sizes[candidates] / (1.0 + dist / 1000.0)
+            weights = weights / weights.sum()
+            n_providers = 1 + int(self.rng.random() < 0.45)
+            n_providers = min(n_providers, len(candidates))
+            chosen = self.rng.choice(
+                len(candidates), size=n_providers, replace=False, p=weights
+            )
+            for c in chosen:
+                add(si, candidates[int(c)])
+        # Tier-2 peering, geographically biased.
+        tier2 = [i for i, s in enumerate(specs) if s.tier == 2]
+        n_peerings = len(tier2)
+        for _ in range(n_peerings):
+            if len(tier2) < 2:
+                break
+            a, b = self.rng.choice(len(tier2), size=2, replace=False)
+            add(tier2[int(a)], tier2[int(b)])
+        return sorted(edges)
+
+    def _realize_interdomain(self, specs: list[_AsSpec],
+                             edges: list[tuple[int, int]]) -> None:
+        cfg = self.config
+        target_total = cfg.mean_links_per_router * self.topology.n_routers
+        budget = max(len(edges), int(cfg.interdomain_link_fraction * target_total))
+        # Every AS edge gets one physical link; extras go to repeat draws.
+        queue = list(edges)
+        extra = budget - len(edges)
+        if extra > 0 and edges:
+            picks = self.rng.integers(0, len(edges), size=extra)
+            queue.extend(edges[int(p)] for p in picks)
+        for a, b in queue:
+            self._physical_interdomain_link(specs[a], specs[b])
+
+    def _physical_interdomain_link(self, x: _AsSpec, y: _AsSpec) -> None:
+        """Join a random PoP of x to y's nearest PoP (typical peering shape)."""
+        x_cities = [c for c in x.routers_by_city if c >= 0]
+        y_cities = [c for c in y.routers_by_city if c >= 0]
+        if not x_cities or not y_cities:
+            x_all = x.router_ids
+            y_all = y.router_ids
+            self._add_link_checked(
+                int(x_all[int(self.rng.integers(len(x_all)))]),
+                int(y_all[int(self.rng.integers(len(y_all)))]),
+            )
+            return
+        weights = np.array([len(x.routers_by_city[c]) for c in x_cities], dtype=float)
+        cx = x_cities[int(self.rng.choice(len(x_cities), p=weights / weights.sum()))]
+        y_lat = self._city_lat[y_cities]
+        y_lon = self._city_lon[y_cities]
+        dists = haversine_miles(
+            self._city_lat[cx], self._city_lon[cx], y_lat, y_lon
+        )
+        cy = y_cities[int(np.argmin(dists))]
+        rx = x.routers_by_city[cx][int(self.rng.integers(len(x.routers_by_city[cx])))]
+        ry = y.routers_by_city[cy][int(self.rng.integers(len(y.routers_by_city[cy])))]
+        self._add_link_checked(rx, ry)
+
+    # -- stage 6: rural attachment and hostnames --------------------------------
+
+    def _attach_isolated(self, specs: list[_AsSpec]) -> None:
+        """Connect any degree-0 router to its AS's nearest other router."""
+        for spec in specs:
+            members = spec.router_ids
+            if len(members) < 2:
+                continue
+            lats = np.array(
+                [self.topology.routers[r].location.lat for r in members]
+            )
+            lons = np.array(
+                [self.topology.routers[r].location.lon for r in members]
+            )
+            for i, rid in enumerate(members):
+                if self.topology.degree(rid) > 0:
+                    continue
+                dists = haversine_miles(lats[i], lons[i], lats, lons)
+                dists[i] = np.inf
+                order = np.argsort(dists)
+                for j in order[:5]:
+                    if self._add_link_checked(rid, members[int(j)]):
+                        break
+
+    def _connect_as_components(self, specs: list[_AsSpec]) -> None:
+        """Ensure each AS's members form one connected component."""
+        for spec in specs:
+            members = spec.router_ids
+            if len(members) < 2:
+                continue
+            member_set = set(members)
+            seen: set[int] = set()
+            components: list[list[int]] = []
+            for rid in members:
+                if rid in seen:
+                    continue
+                stack = [rid]
+                comp = []
+                seen.add(rid)
+                while stack:
+                    cur = stack.pop()
+                    comp.append(cur)
+                    for nb in self.topology.neighbors(cur):
+                        if nb in member_set and nb not in seen:
+                            seen.add(nb)
+                            stack.append(nb)
+                components.append(comp)
+            for i in range(1, len(components)):
+                self._add_link_checked(components[0][0], components[i][0])
+
+    def _assign_hostnames(self, specs: list[_AsSpec]) -> None:
+        by_asn = {spec.asn: spec for spec in specs}
+        # Naming discipline is a per-router property: an ISP either names
+        # a router with its location code or it does not, consistently
+        # across that router's interfaces.  (Per-interface draws would
+        # make Mercator's majority-location vote tie far more often than
+        # the paper's observed 2.5-2.9%.)
+        embed_by_router: dict[int, bool] = {}
+        for address, iface in self.topology.interfaces.items():
+            router = self.topology.routers[iface.router_id]
+            spec = by_asn[router.asn]
+            asys = self.topology.asns[router.asn]
+            embed = embed_by_router.get(router.router_id)
+            if embed is None:
+                embed = bool(self.rng.random() < spec.adherence)
+                embed_by_router[router.router_id] = embed
+            hostname = make_hostname(
+                router_id=router.router_id,
+                city_code=router.city_code,
+                domain=asys.domain,
+                rng=self.rng,
+                embed_location=embed,
+            )
+            self.topology.set_hostname(address, hostname)
+
+    # -- driver ------------------------------------------------------------------
+
+    def generate(self) -> Topology:
+        """Run all generation stages; returns the validated topology."""
+        attraction = self._city_attractiveness()
+        city_counts = self._city_router_counts(attraction)
+        specs = self._make_as_specs(attraction)
+        for spec in specs:
+            self._choose_pop_cities(spec, attraction)
+        for spec in specs:
+            home = self.world.cities[spec.home_city]
+            self.topology.add_as(
+                AutonomousSystem(
+                    asn=spec.asn,
+                    name=spec.name,
+                    headquarters=home.location,
+                    hostname_adherence=spec.adherence,
+                    tier=spec.tier,
+                )
+            )
+        self._create_routers(specs, city_counts)
+        self._create_rural_routers(specs)
+        self._intra_as_links(specs)
+        edges = self._as_graph_edges(specs)
+        self._realize_interdomain(specs, edges)
+        self._attach_isolated(specs)
+        self._connect_as_components(specs)
+        self._assign_hostnames(specs)
+        self.topology.validate()
+        if self.topology.n_links == 0:
+            raise TopologyError("generation produced no links")
+        inter = sum(1 for l in self.topology.links if l.interdomain)
+        self.report = GenerationReport(
+            zone_router_budgets={
+                z.name: int(b)
+                for z, b in zip(self.world.zones, self._zone_budgets())
+            },
+            planted_alpha=dict(self.config.alpha),
+            planted_waxman_l=dict(self.config.waxman_l_miles),
+            n_routers=self.topology.n_routers,
+            n_links=self.topology.n_links,
+            n_interfaces=self.topology.n_interfaces,
+            interdomain_fraction=inter / self.topology.n_links,
+            as_sizes={
+                spec.asn: len(spec.router_ids) for spec in specs
+            },
+        )
+        return self.topology
+
+
+def generate_ground_truth(
+    world: World, config: GroundTruthConfig, rng: np.random.Generator
+) -> tuple[Topology, AddressPlan, GenerationReport]:
+    """Convenience wrapper: generate and return (topology, plan, report).
+
+    The address plan is needed downstream to synthesise the BGP snapshot
+    (the registry's prefix grants are what get announced).
+    """
+    generator = GroundTruthGenerator(world, config, rng)
+    topology = generator.generate()
+    assert generator.report is not None
+    return topology, generator.plan, generator.report

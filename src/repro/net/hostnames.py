@@ -1,0 +1,79 @@
+"""ISP router-naming conventions.
+
+The primary technique of IxMapper-style geolocation is *hostname based
+mapping*: ISPs name routers with embedded city or airport codes, e.g.
+``0.so-5-2-0.XL1.NYC8.ALTER.NET`` maps to New York City.  This module
+generates such hostnames for ground-truth routers (respecting each AS's
+naming discipline) and parses codes back out of them — the other half of
+the geolocator.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import GeolocationError
+
+#: Interface-type tokens that appear in real ISP hostnames.
+_IFACE_TOKENS = ("so", "ge", "fe", "pos", "atm", "srp", "xe")
+#: Role tokens for the router tier inside a PoP.
+_ROLE_TOKENS = ("cr", "br", "ar", "xl", "gw")
+
+_HOSTNAME_RE = re.compile(
+    r"^(?P<port>[0-9]+)\.(?P<iface>[a-z]+-[0-9]+-[0-9]+-[0-9]+)\."
+    r"(?P<role>[A-Z]+[0-9]+)\.(?P<loc>[A-Z0-9]*)\.?(?P<domain>[A-Za-z0-9.-]+)$"
+)
+
+
+def make_hostname(
+    router_id: int,
+    city_code: str,
+    domain: str,
+    rng: np.random.Generator,
+    embed_location: bool,
+) -> str:
+    """Generate a realistic router hostname.
+
+    Args:
+        router_id: used to derive stable role/unit numbers.
+        city_code: the city code to embed (may be empty).
+        domain: the AS's DNS domain.
+        rng: randomness for port/slot numbers.
+        embed_location: when False (ISP without a naming convention, or a
+            lapse in discipline), the location token is omitted.
+
+    Returns:
+        A hostname like ``0.so-5-2-0.CR1.NYC3.example.net``; without a
+        location token the ``loc`` field is empty
+        (``0.so-5-2-0.CR1..example.net``).
+    """
+    port = int(rng.integers(0, 4))
+    iface = _IFACE_TOKENS[int(rng.integers(len(_IFACE_TOKENS)))]
+    slot = f"{iface}-{int(rng.integers(0, 8))}-{int(rng.integers(0, 4))}-{int(rng.integers(0, 4))}"
+    role = _ROLE_TOKENS[router_id % len(_ROLE_TOKENS)].upper()
+    unit = 1 + router_id % 9
+    loc = f"{city_code}{1 + (router_id // 7) % 9}" if (embed_location and city_code) else ""
+    return f"{port}.{slot}.{role}{unit}.{loc}.{domain}"
+
+
+def extract_city_code(hostname: str) -> str | None:
+    """Extract the embedded city code from a hostname, if any.
+
+    Returns:
+        The alphabetic city code (e.g. ``"NYC"``), or None when the
+        hostname carries no location token.
+
+    Raises:
+        GeolocationError: if the hostname does not follow the recognised
+            grammar at all.
+    """
+    match = _HOSTNAME_RE.match(hostname)
+    if match is None:
+        raise GeolocationError(f"unparseable hostname {hostname!r}")
+    loc = match.group("loc")
+    if not loc:
+        return None
+    code = loc.rstrip("0123456789")
+    return code or None

@@ -1,0 +1,166 @@
+"""IPv4 addresses and CIDR prefixes as plain integers.
+
+Addresses are 32-bit unsigned integers throughout the library; this is
+both faster and simpler than object-per-address when datasets carry
+hundreds of thousands of interfaces.  This module provides parsing,
+formatting, validation, and prefix arithmetic used by the address
+allocator and the BGP longest-prefix-match machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+#: Number of bits in an IPv4 address.
+ADDRESS_BITS = 32
+#: Exclusive upper bound of the IPv4 address space.
+ADDRESS_SPACE = 1 << ADDRESS_BITS
+
+# RFC 1918 private ranges, as (base, prefix_length).
+_PRIVATE_BLOCKS = (
+    (0x0A000000, 8),    # 10.0.0.0/8
+    (0xAC100000, 12),   # 172.16.0.0/12
+    (0xC0A80000, 16),   # 192.168.0.0/16
+)
+
+
+def check_address(address: int) -> int:
+    """Return ``address`` if it is a valid IPv4 integer, else raise.
+
+    Raises:
+        AddressError: if outside [0, 2^32).
+    """
+    if not isinstance(address, (int,)) or isinstance(address, bool):
+        raise AddressError(f"address must be an int, got {type(address).__name__}")
+    if address < 0 or address >= ADDRESS_SPACE:
+        raise AddressError(f"address {address!r} outside 32-bit space")
+    return address
+
+
+def format_address(address: int) -> str:
+    """Dotted-quad representation of an integer address."""
+    check_address(address)
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_address(text: str) -> int:
+    """Parse dotted-quad text into an integer address.
+
+    Raises:
+        AddressError: on malformed input.
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def is_private(address: int) -> bool:
+    """True for RFC 1918 private addresses.
+
+    The geolocation stage of the pipeline discards private addresses
+    "originating from misconfigured routers", as the paper does.
+    """
+    check_address(address)
+    for base, length in _PRIVATE_BLOCKS:
+        mask = prefix_mask(length)
+        if (address & mask) == base:
+            return True
+    return False
+
+
+def prefix_mask(length: int) -> int:
+    """Netmask integer for a prefix length.
+
+    Raises:
+        AddressError: if length outside [0, 32].
+    """
+    if length < 0 or length > ADDRESS_BITS:
+        raise AddressError(f"prefix length {length!r} outside [0, 32]")
+    if length == 0:
+        return 0
+    return ((1 << length) - 1) << (ADDRESS_BITS - length)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """A CIDR prefix ``base/length`` with a canonical (masked) base.
+
+    Attributes:
+        base: network base address (host bits must be zero).
+        length: prefix length in [0, 32].
+    """
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        check_address(self.base)
+        if self.length < 0 or self.length > ADDRESS_BITS:
+            raise AddressError(f"prefix length {self.length!r} outside [0, 32]")
+        if self.base & ~prefix_mask(self.length) & (ADDRESS_SPACE - 1):
+            raise AddressError(
+                f"prefix base {format_address(self.base)} has host bits set "
+                f"for length {self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation.
+
+        Raises:
+            AddressError: on malformed input.
+        """
+        if "/" not in text:
+            raise AddressError(f"prefix {text!r} is missing '/len'")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"malformed prefix length in {text!r}")
+        return cls(parse_address(addr_text), int(len_text))
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (ADDRESS_BITS - self.length)
+
+    @property
+    def last(self) -> int:
+        """Highest address in the prefix."""
+        return self.base + self.size - 1
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        check_address(address)
+        return (address & prefix_mask(self.length)) == self.base
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or nested inside this prefix."""
+        return other.length >= self.length and self.contains(other.base)
+
+    def subdivide(self, new_length: int) -> list["Prefix"]:
+        """All sub-prefixes of the given longer length, in address order.
+
+        Raises:
+            AddressError: if ``new_length`` is shorter than this prefix or
+                would enumerate more than 2^20 children.
+        """
+        if new_length < self.length:
+            raise AddressError("cannot subdivide into a shorter prefix")
+        n = 1 << (new_length - self.length)
+        if n > (1 << 20):
+            raise AddressError("refusing to enumerate more than 2^20 sub-prefixes")
+        step = 1 << (ADDRESS_BITS - new_length)
+        return [Prefix(self.base + i * step, new_length) for i in range(n)]
+
+    def __str__(self) -> str:
+        return f"{format_address(self.base)}/{self.length}"

@@ -1,0 +1,298 @@
+"""The ground-truth topology container.
+
+A :class:`Topology` holds the planted Internet — ASes, routers, links,
+interfaces, hostnames — with consistency checks on every mutation and
+array/CSR views for the routing and measurement stages.  It deliberately
+knows nothing about how it was generated or how it will be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import great_circle_miles
+from repro.net.elements import AutonomousSystem, Interface, Link, Router
+
+#: Extra routing cost per hop, in mile-equivalents; makes shortest paths
+#: prefer fewer hops among near-equal geographic alternatives, like IGP
+#: metrics do.
+HOP_COST_MILES = 50.0
+
+
+@dataclass
+class Topology:
+    """Mutable ground-truth topology under construction, then frozen views.
+
+    Attributes:
+        asns: AS number -> :class:`AutonomousSystem`.
+        routers: dense list, ``routers[i].router_id == i``.
+        links: dense list, ``links[i].link_id == i``.
+        interfaces: interface address -> :class:`Interface`.
+        hostnames: interface address -> DNS hostname.
+    """
+
+    asns: dict[int, AutonomousSystem] = field(default_factory=dict)
+    routers: list[Router] = field(default_factory=list)
+    links: list[Link] = field(default_factory=list)
+    interfaces: dict[int, Interface] = field(default_factory=dict)
+    hostnames: dict[int, str] = field(default_factory=dict)
+    _adjacency: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _link_by_pair: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+    _links_of: dict[int, list[int]] = field(default_factory=dict, repr=False)
+
+    # ---- construction ----------------------------------------------------
+
+    def add_as(self, asys: AutonomousSystem) -> None:
+        """Register an AS.
+
+        Raises:
+            TopologyError: on duplicate ASN.
+        """
+        if asys.asn in self.asns:
+            raise TopologyError(f"duplicate ASN {asys.asn}")
+        self.asns[asys.asn] = asys
+
+    def add_router(
+        self, asn: int, location: GeoPoint, city_code: str, loopback: int
+    ) -> Router:
+        """Create and register a router; also registers its loopback interface.
+
+        Raises:
+            TopologyError: if the AS is unknown or the loopback address is
+                already taken.
+        """
+        if asn not in self.asns:
+            raise TopologyError(f"unknown ASN {asn}")
+        if loopback in self.interfaces:
+            raise TopologyError(f"duplicate interface address {loopback}")
+        router = Router(
+            router_id=len(self.routers),
+            asn=asn,
+            location=location,
+            city_code=city_code,
+            loopback=loopback,
+        )
+        self.routers.append(router)
+        self.interfaces[loopback] = Interface(
+            address=loopback, router_id=router.router_id, link_id=-1
+        )
+        self._adjacency[router.router_id] = []
+        self._links_of[router.router_id] = []
+        return router
+
+    def add_link(
+        self, router_a: int, router_b: int, interface_a: int, interface_b: int
+    ) -> Link:
+        """Create a link between two routers with fresh interface addresses.
+
+        Endpoint order is normalised so ``router_a < router_b``.
+
+        Raises:
+            TopologyError: on unknown routers, self-loops, duplicate
+                interface addresses, or a pre-existing link between the
+                same router pair.
+        """
+        if router_a == router_b:
+            raise TopologyError("refusing to add a self-loop")
+        for rid in (router_a, router_b):
+            if rid < 0 or rid >= len(self.routers):
+                raise TopologyError(f"unknown router {rid}")
+        if router_a > router_b:
+            router_a, router_b = router_b, router_a
+            interface_a, interface_b = interface_b, interface_a
+        if router_b in self._adjacency[router_a]:
+            raise TopologyError(
+                f"link between routers {router_a} and {router_b} already exists"
+            )
+        for addr in (interface_a, interface_b):
+            if addr in self.interfaces:
+                raise TopologyError(f"duplicate interface address {addr}")
+        ra = self.routers[router_a]
+        rb = self.routers[router_b]
+        link = Link(
+            link_id=len(self.links),
+            router_a=router_a,
+            router_b=router_b,
+            interface_a=interface_a,
+            interface_b=interface_b,
+            length_miles=great_circle_miles(ra.location, rb.location),
+            interdomain=ra.asn != rb.asn,
+        )
+        self.links.append(link)
+        self.interfaces[interface_a] = Interface(interface_a, router_a, link.link_id)
+        self.interfaces[interface_b] = Interface(interface_b, router_b, link.link_id)
+        self._adjacency[router_a].append(router_b)
+        self._adjacency[router_b].append(router_a)
+        self._link_by_pair[(router_a, router_b)] = link.link_id
+        self._links_of[router_a].append(link.link_id)
+        self._links_of[router_b].append(link.link_id)
+        return link
+
+    def set_hostname(self, address: int, hostname: str) -> None:
+        """Attach a DNS hostname to an interface address.
+
+        Raises:
+            TopologyError: if the interface does not exist.
+        """
+        if address not in self.interfaces:
+            raise TopologyError(f"unknown interface address {address}")
+        self.hostnames[address] = hostname
+
+    # ---- queries -----------------------------------------------------------
+
+    @property
+    def n_routers(self) -> int:
+        """Number of routers."""
+        return len(self.routers)
+
+    @property
+    def n_links(self) -> int:
+        """Number of links."""
+        return len(self.links)
+
+    @property
+    def n_interfaces(self) -> int:
+        """Number of interfaces, loopbacks included."""
+        return len(self.interfaces)
+
+    def neighbors(self, router_id: int) -> list[int]:
+        """Router ids adjacent to ``router_id``.
+
+        Raises:
+            TopologyError: on unknown router.
+        """
+        if router_id not in self._adjacency:
+            raise TopologyError(f"unknown router {router_id}")
+        return list(self._adjacency[router_id])
+
+    def has_link(self, router_a: int, router_b: int) -> bool:
+        """True when the two routers are directly connected."""
+        return router_b in self._adjacency.get(router_a, ())
+
+    def degree(self, router_id: int) -> int:
+        """Number of links incident to the router."""
+        return len(self.neighbors(router_id))
+
+    def router_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lats, lons)`` arrays indexed by router id."""
+        lats = np.fromiter(
+            (r.location.lat for r in self.routers), dtype=float, count=self.n_routers
+        )
+        lons = np.fromiter(
+            (r.location.lon for r in self.routers), dtype=float, count=self.n_routers
+        )
+        return lats, lons
+
+    def router_asns(self) -> np.ndarray:
+        """ASN per router, indexed by router id."""
+        return np.fromiter((r.asn for r in self.routers), dtype=np.int64,
+                           count=self.n_routers)
+
+    def link_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel arrays of router-id endpoints per link."""
+        a = np.fromiter((l.router_a for l in self.links), dtype=np.intp,
+                        count=self.n_links)
+        b = np.fromiter((l.router_b for l in self.links), dtype=np.intp,
+                        count=self.n_links)
+        return a, b
+
+    def link_lengths(self) -> np.ndarray:
+        """Length in miles per link."""
+        return np.fromiter(
+            (l.length_miles for l in self.links), dtype=float, count=self.n_links
+        )
+
+    def routing_graph(self, hop_cost: float = HOP_COST_MILES) -> sparse.csr_matrix:
+        """Symmetric CSR weight matrix for shortest-path routing.
+
+        Edge weight is geographic length plus a per-hop cost, a standard
+        latency-flavoured IGP metric.
+        """
+        if self.n_routers == 0:
+            raise TopologyError("cannot build a routing graph with no routers")
+        a, b = self.link_endpoints()
+        w = self.link_lengths() + hop_cost
+        rows = np.concatenate([a, b])
+        cols = np.concatenate([b, a])
+        data = np.concatenate([w, w])
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self.n_routers, self.n_routers)
+        )
+
+    def link_between(self, router_a: int, router_b: int) -> Link:
+        """The link joining two routers.
+
+        Raises:
+            TopologyError: when they are not directly connected.
+        """
+        key = (router_a, router_b) if router_a < router_b else (router_b, router_a)
+        link_id = self._link_by_pair.get(key)
+        if link_id is None:
+            raise TopologyError(
+                f"no link between routers {router_a} and {router_b}"
+            )
+        return self.links[link_id]
+
+    def incident_links(self, router_id: int) -> list[int]:
+        """Link ids incident to a router.
+
+        Raises:
+            TopologyError: on unknown router.
+        """
+        if router_id not in self._links_of:
+            raise TopologyError(f"unknown router {router_id}")
+        return list(self._links_of[router_id])
+
+    def interfaces_of_router(self, router_id: int) -> list[Interface]:
+        """All interfaces (loopback included) on a router."""
+        return [i for i in self.interfaces.values() if i.router_id == router_id]
+
+    def link_interface_toward(self, from_router: int, to_router: int) -> int:
+        """Interface address on ``to_router``'s side of the shared link.
+
+        This is what a traceroute hop reports: the inbound interface of
+        the next router on the path.
+
+        Raises:
+            TopologyError: when the routers are not adjacent.
+        """
+        link = self.link_between(from_router, to_router)
+        if link.router_a == to_router:
+            return link.interface_a
+        return link.interface_b
+
+    # ---- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Full consistency check; raises on the first violation.
+
+        Raises:
+            TopologyError: describing the inconsistency found.
+        """
+        for i, router in enumerate(self.routers):
+            if router.router_id != i:
+                raise TopologyError(f"router list not dense at index {i}")
+            if router.asn not in self.asns:
+                raise TopologyError(f"router {i} references unknown AS {router.asn}")
+            if router.loopback not in self.interfaces:
+                raise TopologyError(f"router {i} loopback missing from interfaces")
+        for i, link in enumerate(self.links):
+            if link.link_id != i:
+                raise TopologyError(f"link list not dense at index {i}")
+            for addr in (link.interface_a, link.interface_b):
+                iface = self.interfaces.get(addr)
+                if iface is None or iface.link_id != i:
+                    raise TopologyError(f"link {i} interface {addr} inconsistent")
+            expected = self.routers[link.router_a].asn != self.routers[link.router_b].asn
+            if link.interdomain != expected:
+                raise TopologyError(f"link {i} interdomain flag wrong")
+        for addr, iface in self.interfaces.items():
+            if iface.address != addr:
+                raise TopologyError(f"interface key {addr} mismatches its address")
+            if iface.router_id < 0 or iface.router_id >= self.n_routers:
+                raise TopologyError(f"interface {addr} references unknown router")

@@ -1,0 +1,37 @@
+"""Synthetic population substrate (CIESIN + Nua stand-in).
+
+Builds a world of economic zones with Zipf city systems and a weighted
+population point field carrying both residents and online users; rasters
+aggregate that field onto arbitrary patch grids.
+"""
+
+from repro.population.cities import (
+    City,
+    seed_cities,
+    seed_zone_names,
+    synthesize_cities,
+    zipf_populations,
+)
+from repro.population.raster import PopulationRaster, rasterize
+from repro.population.worldmodel import (
+    EconomicZone,
+    PopulationField,
+    World,
+    build_world,
+    default_zones,
+)
+
+__all__ = [
+    "City",
+    "seed_cities",
+    "seed_zone_names",
+    "synthesize_cities",
+    "zipf_populations",
+    "PopulationRaster",
+    "rasterize",
+    "EconomicZone",
+    "PopulationField",
+    "World",
+    "build_world",
+    "default_zones",
+]

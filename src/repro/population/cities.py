@@ -1,0 +1,317 @@
+"""Cities: the anchors of the synthetic population model.
+
+The population substrate is built from cities for two reasons.  First,
+population-per-patch statistics in Section IV are driven by urban
+concentration, so a Zipf-distributed city system with clustered placement
+reproduces the right marginals (including the ~1.5 fractal dimension of
+population density confirmed in Section II).  Second, the IxMapper
+geolocation simulator needs the ISP hostname convention — routers named
+with city/airport codes — so every city carries a code.
+
+Seed tables below list real metropolitan areas with approximate
+coordinates and IATA-style codes; synthetic cities fill out the long tail
+of each economic zone's city-size distribution.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A population centre.
+
+    Attributes:
+        name: display name.
+        code: short uppercase code used in router hostnames (IATA-style).
+        location: city centre coordinates.
+        population: resident population (persons).
+        zone: name of the economic zone the city belongs to.
+    """
+
+    name: str
+    code: str
+    location: GeoPoint
+    population: float
+    zone: str
+
+    def __post_init__(self) -> None:
+        if not self.code or not self.code.isupper():
+            raise ConfigError(f"city code must be non-empty uppercase, got {self.code!r}")
+        if self.population <= 0:
+            raise ConfigError(f"city population must be positive, got {self.population}")
+
+
+# (name, code, lat, lon, population-in-millions of the metro area)
+_SEED_ROWS: dict[str, list[tuple[str, str, float, float, float]]] = {
+    "USA": [
+        ("New York", "NYC", 40.71, -74.01, 18.3),
+        ("Los Angeles", "LAX", 34.05, -118.24, 12.4),
+        ("Chicago", "CHI", 41.88, -87.63, 9.1),
+        ("Washington", "IAD", 38.90, -77.04, 7.6),
+        ("San Francisco", "SFO", 37.77, -122.42, 7.0),
+        ("Philadelphia", "PHL", 39.95, -75.17, 6.1),
+        ("Boston", "BOS", 42.36, -71.06, 5.8),
+        ("Detroit", "DTW", 42.33, -83.05, 5.4),
+        ("Dallas", "DFW", 32.78, -96.80, 5.2),
+        ("Houston", "IAH", 29.76, -95.37, 4.7),
+        ("Atlanta", "ATL", 33.75, -84.39, 4.1),
+        ("Miami", "MIA", 25.76, -80.19, 3.9),
+        ("Seattle", "SEA", 47.61, -122.33, 3.6),
+        ("Phoenix", "PHX", 33.45, -112.07, 3.3),
+        ("Minneapolis", "MSP", 44.98, -93.27, 3.0),
+        ("Cleveland", "CLE", 41.50, -81.69, 2.9),
+        ("San Diego", "SAN", 32.72, -117.16, 2.8),
+        ("St. Louis", "STL", 38.63, -90.20, 2.6),
+        ("Denver", "DEN", 39.74, -104.99, 2.6),
+        ("Tampa", "TPA", 27.95, -82.46, 2.4),
+        ("Pittsburgh", "PIT", 40.44, -79.99, 2.4),
+        ("Portland", "PDX", 45.52, -122.68, 2.3),
+        ("Cincinnati", "CVG", 39.10, -84.51, 2.0),
+        ("Sacramento", "SMF", 38.58, -121.49, 1.8),
+        ("Kansas City", "MCI", 39.10, -94.58, 1.8),
+        ("Milwaukee", "MKE", 43.04, -87.91, 1.7),
+        ("Orlando", "MCO", 28.54, -81.38, 1.6),
+        ("Indianapolis", "IND", 39.77, -86.16, 1.6),
+        ("San Antonio", "SAT", 29.42, -98.49, 1.6),
+        ("Columbus", "CMH", 39.96, -83.00, 1.5),
+        ("Charlotte", "CLT", 35.23, -80.84, 1.5),
+        ("New Orleans", "MSY", 29.95, -90.07, 1.3),
+        ("Salt Lake City", "SLC", 40.76, -111.89, 1.3),
+        ("Nashville", "BNA", 36.16, -86.78, 1.2),
+        ("Austin", "AUS", 30.27, -97.74, 1.2),
+        ("Memphis", "MEM", 35.15, -90.05, 1.1),
+        ("Raleigh", "RDU", 35.78, -78.64, 1.1),
+        ("Oklahoma City", "OKC", 35.47, -97.52, 1.0),
+        ("Jacksonville", "JAX", 30.33, -81.66, 1.0),
+        ("Buffalo", "BUF", 42.89, -78.88, 1.0),
+        ("Albuquerque", "ABQ", 35.08, -106.65, 0.7),
+        ("Omaha", "OMA", 41.26, -95.93, 0.7),
+        ("Boise", "BOI", 43.62, -116.21, 0.4),
+        ("Billings", "BIL", 45.78, -108.50, 0.15),
+    ],
+    "W. Europe": [
+        ("London", "LON", 51.51, -0.13, 12.0),
+        ("Paris", "PAR", 48.86, 2.35, 11.1),
+        ("Milan", "MIL", 45.46, 9.19, 4.1),
+        ("Madrid", "MAD", 40.42, -3.70, 5.5),
+        ("Barcelona", "BCN", 41.39, 2.17, 4.4),
+        ("Berlin", "BER", 52.52, 13.41, 4.0),
+        ("Frankfurt", "FRA", 50.11, 8.68, 2.6),
+        ("Munich", "MUC", 48.14, 11.58, 2.4),
+        ("Hamburg", "HAM", 53.55, 9.99, 2.5),
+        ("Amsterdam", "AMS", 52.37, 4.90, 2.3),
+        ("Brussels", "BRU", 50.85, 4.35, 2.1),
+        ("Vienna", "VIE", 48.21, 16.37, 2.2),
+        ("Lyon", "LYS", 45.76, 4.84, 1.7),
+        ("Marseille", "MRS", 43.30, 5.37, 1.6),
+        ("Turin", "TRN", 45.07, 7.69, 1.7),
+        ("Cologne", "CGN", 50.94, 6.96, 1.8),
+        ("Manchester", "MAN", 53.48, -2.24, 2.6),
+        ("Birmingham", "BHX", 52.48, -1.90, 2.5),
+        ("Zurich", "ZRH", 47.37, 8.54, 1.3),
+        ("Geneva", "GVA", 46.20, 6.14, 0.9),
+        ("Stuttgart", "STR", 48.78, 9.18, 1.6),
+        ("Dusseldorf", "DUS", 51.23, 6.78, 1.5),
+        ("Rotterdam", "RTM", 51.92, 4.48, 1.2),
+        ("Leeds", "LBA", 53.80, -1.55, 1.8),
+        ("Glasgow", "GLA", 55.86, -4.25, 1.7),
+        ("Edinburgh", "EDI", 55.95, -3.19, 0.9),
+        ("Prague", "PRG", 50.08, 14.44, 1.3),
+        ("Copenhagen", "CPH", 55.68, 12.57, 1.3),
+        ("Luxembourg", "LUX", 49.61, 6.13, 0.4),
+        ("Strasbourg", "SXB", 48.57, 7.75, 0.7),
+        ("Nuremberg", "NUE", 49.45, 11.08, 0.8),
+        ("Bordeaux", "BOD", 44.84, -0.58, 0.9),
+        ("Toulouse", "TLS", 43.60, 1.44, 1.0),
+        ("Bristol", "BRS", 51.45, -2.59, 0.7),
+    ],
+    "Japan": [
+        ("Tokyo", "TYO", 35.68, 139.69, 26.4),
+        ("Osaka", "OSA", 34.69, 135.50, 11.0),
+        ("Nagoya", "NGO", 35.18, 136.91, 5.3),
+        ("Sapporo", "CTS", 43.06, 141.35, 2.2),
+        ("Fukuoka", "FUK", 33.59, 130.40, 2.1),
+        ("Kobe", "UKB", 34.69, 135.20, 1.5),
+        ("Kyoto", "UKY", 35.01, 135.77, 1.5),
+        ("Yokohama", "YOK", 35.44, 139.64, 3.4),
+        ("Hiroshima", "HIJ", 34.39, 132.46, 1.2),
+        ("Sendai", "SDJ", 38.27, 140.87, 1.0),
+        ("Kitakyushu", "KKJ", 33.88, 130.88, 1.0),
+        ("Niigata", "KIJ", 37.90, 139.02, 0.8),
+        ("Shizuoka", "FSZ", 34.98, 138.38, 0.7),
+        ("Okayama", "OKJ", 34.66, 133.92, 0.7),
+        ("Kumamoto", "KMJ", 32.80, 130.71, 0.7),
+        ("Kagoshima", "KOJ", 31.60, 130.56, 0.6),
+        ("Kanazawa", "QKW", 36.56, 136.66, 0.5),
+        ("Nagano", "QNG", 36.65, 138.18, 0.4),
+    ],
+    "Africa": [
+        ("Lagos", "LOS", 6.52, 3.38, 7.2),
+        ("Cairo", "CAI", 30.04, 31.24, 10.2),
+        ("Johannesburg", "JNB", -26.20, 28.05, 5.8),
+        ("Kinshasa", "FIH", -4.44, 15.27, 5.1),
+        ("Nairobi", "NBO", -1.29, 36.82, 2.2),
+        ("Casablanca", "CMN", 33.57, -7.59, 3.1),
+        ("Cape Town", "CPT", -33.92, 18.42, 2.9),
+        ("Accra", "ACC", 5.60, -0.19, 1.7),
+        ("Dakar", "DKR", 14.72, -17.47, 2.0),
+        ("Algiers", "ALG", 36.75, 3.06, 2.6),
+        ("Tunis", "TUN", 36.81, 10.18, 1.9),
+        ("Abidjan", "ABJ", 5.36, -4.01, 3.0),
+    ],
+    "South America": [
+        ("Sao Paulo", "SAO", -23.55, -46.63, 17.1),
+        ("Buenos Aires", "BUE", -34.60, -58.38, 12.0),
+        ("Rio de Janeiro", "RIO", -22.91, -43.17, 10.8),
+        ("Lima", "LIM", -12.05, -77.04, 7.4),
+        ("Bogota", "BOG", 4.71, -74.07, 6.3),
+        ("Santiago", "SCL", -33.45, -70.67, 5.3),
+        ("Caracas", "CCS", 10.48, -66.90, 3.2),
+        ("Medellin", "MDE", 6.24, -75.58, 2.7),
+        ("Porto Alegre", "POA", -30.03, -51.23, 3.5),
+        ("Montevideo", "MVD", -34.90, -56.16, 1.5),
+        ("Quito", "UIO", -0.18, -78.47, 1.6),
+    ],
+    "Mexico": [
+        ("Mexico City", "MEX", 19.43, -99.13, 18.1),
+        ("Guadalajara", "GDL", 20.66, -103.35, 3.7),
+        ("Monterrey", "MTY", 25.67, -100.31, 3.3),
+        ("Guatemala City", "GUA", 14.63, -90.51, 2.2),
+        ("San Jose CR", "SJO", 9.93, -84.08, 1.1),
+        ("Panama City", "PTY", 8.98, -79.52, 1.2),
+        ("Havana", "HAV", 23.11, -82.37, 2.2),
+        ("Santo Domingo", "SDQ", 18.47, -69.89, 2.1),
+        ("Puebla", "PBC", 19.04, -98.20, 1.9),
+        ("Tijuana", "TIJ", 32.52, -117.04, 1.2),
+    ],
+    "Australia": [
+        ("Sydney", "SYD", -33.87, 151.21, 4.1),
+        ("Melbourne", "MEL", -37.81, 144.96, 3.5),
+        ("Brisbane", "BNE", -27.47, 153.03, 1.6),
+        ("Perth", "PER", -31.95, 115.86, 1.4),
+        ("Adelaide", "ADL", -34.93, 138.60, 1.1),
+        ("Canberra", "CBR", -35.28, 149.13, 0.3),
+        ("Hobart", "HBA", -42.88, 147.33, 0.2),
+    ],
+}
+
+
+def seed_cities(zone: str) -> list[City]:
+    """Seed (real-world) cities for a named economic zone.
+
+    Raises:
+        ConfigError: if the zone has no seed table.
+    """
+    if zone not in _SEED_ROWS:
+        raise ConfigError(f"no seed city table for zone {zone!r}")
+    return [
+        City(name, code, GeoPoint(lat, lon), millions * 1e6, zone)
+        for name, code, lat, lon, millions in _SEED_ROWS[zone]
+    ]
+
+
+def seed_zone_names() -> tuple[str, ...]:
+    """Names of all zones with seed city tables."""
+    return tuple(_SEED_ROWS)
+
+
+def _synthetic_code(index: int, zone_tag: str, taken: set[str]) -> str:
+    """Deterministic unused code for the index-th synthetic city of a zone.
+
+    The leading zone tag (a digit) keeps synthetic codes globally unique
+    and disjoint from real IATA-style seed codes, which are all-alphabetic.
+    """
+    letters = string.ascii_uppercase
+    while True:
+        i = index
+        code = zone_tag + letters[(i // 26) % 26] + letters[i % 26]
+        if code not in taken:
+            return code
+        index += 1
+
+
+def zipf_populations(
+    n: int, largest: float, exponent: float = 1.0, floor: float = 5e3
+) -> np.ndarray:
+    """Zipf-law city sizes: the k-th city has ``largest / k**exponent``.
+
+    Args:
+        n: number of cities.
+        largest: population of the rank-1 city.
+        exponent: Zipf exponent (1.0 is the classical law).
+        floor: minimum city population.
+
+    Raises:
+        ConfigError: on non-positive n, largest, or exponent.
+    """
+    if n <= 0 or largest <= 0 or exponent <= 0:
+        raise ConfigError("n, largest and exponent must all be positive")
+    ranks = np.arange(1, n + 1, dtype=float)
+    return np.maximum(largest / ranks**exponent, floor)
+
+
+def synthesize_cities(
+    zone: str,
+    region_north: float,
+    region_south: float,
+    region_west: float,
+    region_east: float,
+    n_synthetic: int,
+    rng: np.random.Generator,
+    zone_tag: str = "0",
+    cluster_fraction: float = 0.7,
+    levy_scale_deg: float = 0.6,
+    levy_exponent: float = 1.6,
+) -> list[City]:
+    """Seed cities plus a synthetic Zipf tail for one economic zone.
+
+    Synthetic cities are placed by a Levy-flight rule: with probability
+    ``cluster_fraction`` a new city lands a power-law-distributed hop away
+    from an existing city (producing the fractal clustering of real
+    settlement patterns); otherwise it lands uniformly in the zone box.
+
+    Returns:
+        Seed cities followed by synthetic cities, largest first within
+        each group.
+    """
+    cities = seed_cities(zone)
+    if n_synthetic <= 0:
+        return cities
+    smallest_seed = min(c.population for c in cities)
+    sizes = zipf_populations(n_synthetic, largest=smallest_seed * 0.95)
+    taken = {c.code for c in cities}
+    lat_span = region_north - region_south
+    lon_span = region_east - region_west
+    for i in range(n_synthetic):
+        if cities and rng.random() < cluster_fraction:
+            anchor = cities[int(rng.integers(len(cities)))].location
+            # Pareto-tailed hop length, direction uniform.
+            hop = levy_scale_deg * (rng.pareto(levy_exponent) + 0.05)
+            angle = rng.uniform(0.0, 2.0 * np.pi)
+            lat = anchor.lat + hop * np.sin(angle)
+            lon = anchor.lon + hop * np.cos(angle)
+        else:
+            lat = region_south + rng.random() * lat_span
+            lon = region_west + rng.random() * lon_span
+        lat = float(np.clip(lat, region_south, region_north))
+        lon = float(np.clip(lon, region_west, region_east))
+        code = _synthetic_code(i, zone_tag, taken)
+        taken.add(code)
+        cities.append(
+            City(
+                name=f"{zone} town {i}",
+                code=code,
+                location=GeoPoint(lat, lon),
+                population=float(sizes[i]),
+                zone=zone,
+            )
+        )
+    return cities

@@ -1,0 +1,339 @@
+"""The synthetic world: economic zones, cities, people, online users.
+
+This is the stand-in for two of the paper's external datasets:
+
+* CIESIN's *Gridded Population of the World* — replaced by a weighted
+  population point field synthesised from Zipf city systems per zone;
+* Nua's *How Many Online?* survey numbers — replaced by per-zone Internet
+  penetration rates.
+
+Zone parameters are calibrated to the paper's Table III: total
+populations match its Population column, and penetration rates are the
+ratio of its Online to Population columns.  The result is a world where
+people-per-interface varies by a factor > 100 across zones while
+online-users-per-interface varies by only a small factor — the planted
+contrast the Table III reproduction must recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.geo.regions import Region
+from repro.population.cities import City, synthesize_cities
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicZone:
+    """One economically homogeneous zone of the synthetic world.
+
+    Attributes:
+        name: zone name (matches the paper's Table III rows).
+        box: bounding box in which the zone's population lives.  May be
+            wider than the analysis region of the same name; analyses
+            always re-filter by their own region boxes.
+        population_millions: total resident population.
+        online_millions: Internet users (Nua-style survey count).
+        n_synthetic_cities: synthetic Zipf-tail cities to add to seeds.
+        urban_fraction: share of population living in cities; the rest is
+            spread as rural background across the box.
+        interfaces_per_online: target network interfaces per online user;
+            encodes infrastructure intensity differences between equally
+            developed zones (the residual factor ~4 in Table III).
+    """
+
+    name: str
+    box: Region
+    population_millions: float
+    online_millions: float
+    n_synthetic_cities: int
+    urban_fraction: float = 0.72
+    interfaces_per_online: float = 1.0 / 900.0
+
+    def __post_init__(self) -> None:
+        if self.population_millions <= 0:
+            raise ConfigError(f"zone {self.name!r}: population must be positive")
+        if not (0 < self.online_millions <= self.population_millions):
+            raise ConfigError(
+                f"zone {self.name!r}: online users must be in (0, population]"
+            )
+        if not (0.0 < self.urban_fraction < 1.0):
+            raise ConfigError(f"zone {self.name!r}: urban_fraction must be in (0,1)")
+        if self.interfaces_per_online <= 0:
+            raise ConfigError(
+                f"zone {self.name!r}: interfaces_per_online must be positive"
+            )
+
+    @property
+    def penetration(self) -> float:
+        """Fraction of the population that is online."""
+        return self.online_millions / self.population_millions
+
+
+def default_zones(city_scale: float = 1.0) -> tuple[EconomicZone, ...]:
+    """The seven Table III zones with paper-calibrated totals.
+
+    Args:
+        city_scale: multiplier on the synthetic city counts; tests use a
+            small value to keep world construction fast.
+    """
+
+    def cities(n: int) -> int:
+        return max(4, int(round(n * city_scale)))
+
+    return (
+        EconomicZone(
+            "Africa",
+            Region("Africa zone", north=35.0, south=-35.0, west=-18.0, east=50.0),
+            population_millions=837.0,
+            online_millions=4.15,
+            n_synthetic_cities=cities(120),
+            urban_fraction=0.40,
+            interfaces_per_online=1.0 / 500.0,
+        ),
+        EconomicZone(
+            "South America",
+            Region("South America zone", north=13.0, south=-55.0, west=-82.0, east=-34.0),
+            population_millions=341.0,
+            online_millions=21.9,
+            n_synthetic_cities=cities(90),
+            urban_fraction=0.62,
+            interfaces_per_online=1.0 / 2100.0,
+        ),
+        EconomicZone(
+            "Mexico",
+            Region("Mexico zone", north=33.0, south=8.0, west=-118.0, east=-60.0),
+            population_millions=154.0,
+            online_millions=3.42,
+            n_synthetic_cities=cities(60),
+            urban_fraction=0.60,
+            interfaces_per_online=1.0 / 800.0,
+        ),
+        EconomicZone(
+            "W. Europe",
+            Region("W. Europe zone", north=58.0, south=36.0, west=-10.0, east=22.0),
+            population_millions=366.0,
+            online_millions=143.0,
+            n_synthetic_cities=cities(140),
+            urban_fraction=0.75,
+            interfaces_per_online=1.0 / 1500.0,
+        ),
+        EconomicZone(
+            "Japan",
+            Region("Japan zone", north=46.0, south=30.0, west=129.0, east=146.0),
+            population_millions=136.0,
+            online_millions=47.1,
+            n_synthetic_cities=cities(70),
+            urban_fraction=0.78,
+            interfaces_per_online=1.0 / 1250.0,
+        ),
+        EconomicZone(
+            "Australia",
+            Region("Australia zone", north=-10.0, south=-45.0, west=112.0, east=155.0),
+            population_millions=18.0,
+            online_millions=10.1,
+            n_synthetic_cities=cities(30),
+            urban_fraction=0.85,
+            interfaces_per_online=1.0 / 550.0,
+        ),
+        EconomicZone(
+            "USA",
+            Region("USA zone", north=50.0, south=24.0, west=-130.0, east=-65.0),
+            population_millions=299.0,
+            online_millions=166.0,
+            n_synthetic_cities=cities(220),
+            urban_fraction=0.76,
+            interfaces_per_online=1.0 / 590.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PopulationField:
+    """Weighted population point cloud: the gridded-population substitute.
+
+    Attributes:
+        lats, lons: point coordinates, degrees.
+        weights: persons represented by each point.
+        online_weights: online users represented by each point.
+        zone_index: index into :attr:`zones` for each point.
+        zones: the zones this field was synthesised from.
+    """
+
+    lats: np.ndarray
+    lons: np.ndarray
+    weights: np.ndarray
+    online_weights: np.ndarray
+    zone_index: np.ndarray
+    zones: tuple[EconomicZone, ...]
+
+    def __post_init__(self) -> None:
+        n = self.lats.shape[0]
+        for name in ("lons", "weights", "online_weights", "zone_index"):
+            if getattr(self, name).shape[0] != n:
+                raise ConfigError("population field arrays must be parallel")
+
+    @property
+    def total_population(self) -> float:
+        """Total persons represented by the field."""
+        return float(self.weights.sum())
+
+    @property
+    def total_online(self) -> float:
+        """Total online users represented by the field."""
+        return float(self.online_weights.sum())
+
+    def region_population(self, region: Region) -> float:
+        """Persons inside a region box."""
+        mask = region.contains_mask(self.lats, self.lons)
+        return float(self.weights[mask].sum())
+
+    def region_online(self, region: Region) -> float:
+        """Online users inside a region box."""
+        mask = region.contains_mask(self.lats, self.lons)
+        return float(self.online_weights[mask].sum())
+
+
+@dataclass(frozen=True)
+class World:
+    """A fully synthesised world: zones, cities and a population field."""
+
+    zones: tuple[EconomicZone, ...]
+    cities: list[City]
+    field: PopulationField = field(repr=False)
+
+    def zone_by_name(self, name: str) -> EconomicZone:
+        """Look up a zone by name.
+
+        Raises:
+            ConfigError: if unknown.
+        """
+        for zone in self.zones:
+            if zone.name == name:
+                return zone
+        raise ConfigError(f"unknown zone {name!r}")
+
+    def cities_in_zone(self, name: str) -> list[City]:
+        """Cities belonging to the named zone."""
+        return [c for c in self.cities if c.zone == name]
+
+
+def _city_points(
+    city: City, points_per_city: int, sigma_deg: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scatter a city's population into a Gaussian cloud of points."""
+    n = max(1, points_per_city)
+    lats = city.location.lat + rng.normal(0.0, sigma_deg, size=n)
+    lons = city.location.lon + rng.normal(0.0, sigma_deg, size=n)
+    return lats, lons
+
+
+def build_world(
+    rng: np.random.Generator,
+    zones: tuple[EconomicZone, ...] | None = None,
+    city_scale: float = 1.0,
+    points_per_city: int = 12,
+    rural_points_per_zone: int = 1500,
+    city_sigma_deg: float = 0.12,
+) -> World:
+    """Synthesise the world: cities, then the population point field.
+
+    Each city's population is scattered over ``points_per_city`` points
+    with a Gaussian urban kernel.  The zone's rural remainder mostly
+    clusters around cities with heavy-tailed displacement (exurban and
+    small-settlement population concentrates near urban systems, which
+    is what gridded population rasters show); a minority is spread
+    uniformly over the zone box.  Online users are distributed
+    proportionally to population within a zone (penetration is a
+    zone-level property).
+
+    Args:
+        rng: the scenario's random generator.
+        zones: zone definitions; defaults to :func:`default_zones`.
+        city_scale: forwarded to :func:`default_zones` when ``zones`` is
+            None and also scales rural point counts.
+        points_per_city: population points per city.
+        rural_points_per_zone: rural background points per zone.
+        city_sigma_deg: urban kernel standard deviation in degrees.
+    """
+    if zones is None:
+        zones = default_zones(city_scale=city_scale)
+    all_cities: list[City] = []
+    lat_parts: list[np.ndarray] = []
+    lon_parts: list[np.ndarray] = []
+    w_parts: list[np.ndarray] = []
+    online_parts: list[np.ndarray] = []
+    zone_parts: list[np.ndarray] = []
+
+    for zi, zone in enumerate(zones):
+        zone_cities = synthesize_cities(
+            zone.name,
+            zone.box.north,
+            zone.box.south,
+            zone.box.west,
+            zone.box.east,
+            n_synthetic=zone.n_synthetic_cities,
+            rng=rng,
+            zone_tag=str(zi),
+        )
+        all_cities.extend(zone_cities)
+        raw_total = sum(c.population for c in zone_cities)
+        urban_target = zone.population_millions * 1e6 * zone.urban_fraction
+        scale = urban_target / raw_total
+        for city in zone_cities:
+            lats, lons = _city_points(city, points_per_city, city_sigma_deg, rng)
+            lat_parts.append(np.clip(lats, -89.9, 89.9))
+            lon_parts.append(np.clip(lons, -179.9, 179.9))
+            per_point = city.population * scale / lats.shape[0]
+            w_parts.append(np.full(lats.shape[0], per_point))
+            zone_parts.append(np.full(lats.shape[0], zi, dtype=np.intp))
+        # Rural background: mostly clustered near the zone's cities, with
+        # a uniform residue across the box.
+        n_rural = max(32, int(rural_points_per_zone * max(city_scale, 0.05)))
+        rural_total = zone.population_millions * 1e6 * (1.0 - zone.urban_fraction)
+        n_clustered = int(n_rural * 0.7)
+        anchors = rng.integers(0, len(zone_cities), size=n_clustered)
+        hops = 0.8 * (rng.pareto(1.5, size=n_clustered) + 0.3)
+        angles = rng.uniform(0.0, 2.0 * np.pi, size=n_clustered)
+        clat = np.array([zone_cities[a].location.lat for a in anchors])
+        clon = np.array([zone_cities[a].location.lon for a in anchors])
+        rlats = np.concatenate(
+            [
+                clat + hops * np.sin(angles),
+                rng.uniform(zone.box.south, zone.box.north, size=n_rural - n_clustered),
+            ]
+        )
+        rlons = np.concatenate(
+            [
+                clon + hops * np.cos(angles),
+                rng.uniform(zone.box.west, zone.box.east, size=n_rural - n_clustered),
+            ]
+        )
+        rlats = np.clip(rlats, zone.box.south, zone.box.north)
+        rlons = np.clip(rlons, zone.box.west, zone.box.east)
+        lat_parts.append(rlats)
+        lon_parts.append(rlons)
+        w_parts.append(np.full(n_rural, rural_total / n_rural))
+        zone_parts.append(np.full(n_rural, zi, dtype=np.intp))
+
+    lats = np.concatenate(lat_parts)
+    lons = np.concatenate(lon_parts)
+    weights = np.concatenate(w_parts)
+    zone_index = np.concatenate(zone_parts)
+    online = np.empty_like(weights)
+    for zi, zone in enumerate(zones):
+        mask = zone_index == zi
+        online[mask] = weights[mask] * zone.penetration
+
+    field_ = PopulationField(
+        lats=lats,
+        lons=lons,
+        weights=weights,
+        online_weights=online,
+        zone_index=zone_index,
+        zones=tuple(zones),
+    )
+    return World(zones=tuple(zones), cities=all_cities, field=field_)

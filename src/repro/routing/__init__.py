@@ -1,0 +1,25 @@
+"""Forwarding substrate: shortest-path trees and traceroute semantics."""
+
+from repro.routing.forwarding import (
+    interface_hops,
+    observed_trace,
+    path_links,
+    source_routed_path,
+)
+from repro.routing.shortest_path import (
+    PredecessorTree,
+    largest_component,
+    shortest_path_tree,
+    shortest_path_trees,
+)
+
+__all__ = [
+    "interface_hops",
+    "observed_trace",
+    "path_links",
+    "source_routed_path",
+    "PredecessorTree",
+    "largest_component",
+    "shortest_path_tree",
+    "shortest_path_trees",
+]

@@ -1,0 +1,107 @@
+"""Hop-level forwarding semantics: what a traceroute actually observes.
+
+A TTL-expired probe elicits an ICMP message whose source address is an
+interface *on the responding router* — specifically the inbound interface
+of the link the probe arrived on.  This module converts router-id hop
+sequences into the interface-address sequences a prober records,
+including per-hop response failures, and implements the loose
+source-routing trick Mercator uses to discover lateral links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.net.topology import Topology
+from repro.routing.shortest_path import PredecessorTree
+
+
+def interface_hops(topology: Topology, router_path: list[int]) -> list[int]:
+    """Interface addresses a traceroute along ``router_path`` would report.
+
+    The first hop (the source itself) is not reported — a prober never
+    sees its own router — so the result has one entry per *subsequent*
+    router: the inbound interface on that router.
+
+    Raises:
+        RoutingError: if consecutive routers are not adjacent.
+    """
+    addresses: list[int] = []
+    for prev, cur in zip(router_path, router_path[1:]):
+        try:
+            addresses.append(topology.link_interface_toward(prev, cur))
+        except Exception as exc:  # TopologyError -> routing-level error
+            raise RoutingError(
+                f"routers {prev} and {cur} are not adjacent on the path"
+            ) from exc
+    return addresses
+
+
+def observed_trace(
+    topology: Topology,
+    router_path: list[int],
+    rng: np.random.Generator,
+    response_rate: float,
+    max_hops: int,
+) -> list[int | None]:
+    """The probe's-eye view of a path: interfaces with missing hops.
+
+    Each hop responds independently with ``response_rate``; silent hops
+    appear as None (the ``*`` of a real traceroute).  The trace is cut at
+    ``max_hops`` entries.
+    """
+    full = interface_hops(topology, router_path)
+    trace: list[int | None] = []
+    for address in full[:max_hops]:
+        if rng.random() < response_rate:
+            trace.append(address)
+        else:
+            trace.append(None)
+    return trace
+
+
+def source_routed_path(
+    via_tree: PredecessorTree,
+    source_tree: PredecessorTree,
+    via: int,
+    target: int,
+) -> list[int]:
+    """Router path for a loose-source-routed probe: source -> via -> target.
+
+    Mercator sends probes through an intermediate router to expose links
+    off its own shortest-path tree.  The result concatenates the source's
+    path to ``via`` with ``via``'s path to ``target`` (dropping the
+    duplicated pivot), and trims any loop created at the junction.
+
+    Raises:
+        RoutingError: if either leg is unreachable.
+    """
+    first = source_tree.path_to(via)
+    second = via_tree.path_to(target)
+    if via_tree.source != via:
+        raise RoutingError("via_tree must be rooted at the via router")
+    combined = first + second[1:]
+    # Trim loops: cut back to the first occurrence of a revisited router
+    # (real forwarding would not loop), keeping the position index
+    # consistent after each truncation.
+    position: dict[int, int] = {}
+    path: list[int] = []
+    for router in combined:
+        if router in position:
+            cut = position[router]
+            for dropped in path[cut + 1 :]:
+                del position[dropped]
+            path = path[: cut + 1]
+        else:
+            position[router] = len(path)
+            path.append(router)
+    return path
+
+
+def path_links(router_path: list[int]) -> list[tuple[int, int]]:
+    """Normalised (a < b) router-id link pairs along a path."""
+    pairs = []
+    for prev, cur in zip(router_path, router_path[1:]):
+        pairs.append((prev, cur) if prev < cur else (cur, prev))
+    return pairs

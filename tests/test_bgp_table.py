@@ -1,0 +1,138 @@
+"""Tests for repro.bgp.table and repro.bgp.routeviews."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.routeviews import (
+    build_routeviews_snapshot,
+    perfect_snapshot,
+    snapshot_from_topology,
+)
+from repro.bgp.table import UNMAPPED_ASN, BgpTable, RibEntry
+from repro.config import BgpConfig
+from repro.errors import AddressError
+from repro.net.addressing import AddressPlan
+from repro.net.ip import Prefix, parse_address
+
+
+class TestRibEntry:
+    def test_valid(self):
+        entry = RibEntry(Prefix.parse("16.0.0.0/16"), 100)
+        assert entry.origin_asn == 100
+
+    def test_rejects_non_positive_asn(self):
+        with pytest.raises(AddressError):
+            RibEntry(Prefix.parse("16.0.0.0/16"), 0)
+
+
+class TestBgpTable:
+    def test_origin_lookup(self):
+        table = BgpTable([RibEntry(Prefix.parse("16.0.0.0/16"), 7)])
+        assert table.origin_of(parse_address("16.0.1.2")) == 7
+
+    def test_unmapped_sentinel(self):
+        table = BgpTable([RibEntry(Prefix.parse("16.0.0.0/16"), 7)])
+        assert table.origin_of(parse_address("17.0.0.1")) == UNMAPPED_ASN
+
+    def test_longest_prefix_wins(self):
+        table = BgpTable(
+            [
+                RibEntry(Prefix.parse("16.0.0.0/8"), 1),
+                RibEntry(Prefix.parse("16.32.0.0/11"), 2),
+            ]
+        )
+        assert table.origin_of(parse_address("16.33.0.1")) == 2
+        assert table.origin_of(parse_address("16.128.0.1")) == 1
+
+    def test_matching_prefix(self):
+        table = BgpTable([RibEntry(Prefix.parse("16.0.0.0/8"), 1)])
+        assert str(table.matching_prefix(parse_address("16.1.1.1"))) == "16.0.0.0/8"
+        assert table.matching_prefix(parse_address("99.0.0.1")) is None
+
+    def test_map_addresses_bulk(self):
+        table = BgpTable([RibEntry(Prefix.parse("16.0.0.0/8"), 5)])
+        out = table.map_addresses(
+            [parse_address("16.0.0.1"), parse_address("20.0.0.1")]
+        )
+        assert out[parse_address("16.0.0.1")] == 5
+        assert out[parse_address("20.0.0.1")] == UNMAPPED_ASN
+
+    def test_len_counts_prefixes(self):
+        table = BgpTable(
+            [
+                RibEntry(Prefix.parse("16.0.0.0/16"), 1),
+                RibEntry(Prefix.parse("16.1.0.0/16"), 2),
+            ]
+        )
+        assert len(table) == 2
+
+
+class TestRouteViewsSnapshots:
+    def _plan(self) -> AddressPlan:
+        plan = AddressPlan()
+        for asn in range(100, 140):
+            plan.allocate(asn)
+        return plan
+
+    def test_perfect_snapshot_covers_all_allocations(self):
+        plan = self._plan()
+        table = perfect_snapshot(plan)
+        for prefix, asn in plan.prefix_origin_pairs():
+            assert table.origin_of(prefix.base + 1) == asn
+
+    def test_unannounced_fraction_roughly_respected(self):
+        plan = self._plan()
+        config = BgpConfig(unannounced_rate=0.5, deaggregation_rate=0.0)
+        table = build_routeviews_snapshot(plan, config, np.random.default_rng(0))
+        unmapped = sum(
+            1
+            for prefix, _ in plan.prefix_origin_pairs()
+            if table.origin_of(prefix.base + 1) == UNMAPPED_ASN
+        )
+        assert 8 <= unmapped <= 32  # 40 prefixes at 50%
+
+    def test_zero_distortion_equals_perfect(self):
+        plan = self._plan()
+        config = BgpConfig(unannounced_rate=0.0, deaggregation_rate=0.0)
+        table = build_routeviews_snapshot(plan, config, np.random.default_rng(0))
+        perfect = perfect_snapshot(plan)
+        for prefix, _ in plan.prefix_origin_pairs():
+            probe = prefix.base + 3
+            assert table.origin_of(probe) == perfect.origin_of(probe)
+
+    def test_deaggregation_preserves_origin(self):
+        plan = self._plan()
+        config = BgpConfig(unannounced_rate=0.0, deaggregation_rate=1.0)
+        table = build_routeviews_snapshot(plan, config, np.random.default_rng(0))
+        for prefix, asn in plan.prefix_origin_pairs():
+            assert table.origin_of(prefix.base + 1) == asn
+            assert table.origin_of(prefix.last - 1) == asn
+        # Announced prefixes are the more-specific halves.
+        assert all(e.prefix.length == 17 for e in table.entries)
+
+    def test_snapshot_from_topology_maps_interfaces(self, generated_small):
+        topology, _, _ = generated_small
+        config = BgpConfig(unannounced_rate=0.0, deaggregation_rate=0.0)
+        table = snapshot_from_topology(
+            topology, config, np.random.default_rng(0)
+        )
+        from repro.net.ip import is_private
+
+        hits = 0
+        for address, iface in list(topology.interfaces.items())[:300]:
+            if is_private(address):
+                continue
+            assert (
+                table.origin_of(address)
+                == topology.routers[iface.router_id].asn
+            )
+            hits += 1
+        assert hits > 100
+
+    def test_snapshot_from_topology_excludes_private(self, generated_small):
+        topology, _, _ = generated_small
+        config = BgpConfig(unannounced_rate=0.0, deaggregation_rate=0.0)
+        table = snapshot_from_topology(
+            topology, config, np.random.default_rng(0)
+        )
+        assert table.origin_of(parse_address("10.0.0.5")) == UNMAPPED_ASN

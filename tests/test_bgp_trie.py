@@ -1,0 +1,144 @@
+"""Tests for repro.bgp.trie (longest-prefix match)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.trie import PrefixTrie
+from repro.errors import AddressError
+from repro.net.ip import ADDRESS_SPACE, Prefix, parse_address, prefix_mask
+
+addresses = st.integers(min_value=0, max_value=ADDRESS_SPACE - 1)
+lengths = st.integers(min_value=0, max_value=32)
+prefix_entries = st.lists(
+    st.tuples(addresses, lengths, st.integers(min_value=1, max_value=99)),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _reference_longest_match(
+    entries: list[tuple[Prefix, int]], address: int
+) -> tuple[Prefix, int] | None:
+    """Brute-force longest-prefix match for differential testing."""
+    best = None
+    for prefix, value in entries:
+        if prefix.contains(address):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, value)
+    return best
+
+
+class TestBasics:
+    def test_empty_trie_matches_nothing(self):
+        trie = PrefixTrie()
+        assert trie.longest_match(parse_address("1.2.3.4")) is None
+        assert len(trie) == 0
+
+    def test_single_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "A")
+        match = trie.longest_match(parse_address("10.1.2.3"))
+        assert match is not None
+        prefix, value = match
+        assert str(prefix) == "10.0.0.0/8"
+        assert value == "A"
+
+    def test_miss_outside_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "A")
+        assert trie.longest_match(parse_address("11.0.0.0")) is None
+
+    def test_longest_wins(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "short")
+        trie.insert(Prefix.parse("10.5.0.0/16"), "long")
+        _, value = trie.longest_match(parse_address("10.5.1.1"))
+        assert value == "long"
+        _, value = trie.longest_match(parse_address("10.6.1.1"))
+        assert value == "short"
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        match = trie.longest_match(parse_address("200.1.2.3"))
+        assert match is not None and match[1] == "default"
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "old")
+        trie.insert(p, "new")
+        assert len(trie) == 1
+        assert trie.exact_match(p) == "new"
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(parse_address("1.2.3.4"), 32), "host")
+        assert trie.longest_match(parse_address("1.2.3.4"))[1] == "host"
+        assert trie.longest_match(parse_address("1.2.3.5")) is None
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, 1)
+        trie.remove(p)
+        assert len(trie) == 0
+        assert trie.longest_match(parse_address("10.0.0.1")) is None
+
+    def test_remove_missing_raises(self):
+        trie = PrefixTrie()
+        with pytest.raises(AddressError):
+            trie.remove(Prefix.parse("10.0.0.0/8"))
+
+    def test_remove_leaves_ancestors(self):
+        trie = PrefixTrie()
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        trie.insert(outer, "outer")
+        trie.insert(inner, "inner")
+        trie.remove(inner)
+        assert trie.longest_match(parse_address("10.5.0.1"))[1] == "outer"
+
+
+class TestItems:
+    def test_items_in_address_order(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("20.0.0.0/8"), 2)
+        trie.insert(Prefix.parse("10.0.0.0/8"), 1)
+        trie.insert(Prefix.parse("10.128.0.0/9"), 3)
+        prefixes = [str(p) for p, _ in trie.items()]
+        assert prefixes == ["10.0.0.0/8", "10.128.0.0/9", "20.0.0.0/8"]
+
+    def test_items_round_trip(self):
+        trie = PrefixTrie()
+        inserted = {
+            Prefix.parse("16.0.0.0/16"): 1,
+            Prefix.parse("16.1.0.0/16"): 2,
+            Prefix.parse("0.0.0.0/0"): 0,
+        }
+        for p, v in inserted.items():
+            trie.insert(p, v)
+        assert dict(trie.items()) == inserted
+
+
+class TestDifferential:
+    @settings(max_examples=120)
+    @given(prefix_entries, addresses)
+    def test_matches_reference_implementation(self, raw_entries, address):
+        trie = PrefixTrie()
+        entries: dict[Prefix, int] = {}
+        for base, length, value in raw_entries:
+            prefix = Prefix(base & prefix_mask(length), length)
+            entries[prefix] = value
+            trie.insert(prefix, value)
+        expected = _reference_longest_match(list(entries.items()), address)
+        actual = trie.longest_match(address)
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual[0] == expected[0]
+            assert actual[1] == expected[1]

@@ -1,0 +1,41 @@
+"""Tests for the repro.cli experiment driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_single_experiment_runs(self, capsys):
+        code = main(["--scale", "small", "--experiments", "table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "IxMapper, Skitter" in out
+
+    def test_multiple_experiments(self, capsys):
+        code = main(
+            ["--scale", "small", "--experiments", "table4", "table6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HOMOGENEITY" in out
+        assert "INTERDOMAIN" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiments", "table99"])
+
+    def test_seed_override(self, capsys):
+        code = main(["--scale", "small", "--seed", "5", "--experiments", "table1"])
+        assert code == 0
+
+    def test_edgescape_mapper(self, capsys):
+        code = main(
+            [
+                "--scale", "small", "--mapper", "EdgeScape",
+                "--experiments", "figure2",
+            ]
+        )
+        assert code == 0
+        assert "FIGURE 2" in capsys.readouterr().out

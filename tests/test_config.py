@@ -1,0 +1,107 @@
+"""Tests for repro.config (scenario validation and presets)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DEFAULT_ALPHA,
+    DEFAULT_WAXMAN_L,
+    BgpConfig,
+    GeolocConfig,
+    GroundTruthConfig,
+    MercatorConfig,
+    ScenarioConfig,
+    SkitterConfig,
+    default_scenario,
+    small_scenario,
+)
+from repro.errors import ConfigError
+
+
+class TestPlantedDefaults:
+    def test_alpha_in_paper_band(self):
+        # The paper's fitted slopes span 1.2-1.75; planted values do too.
+        for zone, alpha in DEFAULT_ALPHA.items():
+            assert 1.0 < alpha <= 1.8, zone
+
+    def test_waxman_l_matches_paper(self):
+        # Paper: L ~ 140 miles for the US and Japan, ~80 for Europe.
+        assert DEFAULT_WAXMAN_L["USA"] == 140.0
+        assert DEFAULT_WAXMAN_L["Japan"] == 140.0
+        assert DEFAULT_WAXMAN_L["W. Europe"] == 80.0
+
+
+class TestSkitterConfig:
+    def test_defaults_match_paper_monitor_count(self):
+        assert SkitterConfig().n_monitors == 19
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_monitors=0),
+            dict(destinations_per_monitor=0),
+            dict(response_rate=0.0),
+            dict(response_rate=1.5),
+            dict(max_hops=1),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SkitterConfig(**kwargs)
+
+
+class TestMercatorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_targets=0),
+            dict(n_source_routed=-1),
+            dict(response_rate=0.0),
+            dict(alias_resolution_rate=1.5),
+            dict(max_hops=0),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MercatorConfig(**kwargs)
+
+
+class TestBgpAndGeolocConfig:
+    def test_bgp_rates_bounded(self):
+        with pytest.raises(ConfigError):
+            BgpConfig(unannounced_rate=-0.1)
+        with pytest.raises(ConfigError):
+            BgpConfig(deaggregation_rate=1.1)
+
+    def test_geoloc_rates_bounded(self):
+        with pytest.raises(ConfigError):
+            GeolocConfig(ixmapper_unmapped_rate=2.0)
+        with pytest.raises(ConfigError):
+            GeolocConfig(edgescape_isp_coverage=-0.5)
+
+
+class TestScenario:
+    def test_rng_is_deterministic(self):
+        config = ScenarioConfig(seed=5)
+        a = config.rng().integers(0, 1_000_000, 5)
+        b = config.rng().integers(0, 1_000_000, 5)
+        assert np.array_equal(a, b)
+
+    def test_city_scale_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(city_scale=0.0)
+
+    def test_presets_are_valid(self):
+        small = small_scenario()
+        full = default_scenario()
+        assert small.ground_truth.total_routers < full.ground_truth.total_routers
+        assert small.seed != 0
+
+    def test_preset_seed_override(self):
+        assert small_scenario(99).seed == 99
+        assert default_scenario(123).seed == 123
+
+    def test_ground_truth_config_frozen(self):
+        config = GroundTruthConfig()
+        with pytest.raises(AttributeError):
+            config.total_routers = 10  # type: ignore[misc]

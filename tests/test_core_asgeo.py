@@ -1,0 +1,217 @@
+"""Tests for repro.core.asgeo (Section VI analyses)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.table import UNMAPPED_ASN
+from repro.core.asgeo import (
+    as_size_measures,
+    hull_areas,
+    hull_vs_size,
+    link_domain_row,
+    link_domain_table,
+    size_correlations,
+    size_distributions,
+)
+from repro.datasets.mapped import MappedDataset
+from repro.errors import AnalysisError
+from repro.geo.regions import EUROPE, STUDY_REGIONS, US
+
+
+def _dataset() -> MappedDataset:
+    """Three ASes: compact (1), two-site (2), dispersed (3)."""
+    lats = np.array([37.7, 37.71, 37.72, 40.7, 48.86, 35.0, -33.87, 51.51, 40.0])
+    lons = np.array(
+        [-122.4, -122.41, -122.42, -74.0, 2.35, 139.0, 151.21, -0.13, -100.0]
+    )
+    asns = np.array([1, 1, 1, 2, 2, 3, 3, 3, 3], dtype=np.int64)
+    links = np.array(
+        [[0, 1], [1, 2], [2, 3], [3, 4], [4, 7], [5, 6], [6, 7], [7, 8], [0, 5]],
+        dtype=np.intp,
+    )
+    return MappedDataset(
+        label="asgeo",
+        kind="skitter",
+        addresses=np.arange(9, dtype=np.int64),
+        lats=lats,
+        lons=lons,
+        asns=asns,
+        links=links,
+    )
+
+
+class TestAsSizeMeasures:
+    def test_node_counts(self):
+        table = as_size_measures(_dataset())
+        by_asn = dict(zip(table.asns.tolist(), table.n_nodes.tolist()))
+        assert by_asn == {1: 3, 2: 2, 3: 4}
+
+    def test_location_counts(self):
+        table = as_size_measures(_dataset())
+        by_asn = dict(zip(table.asns.tolist(), table.n_locations.tolist()))
+        # AS 1's three nodes share one rounded location.
+        assert by_asn[1] == 1
+        assert by_asn[2] == 2
+        assert by_asn[3] == 4
+
+    def test_degrees_from_as_graph(self):
+        table = as_size_measures(_dataset())
+        by_asn = dict(zip(table.asns.tolist(), table.degree.tolist()))
+        # Edges: (1,2) via link 2-3, (2,3) via 4-7, (1,3) via 0-5.
+        assert by_asn == {1: 2, 2: 2, 3: 2}
+
+    def test_unmapped_group_omitted(self):
+        ds = _dataset()
+        asns = ds.asns.copy()
+        asns[8] = UNMAPPED_ASN
+        ds2 = MappedDataset(
+            label="x", kind="skitter", addresses=ds.addresses, lats=ds.lats,
+            lons=ds.lons, asns=asns, links=ds.links,
+        )
+        table = as_size_measures(ds2)
+        assert UNMAPPED_ASN not in table.asns.tolist()
+
+    def test_empty_dataset_raises(self):
+        ds = MappedDataset(
+            label="e", kind="skitter",
+            addresses=np.empty(0, dtype=np.int64),
+            lats=np.empty(0), lons=np.empty(0),
+            asns=np.empty(0, dtype=np.int64),
+            links=np.empty((0, 2), dtype=np.intp),
+        )
+        with pytest.raises(AnalysisError):
+            as_size_measures(ds)
+
+
+class TestDistributionsAndCorrelations:
+    def test_ccdf_points_finite(self, pipeline_small):
+        table = as_size_measures(pipeline_small.dataset("IxMapper", "Skitter"))
+        dists = size_distributions(table)
+        for lx, ly in (dists.nodes_ccdf, dists.locations_ccdf, dists.degree_ccdf):
+            assert np.all(np.isfinite(lx)) and np.all(np.isfinite(ly))
+
+    def test_long_tails_on_pipeline(self, pipeline_small):
+        table = as_size_measures(pipeline_small.dataset("IxMapper", "Skitter"))
+        dists = size_distributions(table)
+        assert dists.decades["nodes"] >= 1.5
+        assert dists.decades["locations"] >= 1.0
+
+    def test_correlations_positive_on_pipeline(self, pipeline_small):
+        table = as_size_measures(pipeline_small.dataset("IxMapper", "Skitter"))
+        corr = size_correlations(table)
+        assert corr.pearson_nodes_locations > 0.5
+        assert corr.pearson_nodes_degree > 0.3
+        assert corr.pearson_locations_degree > 0.3
+        assert corr.spearman_nodes_locations > 0.3
+
+    def test_nodes_locations_is_tightest_pair(self, pipeline_small):
+        # Paper: the interfaces~locations scatter is the tightest.
+        table = as_size_measures(pipeline_small.dataset("IxMapper", "Skitter"))
+        corr = size_correlations(table)
+        assert corr.pearson_nodes_locations >= corr.pearson_locations_degree - 0.05
+
+
+class TestHulls:
+    def test_compact_as_zero_extent(self):
+        hulls = hull_areas(_dataset())
+        by_asn = dict(zip(hulls.asns.tolist(), hulls.areas.tolist()))
+        # AS 1 is a tight metro cluster: tiny but positive hull; AS 2 has
+        # two sites (zero area); AS 3 spans the globe.
+        assert by_asn[2] == 0.0
+        assert by_asn[3] > 1e6
+        assert by_asn[1] < 100.0
+
+    def test_zero_fraction(self):
+        hulls = hull_areas(_dataset())
+        assert 0.0 <= hulls.zero_fraction <= 1.0
+
+    def test_region_restriction_shrinks_hulls(self):
+        world = hull_areas(_dataset())
+        us_only = hull_areas(_dataset(), region=US)
+        assert us_only.areas.max() <= world.areas.max()
+
+    def test_cdf_points_monotone(self, pipeline_small):
+        hulls = hull_areas(pipeline_small.dataset("IxMapper", "Skitter"))
+        areas, p = hulls.cdf_points()
+        assert np.all(np.diff(areas) >= 0)
+        assert np.all(np.diff(p) >= 0)
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_majority_zero_extent_on_pipeline(self, pipeline_small):
+        # Paper Figure 9: ~80% of ASes have no extent at all.
+        hulls = hull_areas(pipeline_small.dataset("IxMapper", "Skitter"))
+        assert hulls.zero_fraction > 0.4
+
+
+class TestHullVsSize:
+    def test_summary_fields(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        table = as_size_measures(ds)
+        hulls = hull_areas(ds)
+        summary = hull_vs_size(table, hulls, size_measure="nodes", cutoff=100)
+        assert summary.max_area > 0
+        assert summary.sizes.shape == summary.areas.shape
+
+    def test_large_ases_widely_dispersed(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        table = as_size_measures(ds)
+        hulls = hull_areas(ds)
+        summary = hull_vs_size(table, hulls, size_measure="nodes", cutoff=200)
+        if (summary.sizes >= 200).any():
+            assert summary.dispersal_ratio > 0.2
+
+    def test_unknown_measure_raises(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        table = as_size_measures(ds)
+        hulls = hull_areas(ds)
+        with pytest.raises(AnalysisError):
+            hull_vs_size(table, hulls, size_measure="mass")
+
+    def test_mismatched_tables_raise(self):
+        ds = _dataset()
+        table = as_size_measures(ds)
+        # Europe holds nodes of ASes 2 and 3 only, so the hull table
+        # covers a different AS set than the world-wide size table.
+        hulls = hull_areas(ds.restrict(EUROPE))
+        with pytest.raises(AnalysisError):
+            hull_vs_size(table, hulls)
+
+
+class TestLinkDomains:
+    def test_counts_and_lengths(self):
+        row = link_domain_row(_dataset(), "World")
+        # Interdomain: links 2-3? no - 2,3 are AS1->AS2 cross... recount:
+        # links (2,3): AS1-AS2 inter; (4,7): AS2-AS3 inter; (0,5): AS1-AS3
+        # inter; intradomain: (0,1), (1,2), (3,4)? 3 is AS2, 4 is AS2 ->
+        # intra; (5,6), (6,7), (7,8) AS3 intra.
+        assert row.n_interdomain == 3
+        assert row.n_intradomain == 6
+        assert row.intradomain_fraction == pytest.approx(6 / 9)
+
+    def test_region_rows(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        rows = link_domain_table(ds, STUDY_REGIONS)
+        assert rows[0].region == "World"
+        assert rows[0].intradomain_fraction > 0.6
+
+    def test_interdomain_longer_on_pipeline(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        row = link_domain_row(ds, "World")
+        assert row.mean_interdomain_miles > row.mean_intradomain_miles
+
+    def test_no_links_raises(self):
+        ds = MappedDataset(
+            label="n", kind="skitter",
+            addresses=np.array([1], dtype=np.int64),
+            lats=np.array([0.0]), lons=np.array([0.0]),
+            asns=np.array([1], dtype=np.int64),
+            links=np.empty((0, 2), dtype=np.intp),
+        )
+        with pytest.raises(AnalysisError):
+            link_domain_row(ds, "empty")
+
+    def test_europe_restriction(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter").restrict(EUROPE)
+        if ds.n_links:
+            row = link_domain_row(ds, "Europe")
+            assert row.n_interdomain + row.n_intradomain <= ds.n_links

@@ -1,0 +1,153 @@
+"""Tests for repro.core.density (Section IV analyses)."""
+
+import numpy as np
+import pytest
+
+from repro.core.density import (
+    density_variation,
+    homogeneity_table,
+    patch_regression,
+    region_density_row,
+    region_density_table,
+)
+from repro.datasets.mapped import MappedDataset
+from repro.errors import AnalysisError
+from repro.geo.regions import Region
+from repro.population.worldmodel import EconomicZone, PopulationField
+
+
+def _field(lats, lons, weights, online=None) -> PopulationField:
+    lats = np.asarray(lats, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    zone = EconomicZone(
+        name="T",
+        box=Region("T box", north=90.0, south=-90.0, west=-180.0, east=180.0),
+        population_millions=max(weights.sum() / 1e6, 1e-3),
+        online_millions=max(weights.sum() / 2e6, 1e-4),
+        n_synthetic_cities=1,
+    )
+    return PopulationField(
+        lats=lats,
+        lons=np.asarray(lons, dtype=float),
+        weights=weights,
+        online_weights=(
+            np.asarray(online, dtype=float) if online is not None else weights / 2.0
+        ),
+        zone_index=np.zeros(lats.shape[0], dtype=np.intp),
+        zones=(zone,),
+    )
+
+
+def _dataset(lats, lons) -> MappedDataset:
+    lats = np.asarray(lats, dtype=float)
+    n = lats.shape[0]
+    return MappedDataset(
+        label="d",
+        kind="skitter",
+        addresses=np.arange(n, dtype=np.int64),
+        lats=lats,
+        lons=np.asarray(lons, dtype=float),
+        asns=np.ones(n, dtype=np.int64),
+        links=np.empty((0, 2), dtype=np.intp),
+    )
+
+
+REGION = Region("R", north=10.0, south=0.0, west=0.0, east=10.0)
+
+
+class TestRegionDensityRow:
+    def test_basic_ratios(self):
+        field = _field([5.0, 5.0], [5.0, 6.0], [1000.0, 3000.0])
+        ds = _dataset([5.0, 5.1, 5.2, 20.0], [5.0, 5.0, 5.0, 5.0])
+        row = region_density_row(ds, field, REGION)
+        assert row.n_nodes == 3  # the 20N node is outside
+        assert row.people_per_node == pytest.approx(4000.0 / 3)
+        assert row.online_per_node == pytest.approx(2000.0 / 3)
+
+    def test_empty_region_raises(self):
+        field = _field([5.0], [5.0], [100.0])
+        ds = _dataset([50.0], [50.0])
+        with pytest.raises(AnalysisError):
+            region_density_row(ds, field, REGION)
+
+
+class TestDensityTables:
+    def test_table3_shape_on_pipeline(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        rows = region_density_table(ds, pipeline_small.world.field)
+        names = [r.region for r in rows]
+        assert "USA" in names and "World" in names
+
+    def test_paper_contrast_people_vs_online(self, pipeline_small):
+        # The planted Table III contrast: people/node varies far more
+        # than online/node across economic regions.
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        rows = region_density_table(ds, pipeline_small.world.field)
+        named = [r for r in rows if r.region != "World"]
+        people_var, online_var = density_variation(named)
+        assert people_var > 5 * online_var
+        assert people_var > 20
+
+    def test_homogeneity_table_shape(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        rows = homogeneity_table(ds, pipeline_small.world.field)
+        by_name = {r.region: r for r in rows}
+        assert set(by_name) == {"Northern US", "Southern US", "Central Am."}
+        # The two US halves are similar; Central America is far off.
+        north = by_name["Northern US"].people_per_node
+        south = by_name["Southern US"].people_per_node
+        central = by_name["Central Am."].people_per_node
+        assert max(north, south) / min(north, south) < 4.0
+        assert central > 5 * max(north, south)
+
+    def test_density_variation_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            density_variation([])
+
+
+class TestPatchRegression:
+    def test_planted_power_law_recovered(self):
+        # Build a field and node set where nodes-per-cell follows
+        # population^1.5 exactly, then check the fitted slope.
+        rng = np.random.default_rng(0)
+        cell_lats, cell_lons, pops, node_lats, node_lons = [], [], [], [], []
+        for i in range(60):
+            lat = 0.5 + (i % 8)
+            lon = 0.5 + (i // 8)
+            # Keep populations high enough that the integer node count
+            # never floors to a constant (which would flatten the slope).
+            pop = float(10 ** rng.uniform(3.3, 5))
+            cell_lats.append(lat)
+            cell_lons.append(lon)
+            pops.append(pop)
+            n_nodes = int(round((pop / 1e3) ** 1.5))
+            node_lats.extend([lat] * n_nodes)
+            node_lons.extend([lon] * n_nodes)
+        field = _field(cell_lats, cell_lons, pops)
+        ds = _dataset(node_lats, node_lons)
+        panel = patch_regression(ds, field, REGION, cell_arcmin=60.0)
+        assert panel.fit.slope == pytest.approx(1.5, abs=0.15)
+
+    def test_superlinear_slope_on_pipeline(self, pipeline_small):
+        from repro.geo.regions import US
+
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        panel = patch_regression(ds, pipeline_small.world.field, US)
+        assert panel.fit.slope > 0.9  # superlinearity is noisy at test scale
+        assert panel.fit.n >= 10
+
+    def test_loglog_points_positive_only(self, pipeline_small):
+        from repro.geo.regions import US
+
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        panel = patch_regression(ds, pipeline_small.world.field, US)
+        log_pop, log_nodes = panel.loglog_points()
+        assert np.all(np.isfinite(log_pop))
+        assert log_pop.shape == log_nodes.shape
+
+    def test_empty_region_raises(self):
+        field = _field([5.0], [5.0], [100.0])
+        ds = _dataset([5.0], [5.0])
+        empty = Region("empty", north=-50.0, south=-60.0, west=0.0, east=10.0)
+        with pytest.raises(AnalysisError):
+            patch_regression(ds, field, empty)

@@ -1,0 +1,200 @@
+"""Tests for repro.core.distance (Section V analyses)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    cumulated_preference,
+    exact_pair_counts,
+    grid_pair_counts,
+    preference_function,
+    sensitivity_limit,
+    waxman_fit,
+)
+from repro.datasets.mapped import MappedDataset
+from repro.errors import AnalysisError
+from repro.geo.distance import pairwise_distance_matrix
+from repro.geo.regions import US, Region
+
+REGION = Region("R", north=40.0, south=30.0, west=-110.0, east=-90.0)
+
+
+def _waxman_dataset(
+    n: int = 400, l_miles: float = 100.0, seed: int = 0
+) -> MappedDataset:
+    """Synthetic dataset with planted exponential distance preference."""
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(REGION.south, REGION.north, n)
+    lons = rng.uniform(REGION.west, REGION.east, n)
+    d = pairwise_distance_matrix(lats, lons)
+    links = []
+    for i in range(n - 1):
+        p = 0.4 * np.exp(-d[i, i + 1 :] / l_miles)
+        hits = np.flatnonzero(rng.random(n - i - 1) < p)
+        links.extend((i, i + 1 + int(j)) for j in hits)
+    return MappedDataset(
+        label="waxman",
+        kind="generated",
+        addresses=np.arange(n, dtype=np.int64),
+        lats=lats,
+        lons=lons,
+        asns=np.ones(n, dtype=np.int64),
+        links=np.asarray(links, dtype=np.intp),
+    )
+
+
+class TestPairCounts:
+    def test_exact_counts_total(self):
+        rng = np.random.default_rng(1)
+        lats = rng.uniform(30, 40, 80)
+        lons = rng.uniform(-110, -90, 80)
+        counts = exact_pair_counts(lats, lons, bin_miles=50.0, n_bins=60)
+        assert counts.sum() <= 80 * 79 // 2
+        # With 60 bins of 50 miles the full extent is covered.
+        assert counts.sum() == 80 * 79 // 2
+
+    def test_exact_counts_chunking_invariant(self):
+        rng = np.random.default_rng(2)
+        lats = rng.uniform(30, 40, 150)
+        lons = rng.uniform(-110, -90, 150)
+        a = exact_pair_counts(lats, lons, 25.0, 80, chunk=7)
+        b = exact_pair_counts(lats, lons, 25.0, 80, chunk=512)
+        assert np.array_equal(a, b)
+
+    def test_grid_approximates_exact(self):
+        rng = np.random.default_rng(3)
+        lats = rng.uniform(30.5, 39.5, 600)
+        lons = rng.uniform(-109.5, -90.5, 600)
+        exact = exact_pair_counts(lats, lons, 40.0, 40)
+        grid = grid_pair_counts(lats, lons, REGION, 40.0, 40)
+        assert grid.sum() == exact.sum()
+        # Cumulative distributions agree within a couple of bins' blur.
+        ce = np.cumsum(exact) / exact.sum()
+        cg = np.cumsum(grid) / grid.sum()
+        assert np.max(np.abs(ce - cg)) < 0.08
+
+    def test_single_point_no_pairs(self):
+        counts = exact_pair_counts(np.array([35.0]), np.array([-100.0]), 10.0, 5)
+        assert counts.sum() == 0
+
+
+class TestPreferenceFunction:
+    def test_f_hat_is_ratio(self):
+        ds = _waxman_dataset()
+        pref = preference_function(ds, REGION, bin_miles=25.0, method="exact")
+        usable = pref.pair_counts > 0
+        np.testing.assert_allclose(
+            pref.f_hat[usable],
+            pref.link_counts[usable] / pref.pair_counts[usable],
+        )
+
+    def test_link_lengths_recorded(self):
+        ds = _waxman_dataset()
+        pref = preference_function(ds, REGION, bin_miles=25.0)
+        assert pref.link_lengths.size == ds.n_links
+
+    def test_methods_agree_on_shape(self):
+        ds = _waxman_dataset(n=500)
+        exact = preference_function(ds, REGION, 25.0, method="exact")
+        grid = preference_function(ds, REGION, 25.0, method="grid")
+        assert exact.pair_counts.sum() == grid.pair_counts.sum()
+        # Both estimates decay from small to large d.
+        half = 20
+        e = np.nan_to_num(exact.f_hat)
+        g = np.nan_to_num(grid.f_hat)
+        assert e[:half].mean() > e[half : 2 * half].mean()
+        assert g[:half].mean() > g[half : 2 * half].mean()
+
+    def test_too_few_nodes_raise(self):
+        ds = _waxman_dataset(n=400)
+        empty = Region("empty", north=-50.0, south=-60.0, west=0.0, east=5.0)
+        with pytest.raises(AnalysisError):
+            preference_function(ds, empty, 25.0)
+
+    def test_invalid_parameters_raise(self):
+        ds = _waxman_dataset()
+        with pytest.raises(AnalysisError):
+            preference_function(ds, REGION, -1.0)
+        with pytest.raises(AnalysisError):
+            preference_function(ds, REGION, 25.0, n_bins=3)
+        with pytest.raises(AnalysisError):
+            preference_function(ds, REGION, 25.0, method="psychic")
+
+    def test_populated_extent_trims_empty_tail(self):
+        ds = _waxman_dataset()
+        pref = preference_function(ds, REGION, bin_miles=25.0)
+        extent = pref.populated_extent()
+        assert extent <= pref.bin_left.shape[0]
+        assert pref.pair_counts[extent - 1] > 0
+
+
+class TestWaxmanFit:
+    def test_planted_l_recovered(self):
+        ds = _waxman_dataset(n=700, l_miles=100.0, seed=5)
+        pref = preference_function(ds, REGION, bin_miles=20.0, method="exact")
+        fit = waxman_fit(pref)
+        assert fit.l_miles == pytest.approx(100.0, rel=0.35)
+        assert fit.fit.slope < 0
+
+    def test_flat_profile_rejected(self):
+        # Distance-independent links: semi-log slope near zero or
+        # positive -> the fit must refuse.
+        rng = np.random.default_rng(7)
+        n = 300
+        lats = rng.uniform(REGION.south, REGION.north, n)
+        lons = rng.uniform(REGION.west, REGION.east, n)
+        links = rng.integers(0, n, size=(800, 2))
+        links = links[links[:, 0] != links[:, 1]]
+        ds = MappedDataset(
+            label="flat", kind="generated",
+            addresses=np.arange(n, dtype=np.int64),
+            lats=lats, lons=lons, asns=np.ones(n, dtype=np.int64),
+            links=links.astype(np.intp),
+        )
+        pref = preference_function(ds, REGION, bin_miles=20.0, method="exact")
+        with pytest.raises(AnalysisError):
+            waxman_fit(pref, small_d_max=600.0)
+
+
+class TestCumulatedPreference:
+    def test_flat_tail_gives_linear_cumulation(self):
+        ds = _waxman_dataset(n=600, seed=9)
+        pref = preference_function(ds, REGION, bin_miles=20.0, method="exact")
+        curve = cumulated_preference(pref)
+        assert curve.big_f.shape == curve.d.shape
+        assert np.all(np.diff(curve.big_f) >= 0)
+
+    def test_fit_r_squared_reported(self):
+        ds = _waxman_dataset(n=600, seed=10)
+        pref = preference_function(ds, REGION, bin_miles=20.0, method="exact")
+        curve = cumulated_preference(pref)
+        assert 0.0 <= curve.large_d_fit.r_squared <= 1.0
+
+
+class TestSensitivityLimit:
+    def test_limit_and_fraction(self):
+        # Plant the paper's structure: Waxman small-d + uniform tail.
+        rng = np.random.default_rng(11)
+        ds = _waxman_dataset(n=700, l_miles=80.0, seed=11)
+        n = ds.n_nodes
+        extra = rng.integers(0, n, size=(150, 2))
+        extra = extra[extra[:, 0] != extra[:, 1]]
+        links = np.vstack([ds.links, extra.astype(np.intp)])
+        ds2 = MappedDataset(
+            label="two-regime", kind="generated",
+            addresses=ds.addresses, lats=ds.lats, lons=ds.lons,
+            asns=ds.asns, links=links,
+        )
+        pref = preference_function(ds2, REGION, bin_miles=20.0, method="exact")
+        result = sensitivity_limit(pref)
+        assert result.limit_miles > 0
+        assert 0.5 <= result.fraction_below <= 1.0
+        assert result.large_d_mean > 0
+
+    def test_pipeline_us_region(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        pref = preference_function(ds, US, bin_miles=35.0)
+        result = sensitivity_limit(pref)
+        # The paper band: most links fall below the limit.
+        assert result.fraction_below > 0.5
+        assert 20.0 < result.waxman.l_miles < 800.0

@@ -1,0 +1,166 @@
+"""Tests for repro.core.experiments (per-table/figure runners)."""
+
+import numpy as np
+import pytest
+
+from repro.core import experiments, report
+from repro.errors import AnalysisError
+
+
+class TestTable1:
+    def test_four_rows(self, pipeline_small):
+        rows = experiments.table1(pipeline_small)
+        assert len(rows) == 4
+        labels = [r.label for r in rows]
+        assert labels == [
+            "IxMapper, Mercator",
+            "IxMapper, Skitter",
+            "EdgeScape, Mercator",
+            "EdgeScape, Skitter",
+        ]
+
+    def test_sizes_positive(self, pipeline_small):
+        for row in experiments.table1(pipeline_small):
+            assert row.n_nodes > 0
+            assert row.n_links > 0
+            assert 0 < row.n_locations <= row.n_nodes
+
+
+class TestTables3And4:
+    def test_table3_contrast(self, pipeline_small):
+        result = experiments.table3(pipeline_small)
+        assert result.people_variation > result.online_variation
+        assert any(r.region == "World" for r in result.rows)
+
+    def test_table4_rows(self, pipeline_small):
+        rows = experiments.table4(pipeline_small)
+        assert {r.region for r in rows} == {
+            "Northern US", "Southern US", "Central Am.",
+        }
+
+
+class TestTable5And6:
+    def test_table5_rows_have_positive_limits(self, pipeline_small):
+        rows = experiments.table5(pipeline_small)
+        assert rows
+        for row in rows:
+            assert row.limit.limit_miles > 0
+            assert 0.0 <= row.limit.fraction_below <= 1.0
+
+    def test_table6_world_first(self, pipeline_small):
+        rows = experiments.table6(pipeline_small)
+        assert rows[0].region == "World"
+        assert rows[0].intradomain_fraction > 0.5
+
+
+class TestFigures:
+    def test_figure1_series(self, pipeline_small):
+        series = experiments.figure1(pipeline_small)
+        assert set(series) == {"US", "Europe", "Japan"}
+        for lats, lons in series.values():
+            assert lats.shape == lons.shape
+
+    def test_figure2_superlinear_panels(self, pipeline_small):
+        panels = experiments.figure2(pipeline_small)
+        assert panels
+        slopes = [p.fit.slope for p in panels.values()]
+        assert np.mean(slopes) > 1.0
+
+    def test_figure4_to_6_chain(self, pipeline_small):
+        panels = experiments.figure4(pipeline_small)
+        assert panels
+        fits = experiments.figure5(panels)
+        for fit in fits.values():
+            assert fit.fit.slope < 0
+        curves = experiments.figure6(panels)
+        for curve in curves.values():
+            assert np.all(np.diff(curve.big_f) >= -1e-12)
+
+    def test_figures7_to_10_bundle(self, pipeline_small):
+        bundle = experiments.figures7_to_10(pipeline_small)
+        assert bundle.table.n_ases > 10
+        assert bundle.hulls_world.areas.shape == (bundle.table.n_ases,)
+        assert set(bundle.dispersal) == {"nodes", "locations", "degree"}
+
+    def test_edgescape_variants_run(self, pipeline_small):
+        # Appendix figures: same runners with mapper="EdgeScape".
+        panels = experiments.figure2(pipeline_small, mapper="EdgeScape")
+        assert panels
+        bundle = experiments.figures7_to_10(pipeline_small, mapper="EdgeScape")
+        assert bundle.table.n_ases > 10
+
+
+class TestX1AndX2:
+    def test_fractal_result(self, pipeline_small):
+        result = experiments.experiment_x1(pipeline_small)
+        assert 0.2 < result.routers.dimension < 2.0
+        assert 0.2 < result.population.dimension < 2.0
+
+    def test_dataset_from_graph(self, world_small):
+        from repro.generators.geogen import GeoGenConfig, geogen_graph
+
+        annotated = geogen_graph(
+            world_small, GeoGenConfig(n_nodes=300, n_ases=15),
+            np.random.default_rng(0),
+        )
+        ds = experiments.dataset_from_graph(annotated.graph)
+        assert ds.n_nodes == 300
+        assert ds.n_links == annotated.graph.n_edges
+
+    def test_compare_generator_geogen_decays(self, world_small):
+        from repro.generators.geogen import GeoGenConfig, geogen_graph
+        from repro.geo.regions import WORLD
+
+        annotated = geogen_graph(
+            world_small,
+            GeoGenConfig(n_nodes=800, n_ases=30, waxman_l_miles=120.0),
+            np.random.default_rng(1),
+        )
+        comparison = experiments.compare_generator(
+            annotated.graph, region=WORLD, bin_miles=50.0
+        )
+        assert comparison.decay_slope < 0
+
+    def test_compare_generator_er_flat(self):
+        from repro.generators.erdos_renyi import erdos_renyi_for_mean_degree
+        from repro.geo.regions import US
+
+        graph = erdos_renyi_for_mean_degree(
+            600, 4.0, np.random.default_rng(2),
+            south=26.0, north=49.0, west=-124.0, east=-66.0,
+        )
+        comparison = experiments.compare_generator(graph, region=US,
+                                                   bin_miles=35.0)
+        # Geometry-blind: decay slope near zero (much shallower than any
+        # genuine Waxman decay scale of ~100 miles => slope ~ -0.01).
+        assert np.isnan(comparison.decay_slope) or abs(
+            comparison.decay_slope
+        ) < 0.004
+
+
+class TestRendering:
+    def test_all_renderers_produce_text(self, pipeline_small):
+        out = []
+        out.append(report.render_table1(experiments.table1(pipeline_small)))
+        out.append(report.render_table3(experiments.table3(pipeline_small)))
+        out.append(report.render_table4(experiments.table4(pipeline_small)))
+        out.append(report.render_table5(experiments.table5(pipeline_small)))
+        out.append(report.render_table6(experiments.table6(pipeline_small)))
+        panels = experiments.figure4(pipeline_small)
+        out.append(report.render_figure2(experiments.figure2(pipeline_small)))
+        out.append(report.render_figure4(panels))
+        out.append(report.render_figure5(experiments.figure5(panels)))
+        out.append(report.render_figure6(experiments.figure6(panels)))
+        out.append(
+            report.render_as_geography(experiments.figures7_to_10(pipeline_small))
+        )
+        out.append(report.render_fractal(experiments.experiment_x1(pipeline_small)))
+        for text in out:
+            assert isinstance(text, str)
+            assert len(text.splitlines()) >= 2
+
+    def test_table_headers_match_paper_vocabulary(self, pipeline_small):
+        text = report.render_table5(experiments.table5(pipeline_small))
+        assert "LIMITS OF DISTANCE SENSITIVITY" in text
+        text = report.render_table6(experiments.table6(pipeline_small))
+        assert "INTRADOMAIN" in text and "INTERDOMAIN" in text

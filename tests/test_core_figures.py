@@ -1,0 +1,121 @@
+"""Tests for repro.core.figures (series export + ASCII plots)."""
+
+import numpy as np
+import pytest
+
+from repro.core import experiments
+from repro.core.asgeo import hull_areas, size_distributions, as_size_measures
+from repro.core.figures import (
+    FigureData,
+    Series,
+    figure2_data,
+    figure4_data,
+    figure5_data,
+    figure7_data,
+    figure9_data,
+)
+from repro.errors import AnalysisError
+
+
+class TestSeries:
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(AnalysisError):
+            Series("bad", np.zeros(3), np.zeros(4))
+
+    def test_add_drops_non_finite(self):
+        fig = FigureData(title="t", xlabel="x", ylabel="y")
+        fig.add("s", np.array([1.0, np.nan, 3.0]), np.array([1.0, 2.0, np.inf]))
+        assert fig.series[0].x.tolist() == [1.0]
+
+
+class TestRender:
+    def _figure(self) -> FigureData:
+        fig = FigureData(title="demo", xlabel="d", ylabel="f")
+        x = np.linspace(0, 10, 40)
+        fig.add("line", x, 2 * x)
+        fig.add("curve", x, x**1.5)
+        return fig
+
+    def test_render_contains_title_and_legend(self):
+        text = self._figure().render()
+        assert "demo" in text
+        assert "line" in text and "curve" in text
+
+    def test_render_dimensions(self):
+        text = self._figure().render(width=40, height=10)
+        lines = text.splitlines()
+        canvas_lines = [l for l in lines if l.strip().startswith("|")]
+        assert len(canvas_lines) == 10
+
+    def test_render_log_axes(self):
+        fig = FigureData(title="log", xlabel="x", ylabel="y", logx=True, logy=True)
+        fig.add("pl", np.logspace(0, 3, 20), np.logspace(0, 6, 20))
+        text = fig.render()
+        assert "log10(x)" in text
+
+    def test_empty_figure_raises(self):
+        fig = FigureData(title="empty", xlabel="x", ylabel="y")
+        with pytest.raises(AnalysisError):
+            fig.render()
+
+    def test_constant_series_renders(self):
+        fig = FigureData(title="const", xlabel="x", ylabel="y")
+        fig.add("flat", np.arange(5.0), np.ones(5))
+        assert "const" in fig.render()
+
+
+class TestExport:
+    def test_export_writes_dat_files(self, tmp_path):
+        fig = FigureData(title="t", xlabel="x", ylabel="y")
+        fig.add("series one", np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        paths = fig.export(tmp_path)
+        assert len(paths) == 1
+        content = paths[0].read_text()
+        assert content.startswith("# t")
+        assert "1\t3" in content
+
+    def test_export_round_trips_through_numpy(self, tmp_path):
+        fig = FigureData(title="t", xlabel="x", ylabel="y")
+        x = np.linspace(0, 1, 17)
+        fig.add("s", x, x**2)
+        (path,) = fig.export(tmp_path)
+        data = np.loadtxt(path)
+        assert np.allclose(data[:, 0], x)
+        assert np.allclose(data[:, 1], x**2)
+
+
+class TestPaperFigureBuilders:
+    def test_figure2_data(self, pipeline_small):
+        panels = experiments.figure2(pipeline_small)
+        figures = figure2_data(panels)
+        assert len(figures) == len(panels)
+        for fig in figures:
+            assert len(fig.series) == 2  # scatter + fit
+            assert fig.render()
+
+    def test_figure4_and_5_data(self, pipeline_small):
+        panels = experiments.figure4(pipeline_small)
+        figures4 = figure4_data(panels)
+        assert figures4 and all(f.render() for f in figures4)
+        fits = experiments.figure5(panels)
+        figures5 = figure5_data(panels, fits)
+        assert figures5 and all(f.render() for f in figures5)
+
+    def test_figure7_data(self, pipeline_small):
+        table = as_size_measures(pipeline_small.dataset("IxMapper", "Skitter"))
+        fig = figure7_data(size_distributions(table))
+        assert len(fig.series) == 3
+        assert "interfaces" in fig.render()
+
+    def test_figure9_data(self, pipeline_small):
+        hulls = hull_areas(pipeline_small.dataset("IxMapper", "Skitter"))
+        figures = figure9_data({"World": hulls})
+        assert len(figures) == 1
+        assert "World" in figures[0].title
+
+    def test_export_full_figure_set(self, pipeline_small, tmp_path):
+        panels = experiments.figure2(pipeline_small)
+        total = 0
+        for fig in figure2_data(panels):
+            total += len(fig.export(tmp_path))
+        assert total == 2 * len(panels)

@@ -1,0 +1,126 @@
+"""Tests for repro.core.graphstats."""
+
+import numpy as np
+import pytest
+
+from repro.core.graphstats import (
+    clustering_coefficient,
+    dataset_statistics,
+    degree_ccdf_slope,
+    generated_statistics,
+    graph_statistics,
+    mean_path_length,
+)
+from repro.errors import AnalysisError
+
+
+def _chain_edges(n: int) -> np.ndarray:
+    return np.column_stack([np.arange(n - 1), np.arange(1, n)]).astype(np.intp)
+
+
+def _complete_edges(n: int) -> np.ndarray:
+    return np.asarray(
+        [(i, j) for i in range(n) for j in range(i + 1, n)], dtype=np.intp
+    )
+
+
+class TestGraphStatistics:
+    def test_chain(self):
+        stats = graph_statistics(10, _chain_edges(10))
+        assert stats.n_edges == 9
+        assert stats.mean_degree == pytest.approx(1.8)
+        assert stats.max_degree == 2
+        assert stats.clustering == 0.0
+        assert stats.giant_component_fraction == 1.0
+
+    def test_complete_graph_clustering_is_one(self):
+        stats = graph_statistics(8, _complete_edges(8))
+        assert stats.clustering == pytest.approx(1.0)
+        assert stats.mean_path_length == pytest.approx(1.0)
+
+    def test_disconnected_graph(self):
+        edges = np.array([[0, 1], [2, 3]], dtype=np.intp)
+        stats = graph_statistics(5, edges)
+        assert stats.giant_component_fraction == pytest.approx(0.4)
+
+    def test_parallel_edges_collapsed(self):
+        edges = np.array([[0, 1], [0, 1], [1, 0]], dtype=np.intp)
+        stats = graph_statistics(2, edges)
+        assert stats.n_edges == 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(AnalysisError):
+            graph_statistics(1, np.empty((0, 2), dtype=np.intp))
+
+    def test_path_length_grows_with_chain(self):
+        rng = np.random.default_rng(0)
+        short = mean_path_length(
+            _adj(6, _chain_edges(6)), rng, n_sources=6
+        )
+        long = mean_path_length(
+            _adj(30, _chain_edges(30)), np.random.default_rng(0), n_sources=30
+        )
+        assert long > short
+
+
+def _adj(n, edges):
+    from repro.core.graphstats import _adjacency
+
+    return _adjacency(n, edges)
+
+
+class TestDegreeSlope:
+    def test_power_law_degrees_shallow_slope(self):
+        from repro.generators.barabasi_albert import barabasi_albert_graph
+
+        graph = barabasi_albert_graph(2000, m=2, rng=np.random.default_rng(1))
+        slope = degree_ccdf_slope(graph.degrees())
+        assert -3.0 < slope < -0.8  # heavy tail
+
+    def test_regular_degrees_rejected(self):
+        degrees = np.full(50, 4)
+        with pytest.raises(AnalysisError):
+            degree_ccdf_slope(degrees)
+
+
+class TestClustering:
+    def test_triangle(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]], dtype=np.intp)
+        value = clustering_coefficient(_adj(3, edges), np.random.default_rng(0))
+        assert value == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        edges = np.array([[0, i] for i in range(1, 8)], dtype=np.intp)
+        value = clustering_coefficient(_adj(8, edges), np.random.default_rng(0))
+        assert value == 0.0
+
+
+class TestAdapters:
+    def test_dataset_statistics(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        stats = dataset_statistics(ds, np.random.default_rng(2))
+        assert stats.n_nodes == ds.n_nodes
+        assert stats.mean_degree > 1.0
+        assert stats.giant_component_fraction > 0.5
+        assert stats.mean_path_length > 2.0
+
+    def test_generated_statistics(self):
+        from repro.generators.erdos_renyi import erdos_renyi_for_mean_degree
+
+        graph = erdos_renyi_for_mean_degree(
+            500, 4.0, np.random.default_rng(3)
+        )
+        stats = generated_statistics(graph, np.random.default_rng(3))
+        assert stats.mean_degree == pytest.approx(4.0, rel=0.3)
+        # ER graphs have vanishing clustering at this density.
+        assert stats.clustering < 0.08
+
+    def test_ba_heavier_tail_than_er(self):
+        from repro.generators.barabasi_albert import barabasi_albert_graph
+        from repro.generators.erdos_renyi import erdos_renyi_for_mean_degree
+
+        ba = barabasi_albert_graph(1500, m=2, rng=np.random.default_rng(4))
+        er = erdos_renyi_for_mean_degree(1500, 4.0, np.random.default_rng(4))
+        ba_stats = generated_statistics(ba)
+        er_stats = generated_statistics(er)
+        assert ba_stats.max_degree > 2 * er_stats.max_degree

@@ -1,0 +1,134 @@
+"""Tests for repro.datasets.mapped."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.table import UNMAPPED_ASN
+from repro.datasets.mapped import MappedDataset
+from repro.errors import DatasetError
+from repro.geo.regions import Region
+
+
+def _dataset() -> MappedDataset:
+    """Six nodes: 3 in a west cluster (AS 1), 3 east (AS 2, one unmapped)."""
+    return MappedDataset(
+        label="test",
+        kind="skitter",
+        addresses=np.arange(6, dtype=np.int64),
+        lats=np.array([37.7, 37.8, 37.7, 40.7, 40.0, 40.01]),
+        lons=np.array([-122.4, -122.3, -122.4, -74.0, -75.2, -75.2]),
+        asns=np.array([1, 1, 1, 2, 2, UNMAPPED_ASN], dtype=np.int64),
+        links=np.array([[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]], dtype=np.intp),
+    )
+
+
+class TestValidation:
+    def test_valid_dataset(self):
+        ds = _dataset()
+        assert ds.n_nodes == 6 and ds.n_links == 5
+
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(DatasetError):
+            MappedDataset(
+                label="bad", kind="skitter",
+                addresses=np.arange(3, dtype=np.int64),
+                lats=np.zeros(2), lons=np.zeros(3),
+                asns=np.zeros(3, dtype=np.int64),
+                links=np.empty((0, 2), dtype=np.intp),
+            )
+
+    def test_link_index_bounds_enforced(self):
+        with pytest.raises(DatasetError):
+            MappedDataset(
+                label="bad", kind="skitter",
+                addresses=np.arange(2, dtype=np.int64),
+                lats=np.zeros(2), lons=np.zeros(2),
+                asns=np.zeros(2, dtype=np.int64),
+                links=np.array([[0, 5]], dtype=np.intp),
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DatasetError):
+            MappedDataset(
+                label="bad", kind="skitter",
+                addresses=np.arange(2, dtype=np.int64),
+                lats=np.zeros(2), lons=np.zeros(2),
+                asns=np.zeros(2, dtype=np.int64),
+                links=np.array([[1, 1]], dtype=np.intp),
+            )
+
+
+class TestLocations:
+    def test_distinct_locations_rounded(self):
+        ds = _dataset()
+        # Nodes 0 and 2 share a rounded location; 4 and 5 share one.
+        assert ds.n_locations == 4
+
+    def test_location_keys_shape(self):
+        keys = _dataset().location_keys()
+        assert keys.shape == (6, 2)
+
+
+class TestLinkGeometry:
+    def test_link_lengths(self):
+        lengths = _dataset().link_lengths()
+        assert lengths.shape == (5,)
+        assert lengths[0] < 20  # intra-cluster
+        assert lengths[2] > 2000  # coast to coast
+
+    def test_interdomain_mask_excludes_unmapped(self):
+        ds = _dataset()
+        inter = ds.interdomain_mask()
+        intra = ds.intradomain_mask()
+        # Link (2,3) crosses AS 1 -> AS 2; link (4,5) touches unmapped.
+        assert inter.tolist() == [False, False, True, False, False]
+        assert intra.tolist() == [True, True, False, True, False]
+
+
+class TestRestrict:
+    def test_restrict_keeps_inside_nodes(self):
+        ds = _dataset()
+        west = Region("west", north=45.0, south=30.0, west=-130.0, east=-100.0)
+        sub = ds.restrict(west)
+        assert sub.n_nodes == 3
+        assert sub.n_links == 2  # links among nodes 0, 1, 2
+
+    def test_restrict_reindexes_links(self):
+        ds = _dataset()
+        east = Region("east", north=45.0, south=30.0, west=-80.0, east=-70.0)
+        sub = ds.restrict(east)
+        assert sub.n_nodes == 3
+        assert sub.links.max() < sub.n_nodes
+        sub_lengths = sub.link_lengths()
+        assert np.all(sub_lengths >= 0)
+
+    def test_restrict_label(self):
+        ds = _dataset()
+        region = Region("east", north=45.0, south=30.0, west=-80.0, east=-70.0)
+        assert "east" in ds.restrict(region).label
+
+    def test_empty_restriction(self):
+        ds = _dataset()
+        nowhere = Region("nowhere", north=-60.0, south=-70.0, west=0.0, east=10.0)
+        sub = ds.restrict(nowhere)
+        assert sub.n_nodes == 0 and sub.n_links == 0
+
+
+class TestAsStructure:
+    def test_known_asns_excludes_sentinel(self):
+        assert _dataset().known_asns().tolist() == [1, 2]
+
+    def test_as_node_counts(self):
+        counts = _dataset().as_node_counts()
+        assert counts == {1: 3, 2: 2}
+
+    def test_as_graph_edges(self):
+        edges = _dataset().as_graph_edges()
+        assert edges == {(1, 2)}
+
+    def test_as_degrees(self):
+        degrees = _dataset().as_degrees()
+        assert degrees == {1: 1, 2: 1}
+
+    def test_nodes_of_as(self):
+        assert _dataset().nodes_of_as(1).tolist() == [0, 1, 2]

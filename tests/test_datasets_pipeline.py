@@ -1,0 +1,165 @@
+"""Tests for repro.datasets.pipeline (the end-to-end build)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.table import UNMAPPED_ASN, BgpTable, RibEntry
+from repro.datasets.pipeline import _majority_vote, build_snapshot, run_pipeline
+from repro.errors import DatasetError
+from repro.geo.coords import GeoPoint
+from repro.geoloc.base import METHOD_HOSTNAME, METHOD_UNMAPPED, MappingResult
+from repro.measure.inventory import RawInventory
+from repro.net.ip import Prefix
+
+
+class _StubMapper:
+    """Geolocator stub with a scripted answer per address."""
+
+    name = "Stub"
+
+    def __init__(self, answers: dict[int, GeoPoint | None]):
+        self._answers = answers
+
+    def locate(self, address: int) -> MappingResult:
+        location = self._answers.get(address)
+        if location is None:
+            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        return MappingResult(location=location, method=METHOD_HOSTNAME)
+
+
+def _table() -> BgpTable:
+    return BgpTable([RibEntry(Prefix.parse("0.0.0.0/8"), 77)])
+
+
+class TestMajorityVote:
+    def test_clear_winner(self):
+        assert _majority_vote([(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]) == (1.0, 1.0)
+
+    def test_tie_returns_none(self):
+        assert _majority_vote([(1.0, 1.0), (2.0, 2.0)]) is None
+
+    def test_single_vote_wins(self):
+        assert _majority_vote([(3.0, 4.0)]) == (3.0, 4.0)
+
+
+class TestBuildSnapshot:
+    def _inventory(self) -> RawInventory:
+        inv = RawInventory(kind="skitter")
+        for node in (10, 20, 30):
+            inv.add_node(node)
+        inv.add_link(10, 20)
+        inv.add_link(20, 30)
+        return inv
+
+    def test_unmapped_nodes_dropped_with_links(self):
+        mapper = _StubMapper(
+            {10: GeoPoint(1.0, 1.0), 20: None, 30: GeoPoint(2.0, 2.0)}
+        )
+        dataset, report = build_snapshot(self._inventory(), mapper, _table(), "t")
+        assert dataset.n_nodes == 2
+        assert dataset.n_links == 0  # both links touched node 20
+        assert report.n_unmapped == 1
+
+    def test_all_mapped_keeps_links(self):
+        mapper = _StubMapper(
+            {10: GeoPoint(1.0, 1.0), 20: GeoPoint(1.5, 1.5), 30: GeoPoint(2.0, 2.0)}
+        )
+        dataset, report = build_snapshot(self._inventory(), mapper, _table(), "t")
+        assert dataset.n_nodes == 3 and dataset.n_links == 2
+        assert report.n_unmapped == 0
+
+    def test_as_mapping_uses_bgp_table(self):
+        mapper = _StubMapper({10: GeoPoint(1.0, 1.0)})
+        inv = RawInventory(kind="skitter")
+        inv.add_node(10)
+        dataset, report = build_snapshot(inv, mapper, _table(), "t")
+        assert dataset.asns[0] == 77
+        assert report.n_as_unmapped == 0
+
+    def test_unannounced_address_gets_sentinel(self):
+        mapper = _StubMapper({0x20000001: GeoPoint(1.0, 1.0)})
+        inv = RawInventory(kind="skitter")
+        inv.add_node(0x20000001)  # outside the announced 0.0.0.0/8
+        dataset, report = build_snapshot(inv, mapper, _table(), "t")
+        assert dataset.asns[0] == UNMAPPED_ASN
+        assert report.n_as_unmapped == 1
+
+    def test_mercator_tie_discards_router(self):
+        inv = RawInventory(kind="mercator")
+        inv.add_node(100)
+        inv.aliases[100] = [100, 101]
+        mapper = _StubMapper(
+            {100: GeoPoint(1.0, 1.0), 101: GeoPoint(5.0, 5.0)}
+        )
+        dataset, report = build_snapshot(inv, mapper, _table(), "t")
+        assert dataset.n_nodes == 0
+        assert report.n_location_ties == 1
+
+    def test_mercator_majority_wins(self):
+        inv = RawInventory(kind="mercator")
+        inv.add_node(100)
+        inv.aliases[100] = [100, 101, 102]
+        mapper = _StubMapper(
+            {
+                100: GeoPoint(1.0, 1.0),
+                101: GeoPoint(1.0, 1.0),
+                102: GeoPoint(5.0, 5.0),
+            }
+        )
+        dataset, _ = build_snapshot(inv, mapper, _table(), "t")
+        assert dataset.n_nodes == 1
+        assert dataset.lats[0] == pytest.approx(1.0)
+
+
+class TestRunPipeline:
+    def test_produces_four_datasets(self, pipeline_small):
+        assert set(pipeline_small.datasets) == {
+            "IxMapper, Mercator",
+            "IxMapper, Skitter",
+            "EdgeScape, Mercator",
+            "EdgeScape, Skitter",
+        }
+
+    def test_dataset_lookup_helper(self, pipeline_small):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        assert ds.kind == "skitter"
+        with pytest.raises(DatasetError):
+            pipeline_small.dataset("NetGeo", "Skitter")
+
+    def test_datasets_nonempty(self, pipeline_small):
+        for ds in pipeline_small.datasets.values():
+            assert ds.n_nodes > 500
+            assert ds.n_links > 500
+            assert ds.n_locations > 20
+
+    def test_unmapped_rates_match_paper_band(self, pipeline_small):
+        for label, report in pipeline_small.processing_reports.items():
+            rate = report.n_unmapped / report.n_raw_nodes
+            if label.startswith("IxMapper"):
+                assert rate < 0.04
+            else:
+                assert rate < 0.02
+
+    def test_mercator_tie_rate_small(self, pipeline_small):
+        for label, report in pipeline_small.processing_reports.items():
+            if "Mercator" in label:
+                tie_rate = report.n_location_ties / report.n_raw_nodes
+                assert tie_rate < 0.06  # paper observes 2.5-2.9%
+
+    def test_as_unmapped_rate_small(self, pipeline_small):
+        for report in pipeline_small.processing_reports.values():
+            rate = report.n_as_unmapped / report.n_raw_nodes
+            assert rate < 0.06  # paper observes 1.5-2.8%
+
+    def test_skitter_larger_than_mercator(self, pipeline_small):
+        skitter = pipeline_small.dataset("IxMapper", "Skitter")
+        mercator = pipeline_small.dataset("IxMapper", "Mercator")
+        assert skitter.n_nodes > mercator.n_nodes
+
+    def test_deterministic_given_config(self, pipeline_small, small_config):
+        again = run_pipeline(small_config)
+        ds1 = pipeline_small.dataset("IxMapper", "Skitter")
+        ds2 = again.dataset("IxMapper", "Skitter")
+        assert ds1.n_nodes == ds2.n_nodes
+        assert np.array_equal(ds1.addresses, ds2.addresses)
+        assert np.array_equal(ds1.lats, ds2.lats)

@@ -1,0 +1,114 @@
+"""Tests for repro.datasets.serialize (JSON/CSV round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.mapped import MappedDataset
+from repro.datasets.serialize import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset_csv,
+    load_dataset_json,
+    save_dataset_csv,
+    save_dataset_json,
+)
+from repro.errors import DatasetError
+
+
+def _dataset() -> MappedDataset:
+    return MappedDataset(
+        label="round trip",
+        kind="mercator",
+        addresses=np.array([5, 9, 11], dtype=np.int64),
+        lats=np.array([1.5, 2.5, 3.5]),
+        lons=np.array([-1.0, -2.0, -3.0]),
+        asns=np.array([100, 100, 200], dtype=np.int64),
+        links=np.array([[0, 1], [1, 2]], dtype=np.intp),
+    )
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        ds = _dataset()
+        again = dataset_from_dict(dataset_to_dict(ds))
+        assert again.label == ds.label
+        assert again.kind == ds.kind
+        assert np.array_equal(again.addresses, ds.addresses)
+        assert np.array_equal(again.lats, ds.lats)
+        assert np.array_equal(again.links, ds.links)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset_json(_dataset(), path)
+        again = load_dataset_json(path)
+        assert again.n_nodes == 3 and again.n_links == 2
+
+    def test_empty_links_round_trip(self, tmp_path):
+        ds = MappedDataset(
+            label="nolinks", kind="skitter",
+            addresses=np.array([1], dtype=np.int64),
+            lats=np.array([0.0]), lons=np.array([0.0]),
+            asns=np.array([1], dtype=np.int64),
+            links=np.empty((0, 2), dtype=np.intp),
+        )
+        path = tmp_path / "ds.json"
+        save_dataset_json(ds, path)
+        assert load_dataset_json(path).n_links == 0
+
+    def test_version_mismatch_rejected(self):
+        payload = dataset_to_dict(_dataset())
+        payload["format_version"] = 999
+        with pytest.raises(DatasetError):
+            dataset_from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = dataset_to_dict(_dataset())
+        del payload["lats"]
+        with pytest.raises(DatasetError):
+            dataset_from_dict(payload)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_dataset_json(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset_json(tmp_path / "absent.json")
+
+    def test_json_is_plain_types(self, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset_json(_dataset(), path)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["addresses"][0], int)
+
+
+class TestCsvRoundTrip:
+    def test_csv_round_trip(self, tmp_path):
+        ds = _dataset()
+        save_dataset_csv(ds, tmp_path)
+        again = load_dataset_csv(tmp_path, label=ds.label, kind=ds.kind)
+        assert np.array_equal(again.addresses, ds.addresses)
+        assert np.allclose(again.lats, ds.lats)
+        assert np.array_equal(again.links, ds.links)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset_csv(tmp_path / "nothing")
+
+    def test_malformed_csv_rejected(self, tmp_path):
+        (tmp_path / "nodes.csv").write_text("address,lat\n1,2\n")
+        (tmp_path / "links.csv").write_text("node_a,node_b\n")
+        with pytest.raises(DatasetError):
+            load_dataset_csv(tmp_path)
+
+    def test_pipeline_dataset_round_trips(self, pipeline_small, tmp_path):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        save_dataset_json(ds, tmp_path / "full.json")
+        again = load_dataset_json(tmp_path / "full.json")
+        assert again.n_nodes == ds.n_nodes
+        assert again.n_links == ds.n_links
+        assert again.n_locations == ds.n_locations

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess exactly as a user would run it
+and checked for a zero exit code and its headline output.  Marked slow:
+together they run several pipelines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "TABLE I" in out
+    assert "IxMapper, Skitter" in out
+
+
+def test_topology_generator_comparison():
+    out = _run("topology_generator_comparison.py")
+    assert "geogen" in out
+    assert "erdos-renyi" in out
+    assert "AS labels" in out
+
+
+def test_isp_footprint_analysis():
+    out = _run("isp_footprint_analysis.py")
+    assert "Top 10 ASes" in out
+    assert "dispersed" in out
+
+
+def test_measurement_bias_study():
+    out = _run("measurement_bias_study.py")
+    assert "vantage-point sweep" in out
+    assert "alias-resolution sweep" in out
+    assert "Geolocation error" in out
+
+
+def test_export_paper_figures(tmp_path):
+    out = _run("export_paper_figures.py", "--outdir", str(tmp_path / "figs"))
+    assert "series files" in out
+    assert "PLANTED vs RECOVERED" in out
+    assert list((tmp_path / "figs").rglob("*.dat"))

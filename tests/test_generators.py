@@ -1,0 +1,239 @@
+"""Tests for repro.generators (baselines and GeoGen)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.generators.barabasi_albert import barabasi_albert_graph
+from repro.generators.base import GeneratedGraph, dedupe_edges, uniform_points_in_box
+from repro.generators.erdos_renyi import (
+    erdos_renyi_for_mean_degree,
+    erdos_renyi_graph,
+)
+from repro.generators.geogen import GeoGenConfig, geogen_graph
+from repro.generators.hierarchical import transit_stub_graph
+from repro.generators.waxman import waxman_for_mean_degree, waxman_graph
+
+
+class TestBase:
+    def test_uniform_points_in_box(self, rng):
+        lats, lons = uniform_points_in_box(500, rng)
+        assert np.all((25.0 <= lats) & (lats <= 50.0))
+        assert np.all((-125.0 <= lons) & (lons <= -65.0))
+
+    def test_uniform_points_rejects_bad_input(self, rng):
+        with pytest.raises(ConfigError):
+            uniform_points_in_box(0, rng)
+        with pytest.raises(ConfigError):
+            uniform_points_in_box(10, rng, south=50.0, north=25.0)
+
+    def test_dedupe_edges(self):
+        edges = dedupe_edges([(1, 2), (2, 1), (3, 3), (0, 4)])
+        assert edges.tolist() == [[0, 4], [1, 2]]
+
+    def test_generated_graph_validation(self, rng):
+        with pytest.raises(ConfigError):
+            GeneratedGraph(
+                name="bad",
+                lats=np.zeros(3),
+                lons=np.zeros(3),
+                edges=np.array([[0, 9]], dtype=np.intp),
+                asns=np.full(3, -1, dtype=np.int64),
+            )
+
+    def test_degrees_and_mean_degree(self, rng):
+        graph = GeneratedGraph(
+            name="tri",
+            lats=np.zeros(3),
+            lons=np.array([0.0, 1.0, 2.0]),
+            edges=np.array([[0, 1], [1, 2]], dtype=np.intp),
+            asns=np.full(3, -1, dtype=np.int64),
+        )
+        assert graph.degrees().tolist() == [1, 2, 1]
+        assert graph.mean_degree() == pytest.approx(4.0 / 3.0)
+
+
+class TestWaxman:
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ConfigError):
+            waxman_graph(10, alpha=0.0, beta=0.5, rng=rng)
+        with pytest.raises(ConfigError):
+            waxman_graph(10, alpha=0.5, beta=1.5, rng=rng)
+        with pytest.raises(ConfigError):
+            waxman_graph(30_000, alpha=0.5, beta=0.5, rng=rng)
+
+    def test_beta_controls_density(self, rng):
+        sparse = waxman_graph(300, alpha=0.9, beta=0.05, rng=np.random.default_rng(1))
+        dense = waxman_graph(300, alpha=0.9, beta=0.8, rng=np.random.default_rng(1))
+        assert dense.n_edges > sparse.n_edges
+
+    def test_short_links_dominate_at_low_alpha(self):
+        # Lower alpha -> stronger distance sensitivity -> shorter edges.
+        near = waxman_graph(400, alpha=0.05, beta=1.0,
+                            rng=np.random.default_rng(2))
+        far = waxman_graph(400, alpha=1.0, beta=0.1,
+                           rng=np.random.default_rng(2))
+        assert near.edge_lengths_miles().mean() < far.edge_lengths_miles().mean()
+
+    def test_mean_degree_calibration(self):
+        graph = waxman_for_mean_degree(
+            500, alpha=0.3, mean_degree=4.0, rng=np.random.default_rng(3)
+        )
+        assert graph.mean_degree() == pytest.approx(4.0, rel=0.4)
+
+    def test_unreachable_degree_raises(self):
+        with pytest.raises(ConfigError):
+            waxman_for_mean_degree(
+                20, alpha=0.01, mean_degree=19.5, rng=np.random.default_rng(0)
+            )
+
+
+class TestErdosRenyi:
+    def test_mean_degree_calibration(self):
+        graph = erdos_renyi_for_mean_degree(
+            600, mean_degree=5.0, rng=np.random.default_rng(4)
+        )
+        assert graph.mean_degree() == pytest.approx(5.0, rel=0.25)
+
+    def test_p_zero_no_edges(self, rng):
+        assert erdos_renyi_graph(50, 0.0, rng).n_edges == 0
+
+    def test_p_one_complete_graph(self, rng):
+        graph = erdos_renyi_graph(20, 1.0, rng)
+        assert graph.n_edges == 20 * 19 // 2
+
+    def test_p_out_of_range_raises(self, rng):
+        with pytest.raises(ConfigError):
+            erdos_renyi_graph(10, 1.5, rng)
+
+    def test_edge_lengths_distance_blind(self):
+        # ER edge length distribution matches the pair distance
+        # distribution: mean edge length ~ mean pair distance.
+        rng = np.random.default_rng(5)
+        graph = erdos_renyi_graph(400, 0.05, rng)
+        from repro.geo.distance import pairwise_distance_matrix
+
+        m = pairwise_distance_matrix(graph.lats, graph.lons)
+        pair_mean = m[np.triu_indices(400, 1)].mean()
+        assert graph.edge_lengths_miles().mean() == pytest.approx(
+            pair_mean, rel=0.1
+        )
+
+
+class TestBarabasiAlbert:
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(5, m=0, rng=rng)
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(3, m=3, rng=rng)
+
+    def test_edge_count(self):
+        graph = barabasi_albert_graph(200, m=2, rng=np.random.default_rng(6))
+        # Seed clique of 3 (3 edges) + 2 per new node.
+        assert graph.n_edges == pytest.approx(3 + 2 * 197, abs=5)
+
+    def test_power_law_ish_degrees(self):
+        graph = barabasi_albert_graph(3000, m=2, rng=np.random.default_rng(7))
+        degrees = graph.degrees()
+        assert degrees.max() > 20 * np.median(degrees)
+
+    def test_connected(self):
+        graph = barabasi_albert_graph(300, m=1, rng=np.random.default_rng(8))
+        from scipy import sparse
+        from scipy.sparse.csgraph import connected_components
+
+        m = sparse.csr_matrix(
+            (np.ones(graph.n_edges), (graph.edges[:, 0], graph.edges[:, 1])),
+            shape=(graph.n_nodes, graph.n_nodes),
+        )
+        n_comp, _ = connected_components(m, directed=False)
+        assert n_comp == 1
+
+
+class TestTransitStub:
+    def test_structure_counts(self):
+        graph = transit_stub_graph(
+            3, 4, 2, 3, rng=np.random.default_rng(9)
+        )
+        assert graph.n_nodes == 3 * (4 + 2 * 3)
+
+    def test_connected(self):
+        graph = transit_stub_graph(2, 3, 2, 2, rng=np.random.default_rng(10))
+        from scipy import sparse
+        from scipy.sparse.csgraph import connected_components
+
+        m = sparse.csr_matrix(
+            (np.ones(graph.n_edges), (graph.edges[:, 0], graph.edges[:, 1])),
+            shape=(graph.n_nodes, graph.n_nodes),
+        )
+        n_comp, _ = connected_components(m, directed=False)
+        assert n_comp == 1
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ConfigError):
+            transit_stub_graph(0, 3, 2, 2, rng=np.random.default_rng(0))
+
+
+class TestGeoGen:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            GeoGenConfig(n_nodes=5)
+        with pytest.raises(ConfigError):
+            GeoGenConfig(mean_degree=1.0)
+        with pytest.raises(ConfigError):
+            GeoGenConfig(long_range_fraction=2.0)
+
+    def test_annotated_output(self, world_small):
+        config = GeoGenConfig(n_nodes=400, n_ases=20)
+        annotated = geogen_graph(world_small, config, np.random.default_rng(11))
+        graph = annotated.graph
+        assert graph.n_nodes == 400
+        assert annotated.latencies_ms.shape == (graph.n_edges,)
+        assert np.all(annotated.latencies_ms >= 0)
+
+    def test_latency_proportional_to_length(self, world_small):
+        config = GeoGenConfig(n_nodes=300, n_ases=15)
+        annotated = geogen_graph(world_small, config, np.random.default_rng(12))
+        lengths = annotated.graph.edge_lengths_miles()
+        nonzero = lengths > 1.0
+        ratio = annotated.latencies_ms[nonzero] / lengths[nonzero]
+        assert np.allclose(ratio, ratio[0])
+
+    def test_as_assignment_zipf(self, world_small):
+        config = GeoGenConfig(n_nodes=800, n_ases=40)
+        annotated = geogen_graph(world_small, config, np.random.default_rng(13))
+        _, counts = np.unique(annotated.graph.asns, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+    def test_connected(self, world_small):
+        config = GeoGenConfig(n_nodes=300, n_ases=15)
+        annotated = geogen_graph(world_small, config, np.random.default_rng(14))
+        graph = annotated.graph
+        from scipy import sparse
+        from scipy.sparse.csgraph import connected_components
+
+        m = sparse.csr_matrix(
+            (np.ones(graph.n_edges), (graph.edges[:, 0], graph.edges[:, 1])),
+            shape=(graph.n_nodes, graph.n_nodes),
+        )
+        n_comp, _ = connected_components(m, directed=False)
+        assert n_comp == 1
+
+    def test_mean_degree_near_target(self, world_small):
+        config = GeoGenConfig(n_nodes=600, n_ases=30, mean_degree=3.0)
+        annotated = geogen_graph(world_small, config, np.random.default_rng(15))
+        assert annotated.graph.mean_degree() == pytest.approx(3.0, rel=0.25)
+
+    def test_population_weighted_placement(self, world_small):
+        # Nodes concentrate where population does: the top city hosts
+        # disproportionately many nodes.
+        config = GeoGenConfig(n_nodes=1000, n_ases=30, alpha=1.5)
+        annotated = geogen_graph(world_small, config, np.random.default_rng(16))
+        biggest = max(world_small.cities, key=lambda c: c.population)
+        graph = annotated.graph
+        near = (
+            (np.abs(graph.lats - biggest.location.lat) < 0.5)
+            & (np.abs(graph.lons - biggest.location.lon) < 0.5)
+        ).sum()
+        assert near > 0.02 * graph.n_nodes

@@ -1,0 +1,130 @@
+"""Tests for repro.geo.distance (great-circle geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo.coords import EARTH_RADIUS_MILES, GeoPoint
+from repro.geo.distance import (
+    great_circle_miles,
+    haversine_miles,
+    link_lengths_miles,
+    pairwise_distance_matrix,
+)
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+
+
+class TestKnownDistances:
+    def test_zero_distance(self):
+        assert haversine_miles(40.0, -74.0, 40.0, -74.0) == pytest.approx(0.0)
+
+    def test_new_york_to_los_angeles(self):
+        # Great-circle NYC-LA is about 2,445 statute miles.
+        d = great_circle_miles(GeoPoint(40.71, -74.01), GeoPoint(34.05, -118.24))
+        assert d == pytest.approx(2445, rel=0.02)
+
+    def test_london_to_paris(self):
+        d = great_circle_miles(GeoPoint(51.51, -0.13), GeoPoint(48.86, 2.35))
+        assert d == pytest.approx(213, rel=0.03)
+
+    def test_equator_degree_of_longitude(self):
+        # One degree of longitude at the equator ~ 69.1 miles.
+        d = haversine_miles(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(69.1, rel=0.01)
+
+    def test_pole_to_pole_is_half_circumference(self):
+        d = haversine_miles(90.0, 0.0, -90.0, 0.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_MILES, rel=1e-6)
+
+    def test_antipodal_points(self):
+        d = haversine_miles(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_MILES, rel=1e-6)
+
+
+class TestBroadcasting:
+    def test_scalar_against_array(self):
+        lats = np.array([0.0, 10.0, 20.0])
+        lons = np.zeros(3)
+        d = haversine_miles(0.0, 0.0, lats, lons)
+        assert d.shape == (3,)
+        assert d[0] == pytest.approx(0.0)
+        assert d[1] < d[2]
+
+    def test_array_against_array(self):
+        a = np.array([0.0, 45.0])
+        d = haversine_miles(a, np.zeros(2), a, np.zeros(2))
+        assert np.allclose(d, 0.0)
+
+
+class TestProperties:
+    @given(latitudes, longitudes, latitudes, longitudes)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d1 = haversine_miles(lat1, lon1, lat2, lon2)
+        d2 = haversine_miles(lat2, lon2, lat1, lon1)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @given(latitudes, longitudes, latitudes, longitudes)
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_miles(lat1, lon1, lat2, lon2)
+        assert 0.0 <= d <= np.pi * EARTH_RADIUS_MILES + 1e-6
+
+    @given(latitudes, longitudes)
+    def test_identity(self, lat, lon):
+        assert haversine_miles(lat, lon, lat, lon) == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        latitudes, longitudes, latitudes, longitudes, latitudes, longitudes
+    )
+    def test_triangle_inequality(self, la, lo, lb, lob, lc, loc):
+        ab = haversine_miles(la, lo, lb, lob)
+        bc = haversine_miles(lb, lob, lc, loc)
+        ac = haversine_miles(la, lo, lc, loc)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestPairwiseMatrix:
+    def test_matrix_shape_and_diagonal(self):
+        lats = np.array([0.0, 10.0, 20.0])
+        lons = np.array([0.0, 10.0, 20.0])
+        m = pairwise_distance_matrix(lats, lons)
+        assert m.shape == (3, 3)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_matrix_symmetry(self):
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(-60, 60, 8)
+        lons = rng.uniform(-170, 170, 8)
+        m = pairwise_distance_matrix(lats, lons)
+        assert np.allclose(m, m.T)
+
+    def test_rejects_mismatched_input(self):
+        with pytest.raises(GeoError):
+            pairwise_distance_matrix(np.zeros(3), np.zeros(4))
+
+
+class TestLinkLengths:
+    def test_lengths_match_pointwise_distance(self):
+        lats = np.array([0.0, 0.0, 10.0])
+        lons = np.array([0.0, 1.0, 1.0])
+        a = np.array([0, 1])
+        b = np.array([1, 2])
+        lengths = link_lengths_miles(lats, lons, a, b)
+        assert lengths[0] == pytest.approx(haversine_miles(0, 0, 0, 1))
+        assert lengths[1] == pytest.approx(haversine_miles(0, 1, 10, 1))
+
+    def test_empty_links(self):
+        lengths = link_lengths_miles(
+            np.array([0.0]), np.array([0.0]), np.array([], dtype=int),
+            np.array([], dtype=int),
+        )
+        assert lengths.shape == (0,)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(GeoError):
+            link_lengths_miles(
+                np.array([0.0]), np.array([0.0]), np.array([0]), np.array([1])
+            )

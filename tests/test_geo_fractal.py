@@ -1,0 +1,80 @@
+"""Tests for repro.geo.fractal (box-counting dimension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.geo.fractal import box_counting_dimension
+
+
+def _cantor_dust(level: int) -> np.ndarray:
+    """1-D middle-thirds Cantor set sample points (D = log2/log3 ~ 0.63)."""
+    points = np.array([0.0, 1.0])
+    for _ in range(level):
+        points = np.concatenate([points / 3.0, points / 3.0 + 2.0 / 3.0])
+    return np.unique(points)
+
+
+class TestKnownDimensions:
+    def test_uniform_plane_is_near_two(self):
+        rng = np.random.default_rng(42)
+        x = rng.uniform(0, 1000, 20_000)
+        y = rng.uniform(0, 1000, 20_000)
+        result = box_counting_dimension(x, y)
+        assert 1.7 <= result.dimension <= 2.1
+
+    def test_line_is_near_one(self):
+        t = np.linspace(0, 1000, 8_000)
+        result = box_counting_dimension(t, t * 0.5)
+        assert 0.85 <= result.dimension <= 1.15
+
+    def test_cantor_dust_is_fractional(self):
+        c = _cantor_dust(9)
+        result = box_counting_dimension(c * 1000, np.zeros_like(c))
+        assert 0.45 <= result.dimension <= 0.8
+
+    def test_clustered_points_lie_between_zero_and_two(self):
+        rng = np.random.default_rng(7)
+        centers = rng.uniform(0, 1000, size=(40, 2))
+        cluster = centers[rng.integers(0, 40, 5000)] + rng.normal(0, 5, (5000, 2))
+        result = box_counting_dimension(cluster[:, 0], cluster[:, 1])
+        assert 0.2 < result.dimension < 2.0
+
+
+class TestInterface:
+    def test_too_few_points_raise(self):
+        with pytest.raises(AnalysisError):
+            box_counting_dimension(np.arange(5.0), np.arange(5.0))
+
+    def test_zero_extent_raises(self):
+        x = np.full(20, 3.0)
+        with pytest.raises(AnalysisError):
+            box_counting_dimension(x, x)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(AnalysisError):
+            box_counting_dimension(np.zeros(20), np.zeros(19))
+
+    def test_result_arrays_are_parallel(self):
+        rng = np.random.default_rng(0)
+        result = box_counting_dimension(
+            rng.uniform(0, 100, 500), rng.uniform(0, 100, 500)
+        )
+        assert result.box_sizes.shape == result.counts.shape
+        assert result.box_sizes.shape[0] >= 3
+
+    def test_counts_monotone_in_box_size(self):
+        rng = np.random.default_rng(1)
+        result = box_counting_dimension(
+            rng.uniform(0, 100, 2000), rng.uniform(0, 100, 2000)
+        )
+        # Smaller boxes can only increase the occupied count.
+        assert np.all(np.diff(result.counts) >= 0)
+
+    def test_translation_invariance(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 100, 3000)
+        y = rng.uniform(0, 100, 3000)
+        d1 = box_counting_dimension(x, y).dimension
+        d2 = box_counting_dimension(x + 1e5, y - 1e5).dimension
+        assert d1 == pytest.approx(d2, abs=1e-9)

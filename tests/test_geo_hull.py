@@ -1,0 +1,126 @@
+"""Tests for repro.geo.hull (monotone chain + shoelace)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo.hull import convex_hull, convex_hull_area, polygon_area
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+point_sets = st.lists(st.tuples(coords, coords), min_size=0, max_size=60)
+
+
+class TestConvexHull:
+    def test_unit_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        hull = convex_hull(pts)
+        assert hull.shape[0] == 4
+        assert {tuple(v) for v in hull} == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_single_point(self):
+        hull = convex_hull(np.array([[3.0, 4.0]]))
+        assert hull.shape == (1, 2)
+
+    def test_two_points(self):
+        hull = convex_hull(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert hull.shape == (2, 2)
+
+    def test_duplicates_collapse(self):
+        hull = convex_hull(np.array([[1.0, 1.0]] * 5))
+        assert hull.shape == (1, 2)
+
+    def test_collinear_points_return_extremes(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        hull = convex_hull(pts)
+        assert hull.shape == (2, 2)
+        assert {tuple(v) for v in hull} == {(0.0, 0.0), (3.0, 3.0)}
+
+    def test_empty_input(self):
+        assert convex_hull(np.empty((0, 2))).shape == (0, 2)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(GeoError):
+            convex_hull(np.zeros((3, 3)))
+
+    def test_non_finite_raises(self):
+        with pytest.raises(GeoError):
+            convex_hull(np.array([[np.nan, 0.0]]))
+
+    @settings(max_examples=60)
+    @given(point_sets)
+    def test_hull_contains_all_points(self, raw):
+        pts = np.asarray(raw, dtype=float).reshape(-1, 2)
+        hull = convex_hull(pts)
+        if hull.shape[0] < 3:
+            return
+        # Every input point must be inside or on the hull: check via
+        # cross products against each hull edge (hull is CCW).
+        for p in pts:
+            for i in range(hull.shape[0]):
+                a = hull[i]
+                b = hull[(i + 1) % hull.shape[0]]
+                cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+                assert cross >= -1e-6 * max(1.0, abs(cross))
+
+    @settings(max_examples=60)
+    @given(point_sets)
+    def test_hull_vertices_are_input_points(self, raw):
+        pts = np.asarray(raw, dtype=float).reshape(-1, 2)
+        hull = convex_hull(pts)
+        input_set = {tuple(p) for p in pts}
+        for v in hull:
+            assert tuple(v) in input_set
+
+
+class TestPolygonArea:
+    def test_unit_square_area(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(square) == pytest.approx(1.0)
+
+    def test_triangle_area(self):
+        tri = np.array([[0, 0], [4, 0], [0, 3]], dtype=float)
+        assert polygon_area(tri) == pytest.approx(6.0)
+
+    def test_orientation_invariance(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(square[::-1]) == pytest.approx(1.0)
+
+    def test_degenerate_inputs_are_zero(self):
+        assert polygon_area(np.empty((0, 2))) == 0.0
+        assert polygon_area(np.array([[1.0, 1.0]])) == 0.0
+        assert polygon_area(np.array([[0.0, 0.0], [1.0, 1.0]])) == 0.0
+
+
+class TestConvexHullArea:
+    def test_square_with_interior_points(self):
+        rng = np.random.default_rng(5)
+        interior = rng.uniform(0.1, 0.9, size=(50, 2))
+        corners = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        pts = np.vstack([interior, corners])
+        assert convex_hull_area(pts) == pytest.approx(1.0)
+
+    def test_one_or_two_locations_have_zero_extent(self):
+        # The paper: ~80% of ASes sit at one or two locations and "have
+        # no extent at all".
+        assert convex_hull_area(np.array([[5.0, 5.0]])) == 0.0
+        assert convex_hull_area(np.array([[0.0, 0.0], [100.0, 100.0]])) == 0.0
+
+    @settings(max_examples=60)
+    @given(point_sets)
+    def test_area_non_negative_and_bounded_by_bbox(self, raw):
+        pts = np.asarray(raw, dtype=float).reshape(-1, 2)
+        area = convex_hull_area(pts)
+        assert area >= 0.0
+        if pts.shape[0]:
+            bbox = np.ptp(pts[:, 0]) * np.ptp(pts[:, 1])
+            assert area <= bbox + 1e-6
+
+    @settings(max_examples=40)
+    @given(point_sets, coords, coords)
+    def test_translation_invariance(self, raw, dx, dy):
+        pts = np.asarray(raw, dtype=float).reshape(-1, 2)
+        a1 = convex_hull_area(pts)
+        a2 = convex_hull_area(pts + np.array([dx, dy]))
+        assert a1 == pytest.approx(a2, rel=1e-6, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Tests for repro.geo.projection (Albers equal-area, equirectangular)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProjectionError
+from repro.geo.coords import EARTH_RADIUS_MILES
+from repro.geo.hull import convex_hull_area
+from repro.geo.projection import (
+    WORLD_ALBERS,
+    AlbersEqualArea,
+    equirectangular_miles,
+)
+
+
+class TestAlbersBasics:
+    def test_origin_projects_to_origin(self):
+        proj = AlbersEqualArea(origin_lat=0.0, origin_lon=0.0)
+        x, y = proj.project(0.0, 0.0)
+        assert float(x) == pytest.approx(0.0, abs=1e-6)
+        assert float(y) == pytest.approx(0.0, abs=1e-6)
+
+    def test_east_is_positive_x(self):
+        x, _ = WORLD_ALBERS.project(0.0, 10.0)
+        assert float(x) > 0
+
+    def test_north_is_positive_y(self):
+        _, y0 = WORLD_ALBERS.project(0.0, 0.0)
+        _, y1 = WORLD_ALBERS.project(30.0, 0.0)
+        assert float(y1) > float(y0)
+
+    def test_symmetric_parallels_rejected(self):
+        proj = AlbersEqualArea(std_parallel_1=-30.0, std_parallel_2=30.0)
+        with pytest.raises(ProjectionError):
+            proj.project(0.0, 0.0)
+
+    def test_invalid_latitude_rejected(self):
+        with pytest.raises(ProjectionError):
+            WORLD_ALBERS.project(np.array([95.0]), np.array([0.0]))
+
+    def test_date_line_unfolding(self):
+        # Longitudes straddling the date line map to opposite x signs,
+        # i.e. the globe is cut there (as the paper describes).
+        x_west, _ = WORLD_ALBERS.project(0.0, 179.0)
+        x_east, _ = WORLD_ALBERS.project(0.0, -179.0)
+        assert float(x_west) > 0 > float(x_east)
+
+
+class TestAlbersAreaPreservation:
+    def _cell_area(self, lat: float, lon: float, d: float = 1.0) -> float:
+        """Projected area of a small d x d degree cell at (lat, lon)."""
+        lats = np.array([lat, lat, lat + d, lat + d])
+        lons = np.array([lon, lon + d, lon + d, lon])
+        x, y = WORLD_ALBERS.project(lats, lons)
+        return convex_hull_area(np.column_stack([x, y]))
+
+    def _true_cell_area(self, lat: float, d: float = 1.0) -> float:
+        """Spherical area of a d x d degree cell starting at lat."""
+        lat1 = np.radians(lat)
+        lat2 = np.radians(lat + d)
+        dlon = np.radians(d)
+        return EARTH_RADIUS_MILES**2 * dlon * (np.sin(lat2) - np.sin(lat1))
+
+    @pytest.mark.parametrize("lat", [-40.0, 0.0, 20.0, 35.0, 50.0, 65.0])
+    def test_area_matches_spherical_truth(self, lat):
+        projected = self._cell_area(lat, 10.0)
+        truth = self._true_cell_area(lat)
+        assert projected == pytest.approx(truth, rel=0.02)
+
+    def test_equal_areas_at_different_longitudes(self):
+        a1 = self._cell_area(30.0, 0.0)
+        a2 = self._cell_area(30.0, 120.0)
+        assert a1 == pytest.approx(a2, rel=1e-6)
+
+
+class TestEquirectangular:
+    def test_empty_input(self):
+        x, y = equirectangular_miles(np.empty(0), np.empty(0))
+        assert x.shape == (0,)
+
+    def test_one_degree_latitude_is_about_69_miles(self):
+        x, y = equirectangular_miles(np.array([0.0, 1.0]), np.array([0.0, 0.0]),
+                                     ref_lat=0.0)
+        assert (y[1] - y[0]) == pytest.approx(69.1, rel=0.01)
+
+    def test_longitude_scaled_by_cos_latitude(self):
+        x, _ = equirectangular_miles(
+            np.array([60.0, 60.0]), np.array([0.0, 1.0]), ref_lat=60.0
+        )
+        assert (x[1] - x[0]) == pytest.approx(69.1 * 0.5, rel=0.01)
+
+    def test_default_reference_latitude_is_mean(self):
+        lats = np.array([10.0, 30.0])
+        lons = np.array([0.0, 1.0])
+        x_auto, _ = equirectangular_miles(lats, lons)
+        x_explicit, _ = equirectangular_miles(lats, lons, ref_lat=20.0)
+        assert np.allclose(x_auto, x_explicit)

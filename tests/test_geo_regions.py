@@ -1,0 +1,111 @@
+"""Tests for repro.geo.regions (Table II boxes and membership)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.regions import (
+    ECONOMIC_REGIONS,
+    EUROPE,
+    HOMOGENEITY_REGIONS,
+    JAPAN,
+    NORTHERN_US,
+    SOUTHERN_US,
+    STUDY_REGIONS,
+    US,
+    WORLD,
+    Region,
+    region_by_name,
+)
+
+
+class TestRegionValidation:
+    def test_valid_region_constructs(self):
+        r = Region("box", north=10.0, south=0.0, west=0.0, east=10.0)
+        assert r.lat_span == 10.0 and r.lon_span == 10.0
+
+    def test_inverted_latitudes_raise(self):
+        with pytest.raises(GeoError):
+            Region("bad", north=0.0, south=10.0, west=0.0, east=10.0)
+
+    def test_inverted_longitudes_raise(self):
+        with pytest.raises(GeoError):
+            Region("bad", north=10.0, south=0.0, west=10.0, east=0.0)
+
+    def test_out_of_range_bounds_raise(self):
+        with pytest.raises(GeoError):
+            Region("bad", north=95.0, south=0.0, west=0.0, east=10.0)
+
+
+class TestPaperBoundaries:
+    """The Table II boundaries, verbatim from the paper."""
+
+    def test_us_box(self):
+        assert (US.north, US.south, US.west, US.east) == (50.0, 25.0, -150.0, -45.0)
+
+    def test_europe_box(self):
+        assert (EUROPE.north, EUROPE.south, EUROPE.west, EUROPE.east) == (
+            58.0, 42.0, -5.0, 22.0,
+        )
+
+    def test_japan_box(self):
+        assert (JAPAN.north, JAPAN.south, JAPAN.west, JAPAN.east) == (
+            60.0, 30.0, 130.0, 150.0,
+        )
+
+    def test_study_regions_order(self):
+        assert [r.name for r in STUDY_REGIONS] == ["US", "Europe", "Japan"]
+
+    def test_homogeneity_sub_regions_partition_the_us_in_latitude(self):
+        assert NORTHERN_US.south == SOUTHERN_US.north
+        assert NORTHERN_US.north == US.north
+        assert SOUTHERN_US.south == US.south
+
+    def test_economic_regions_include_world(self):
+        names = [r.name for r in ECONOMIC_REGIONS]
+        assert names[-1] == "World"
+        assert "USA" in names and "Africa" in names
+
+
+class TestMembership:
+    def test_new_york_in_us(self):
+        assert US.contains(40.71, -74.01)
+
+    def test_london_in_europe(self):
+        assert EUROPE.contains(51.51, -0.13)
+
+    def test_tokyo_in_japan(self):
+        assert JAPAN.contains(35.68, 139.69)
+
+    def test_tokyo_not_in_us(self):
+        assert not US.contains(35.68, 139.69)
+
+    def test_boundary_is_inclusive(self):
+        assert US.contains(50.0, -45.0)
+        assert US.contains(25.0, -150.0)
+
+    def test_mask_matches_scalar_contains(self):
+        lats = np.array([40.71, 35.68, 51.51])
+        lons = np.array([-74.01, 139.69, -0.13])
+        mask = US.contains_mask(lats, lons)
+        assert mask.tolist() == [True, False, False]
+
+    def test_world_contains_all_study_region_centers(self):
+        for region in STUDY_REGIONS:
+            lat, lon = region.center
+            assert WORLD.contains(lat, lon)
+
+    def test_center_is_inside(self):
+        for region in (*STUDY_REGIONS, *HOMOGENEITY_REGIONS):
+            lat, lon = region.center
+            assert region.contains(lat, lon)
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert region_by_name("US") is US
+        assert region_by_name("Japan") is JAPAN
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GeoError):
+            region_by_name("Atlantis")

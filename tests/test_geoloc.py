@@ -1,0 +1,207 @@
+"""Tests for repro.geoloc (whois, DNS LOC, IxMapper, EdgeScape)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GeolocConfig
+from repro.errors import GeolocationError
+from repro.geo.coords import GeoPoint
+from repro.geoloc.base import (
+    METHOD_DNSLOC,
+    METHOD_HOSTNAME,
+    METHOD_ISP,
+    METHOD_UNMAPPED,
+    METHOD_WHOIS,
+    GeoContext,
+    build_context,
+)
+from repro.geoloc.dnsloc import build_loc_records
+from repro.geoloc.edgescape import EdgeScape
+from repro.geoloc.ixmapper import IxMapper
+from repro.geoloc.whois import WhoisRegistry
+from repro.net.addressing import AddressPlan
+
+
+@pytest.fixture
+def toy_context(toy_topology) -> GeoContext:
+    """A context for the toy topology with hand-built knowledge."""
+    # Toy addresses are small integers (1000-1005, 2000-2009); grant AS
+    # 100 a block covering all of them so whois lookups resolve.
+    from repro.net.ip import Prefix
+
+    plan = AddressPlan(pool=Prefix.parse("0.0.0.0/8"), block_length=16)
+    plan.grant_block(100)
+    whois = WhoisRegistry.from_plan(plan, toy_topology.asns)
+    return GeoContext(
+        city_locations={
+            "SFO": GeoPoint(37.77, -122.42),
+            "NYC": GeoPoint(40.71, -74.01),
+        },
+        hostnames=dict(toy_topology.hostnames),
+        whois=whois,
+        loc_records={},
+        as_of_address={
+            a: toy_topology.routers[i.router_id].asn
+            for a, i in toy_topology.interfaces.items()
+        },
+    )
+
+
+class TestWhoisRegistry:
+    def test_lookup_resolves_owner(self, toy_topology):
+        plan = AddressPlan()
+        prefix = plan.grant_block(100)
+        registry = WhoisRegistry.from_plan(plan, toy_topology.asns)
+        record = registry.lookup(prefix.base + 5)
+        assert record is not None
+        assert record.asn == 100
+        assert record.headquarters == toy_topology.asns[100].headquarters
+
+    def test_lookup_miss_returns_none(self, toy_topology):
+        registry = WhoisRegistry.from_plan(AddressPlan(), toy_topology.asns)
+        assert registry.lookup(123456) is None
+
+    def test_n_orgs(self, toy_topology):
+        registry = WhoisRegistry.from_plan(AddressPlan(), toy_topology.asns)
+        assert registry.n_orgs == 2
+
+
+class TestDnsLoc:
+    def test_rate_zero_gives_no_records(self, toy_topology):
+        records = build_loc_records(toy_topology, 0.0, np.random.default_rng(0))
+        assert records == {}
+
+    def test_rate_one_covers_all_interfaces(self, toy_topology):
+        records = build_loc_records(toy_topology, 1.0, np.random.default_rng(0))
+        assert set(records) == set(toy_topology.interfaces)
+
+    def test_records_carry_true_location(self, toy_topology):
+        records = build_loc_records(toy_topology, 1.0, np.random.default_rng(0))
+        for address, location in records.items():
+            router = toy_topology.routers[
+                toy_topology.interfaces[address].router_id
+            ]
+            assert location == router.location
+
+
+class TestIxMapper:
+    def test_hostname_mapping_hits_city(self, toy_context, toy_topology):
+        # Hostname embeds "XXX<digit>" which is unknown; rewrite one to a
+        # known code to exercise the hostname path.
+        address = toy_topology.routers[0].loopback
+        toy_context.hostnames[address] = "0.so-1-0-0.CR1.SFO1.westnet.net"
+        mapper = IxMapper(toy_context, np.random.default_rng(0), failure_rate=0.0)
+        result = mapper.locate(address)
+        assert result.method == METHOD_HOSTNAME
+        assert result.location == GeoPoint(37.77, -122.42)
+
+    def test_unknown_code_falls_back_to_whois(self, toy_context, toy_topology):
+        address = toy_topology.routers[0].loopback
+        mapper = IxMapper(toy_context, np.random.default_rng(0), failure_rate=0.0)
+        result = mapper.locate(address)
+        # Toy hostnames carry the unknown code "XXX<n>" -> whois HQ.
+        assert result.method == METHOD_WHOIS
+        assert result.location == toy_topology.asns[100].headquarters
+
+    def test_loc_record_preferred_over_whois(self, toy_context, toy_topology):
+        address = toy_topology.routers[0].loopback
+        true_location = toy_topology.routers[0].location
+        toy_context.loc_records[address] = true_location
+        mapper = IxMapper(toy_context, np.random.default_rng(0), failure_rate=0.0)
+        result = mapper.locate(address)
+        assert result.method == METHOD_DNSLOC
+        assert result.location == true_location
+
+    def test_failure_rate_one_never_maps(self, toy_context, toy_topology):
+        mapper = IxMapper(toy_context, np.random.default_rng(0), failure_rate=1.0)
+        result = mapper.locate(toy_topology.routers[0].loopback)
+        assert result.method == METHOD_UNMAPPED
+        assert not result.mapped
+
+    def test_unknown_address_unmapped(self, toy_context):
+        mapper = IxMapper(toy_context, np.random.default_rng(0), failure_rate=0.0)
+        # Address outside both whois blocks with no hostname.
+        result = mapper.locate(0x7F000001)
+        assert result.method == METHOD_UNMAPPED
+
+    def test_bad_failure_rate_rejected(self, toy_context):
+        with pytest.raises(GeolocationError):
+            IxMapper(toy_context, np.random.default_rng(0), failure_rate=1.5)
+
+    def test_name(self, toy_context):
+        assert IxMapper(toy_context, np.random.default_rng(0)).name == "IxMapper"
+
+
+class TestEdgeScape:
+    def test_isp_feed_gives_city_location(self, toy_context, toy_topology):
+        mapper = EdgeScape(
+            toy_context, toy_topology, np.random.default_rng(0),
+            isp_coverage=1.0, failure_rate=0.0,
+        )
+        address = toy_topology.routers[0].loopback
+        result = mapper.locate(address)
+        assert result.method == METHOD_ISP
+        assert result.location == GeoPoint(37.77, -122.42)  # SFO centre
+
+    def test_no_coverage_falls_back(self, toy_context, toy_topology):
+        mapper = EdgeScape(
+            toy_context, toy_topology, np.random.default_rng(0),
+            isp_coverage=0.0, failure_rate=0.0,
+        )
+        result = mapper.locate(toy_topology.routers[0].loopback)
+        assert result.method in (METHOD_HOSTNAME, METHOD_WHOIS)
+
+    def test_coverage_is_per_as(self, toy_context, toy_topology):
+        mapper = EdgeScape(
+            toy_context, toy_topology, np.random.default_rng(3),
+            isp_coverage=0.5, failure_rate=0.0,
+        )
+        covered = mapper.covered_asns
+        assert covered <= {100, 200}
+
+    def test_failure_rate_one_never_maps(self, toy_context, toy_topology):
+        mapper = EdgeScape(
+            toy_context, toy_topology, np.random.default_rng(0),
+            isp_coverage=1.0, failure_rate=1.0,
+        )
+        result = mapper.locate(toy_topology.routers[0].loopback)
+        assert not result.mapped
+
+    def test_invalid_parameters_rejected(self, toy_context, toy_topology):
+        with pytest.raises(GeolocationError):
+            EdgeScape(
+                toy_context, toy_topology, np.random.default_rng(0),
+                isp_coverage=2.0,
+            )
+
+
+class TestBuildContext:
+    def test_context_from_ground_truth(self, world_small, generated_small):
+        topology, plan, _ = generated_small
+        context = build_context(
+            world_small, topology, plan, GeolocConfig(),
+            np.random.default_rng(0),
+        )
+        assert set(context.hostnames) == set(topology.interfaces)
+        assert context.whois.n_orgs == len(topology.asns)
+        assert len(context.city_locations) == len(world_small.cities)
+        # DNS LOC records exist at roughly the configured (rare) rate.
+        rate = len(context.loc_records) / len(topology.interfaces)
+        assert 0.0 < rate < 0.02
+
+    def test_mappers_achieve_high_coverage(self, world_small, generated_small):
+        topology, plan, _ = generated_small
+        rng = np.random.default_rng(1)
+        context = build_context(world_small, topology, plan, GeolocConfig(), rng)
+        ix = IxMapper(context, rng, failure_rate=0.012)
+        es = EdgeScape(context, topology, rng, failure_rate=0.004)
+        from repro.net.ip import is_private
+
+        addresses = [
+            a for a in list(topology.interfaces)[:800] if not is_private(a)
+        ]
+        ix_mapped = sum(ix.locate(a).mapped for a in addresses)
+        es_mapped = sum(es.locate(a).mapped for a in addresses)
+        # The paper: IxMapper misses 1-1.5%, EdgeScape 0.3-0.6%.
+        assert ix_mapped / len(addresses) > 0.95
+        assert es_mapped / len(addresses) > 0.97

@@ -1,0 +1,135 @@
+"""Tests for repro.measure.inventory and repro.measure.artifacts."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.artifacts import (
+    clean_inventory,
+    discard_destinations,
+    discard_private,
+    drop_nodes,
+)
+from repro.measure.inventory import RawInventory, normalize_pair
+from repro.net.ip import parse_address
+
+
+def _inventory(kind: str = "skitter") -> RawInventory:
+    inv = RawInventory(kind=kind)
+    for node in (10, 20, 30, 40):
+        inv.add_node(node)
+    inv.add_link(10, 20)
+    inv.add_link(20, 30)
+    inv.add_link(30, 40)
+    return inv
+
+
+class TestNormalizePair:
+    def test_orders_ascending(self):
+        assert normalize_pair(5, 2) == (2, 5)
+        assert normalize_pair(2, 5) == (2, 5)
+
+    def test_self_pair_raises(self):
+        with pytest.raises(MeasurementError):
+            normalize_pair(3, 3)
+
+
+class TestRawInventory:
+    def test_add_node_idempotent(self):
+        inv = RawInventory(kind="skitter")
+        inv.add_node(5)
+        inv.add_node(5)
+        assert inv.n_nodes == 1
+        assert inv.interfaces_of(5) == [5]
+
+    def test_add_link_requires_known_nodes(self):
+        inv = RawInventory(kind="skitter")
+        inv.add_node(1)
+        with pytest.raises(MeasurementError):
+            inv.add_link(1, 2)
+
+    def test_self_link_rejected(self):
+        inv = RawInventory(kind="skitter")
+        inv.add_node(1)
+        with pytest.raises(MeasurementError):
+            inv.add_link(1, 1)
+
+    def test_links_deduplicated(self):
+        inv = _inventory()
+        inv.add_link(20, 10)
+        assert inv.n_links == 3
+
+    def test_interfaces_of_unknown_raises(self):
+        with pytest.raises(MeasurementError):
+            _inventory().interfaces_of(999)
+
+    def test_validate_passes_consistent(self):
+        _inventory().validate()
+
+    def test_validate_catches_bad_alias(self):
+        inv = _inventory()
+        inv.aliases[10] = [99]  # node missing from its own alias set
+        with pytest.raises(MeasurementError):
+            inv.validate()
+
+    def test_validate_catches_unnormalised_link(self):
+        inv = _inventory()
+        inv.links.add((40, 30))
+        with pytest.raises(MeasurementError):
+            inv.validate()
+
+
+class TestDropNodes:
+    def test_drop_removes_node_and_links(self):
+        cleaned = drop_nodes(_inventory(), {20})
+        assert cleaned.n_nodes == 3
+        assert cleaned.n_links == 1  # only 30-40 survives
+        cleaned.validate()
+
+    def test_drop_nothing_is_identity(self):
+        inv = _inventory()
+        cleaned = drop_nodes(inv, set())
+        assert cleaned.nodes == inv.nodes
+        assert cleaned.links == inv.links
+
+    def test_aliases_preserved(self):
+        inv = _inventory("mercator")
+        inv.aliases[10] = [10, 99]
+        cleaned = drop_nodes(inv, {40})
+        assert cleaned.aliases[10] == [10, 99]
+
+
+class TestDiscards:
+    def test_destination_discard(self):
+        inv = _inventory()
+        inv.destinations = {20, 999}
+        cleaned, dropped = discard_destinations(inv)
+        assert dropped == 1
+        assert 20 not in cleaned.nodes
+
+    def test_private_discard(self):
+        inv = RawInventory(kind="skitter")
+        private = parse_address("10.0.0.1")
+        public = parse_address("16.0.0.1")
+        inv.add_node(private)
+        inv.add_node(public)
+        inv.add_link(private, public)
+        cleaned, dropped = discard_private(inv)
+        assert dropped == 1
+        assert cleaned.nodes == {public}
+        assert cleaned.n_links == 0
+
+    def test_clean_inventory_skitter_applies_both(self):
+        inv = _inventory()
+        inv.destinations = {10}
+        cleaned, report = clean_inventory(inv)
+        assert report.dropped_destination_nodes == 1
+        assert report.dropped_private_nodes == 0
+        assert report.dropped_links == 1
+        assert cleaned.n_nodes == 3
+
+    def test_clean_inventory_mercator_ignores_destinations(self):
+        inv = _inventory("mercator")
+        inv.destinations = {10}
+        cleaned, report = clean_inventory(inv)
+        assert report.dropped_destination_nodes == 0
+        assert 10 in cleaned.nodes

@@ -1,0 +1,137 @@
+"""Tests for repro.measure.mercator and repro.measure.alias."""
+
+import numpy as np
+import pytest
+
+from repro.config import MercatorConfig
+from repro.errors import MeasurementError
+from repro.measure.alias import merge_members, resolve_aliases
+from repro.measure.mercator import run_mercator
+
+
+class TestResolveAliases:
+    def test_full_success_collapses_to_loopbacks(self, toy_topology):
+        addresses = {
+            link.interface_a for link in toy_topology.links
+        } | {link.interface_b for link in toy_topology.links}
+        mapping = resolve_aliases(
+            toy_topology, addresses, np.random.default_rng(0), 1.0
+        )
+        for address, canonical in mapping.items():
+            router = toy_topology.interfaces[address].router_id
+            assert canonical == toy_topology.routers[router].loopback
+
+    def test_failure_leaves_interfaces_alone(self, toy_topology):
+        addresses = {toy_topology.links[0].interface_a}
+        mapping = resolve_aliases(
+            toy_topology, addresses, np.random.default_rng(0), 1e-12
+        )
+        address = next(iter(addresses))
+        assert mapping[address] == address
+
+    def test_unknown_address_raises(self, toy_topology):
+        with pytest.raises(MeasurementError):
+            resolve_aliases(
+                toy_topology, {424242}, np.random.default_rng(0), 1.0
+            )
+
+    def test_bad_rate_raises(self, toy_topology):
+        with pytest.raises(MeasurementError):
+            resolve_aliases(toy_topology, set(), np.random.default_rng(0), 0.0)
+
+    def test_merge_members_inverts_mapping(self):
+        mapping = {1: 100, 2: 100, 3: 3}
+        members = merge_members(mapping)
+        assert members[100] == [1, 2, 100]
+        assert members[3] == [3]
+
+
+class TestRunMercator:
+    def _config(self, **overrides) -> MercatorConfig:
+        base = dict(
+            n_targets=5, n_source_routed=4, response_rate=1.0,
+            alias_resolution_rate=1.0,
+        )
+        base.update(overrides)
+        return MercatorConfig(**base)
+
+    def test_router_level_nodes(self, toy_topology):
+        inventory = run_mercator(
+            toy_topology, self._config(), np.random.default_rng(0), source=0
+        )
+        inventory.validate()
+        assert inventory.kind == "mercator"
+        loopbacks = {r.loopback for r in toy_topology.routers}
+        assert inventory.nodes <= loopbacks
+
+    def test_alias_members_recorded(self, toy_topology):
+        inventory = run_mercator(
+            toy_topology, self._config(), np.random.default_rng(0), source=0
+        )
+        multi = [n for n in inventory.nodes if len(inventory.aliases[n]) > 1]
+        assert multi  # middle routers have several observed interfaces
+
+    def test_no_self_links_after_merging(self, toy_topology):
+        inventory = run_mercator(
+            toy_topology, self._config(), np.random.default_rng(0), source=0
+        )
+        for a, b in inventory.links:
+            assert a != b
+
+    def test_alias_failures_inflate_node_count(self, generated_small):
+        topology, _, _ = generated_small
+        merged = run_mercator(
+            topology,
+            self._config(n_targets=300, n_source_routed=100),
+            np.random.default_rng(1),
+        )
+        unmerged = run_mercator(
+            topology,
+            self._config(
+                n_targets=300, n_source_routed=100,
+                alias_resolution_rate=0.05,
+            ),
+            np.random.default_rng(1),
+        )
+        assert unmerged.n_nodes > merged.n_nodes
+
+    def test_source_routing_discovers_lateral_links(self, generated_small):
+        topology, _, _ = generated_small
+        no_lateral = run_mercator(
+            topology,
+            self._config(n_targets=300, n_source_routed=0),
+            np.random.default_rng(2),
+            source=0,
+        )
+        lateral = run_mercator(
+            topology,
+            self._config(n_targets=300, n_source_routed=400),
+            np.random.default_rng(2),
+            source=0,
+        )
+        assert lateral.n_links > no_lateral.n_links
+
+    def test_links_are_real_adjacencies(self, generated_small):
+        topology, _, _ = generated_small
+        inventory = run_mercator(
+            topology,
+            self._config(n_targets=200, n_source_routed=100),
+            np.random.default_rng(3),
+        )
+        by_loopback = {r.loopback: r.router_id for r in topology.routers}
+        for a, b in list(inventory.links)[:200]:
+            ra = by_loopback.get(a, None)
+            rb = by_loopback.get(b, None)
+            if ra is None:
+                ra = topology.interfaces[a].router_id
+            if rb is None:
+                rb = topology.interfaces[b].router_id
+            assert topology.has_link(ra, rb)
+
+    def test_tiny_topology_rejected(self):
+        from repro.net.topology import Topology
+
+        with pytest.raises(Exception):
+            run_mercator(
+                Topology(), self._config(), np.random.default_rng(0)
+            )

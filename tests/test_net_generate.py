@@ -1,0 +1,143 @@
+"""Tests for repro.net.generate (the planted ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GroundTruthConfig
+from repro.errors import ConfigError
+from repro.net.generate import generate_ground_truth
+from repro.net.ip import is_private
+
+
+class TestConfigValidation:
+    def test_too_few_routers_rejected(self):
+        with pytest.raises(ConfigError):
+            GroundTruthConfig(total_routers=5)
+
+    def test_too_many_ases_rejected(self):
+        with pytest.raises(ConfigError):
+            GroundTruthConfig(total_routers=100, n_ases=200)
+
+    def test_tier_counts_must_fit(self):
+        with pytest.raises(ConfigError):
+            GroundTruthConfig(n_ases=50, tier1_count=30, tier2_count=30)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            GroundTruthConfig(long_range_fraction=1.5)
+
+
+class TestGeneratedTopology:
+    def test_router_count_close_to_target(self, generated_small):
+        topology, _, report = generated_small
+        assert abs(topology.n_routers - 800) / 800 < 0.15
+
+    def test_topology_validates(self, generated_small):
+        topology, _, _ = generated_small
+        topology.validate()  # raises on inconsistency
+
+    def test_all_ases_have_routers(self, generated_small):
+        topology, _, report = generated_small
+        assert set(report.as_sizes) == set(topology.asns)
+        assert all(size >= 1 for size in report.as_sizes.values())
+
+    def test_as_sizes_long_tailed(self, generated_small):
+        _, _, report = generated_small
+        sizes = np.array(sorted(report.as_sizes.values(), reverse=True))
+        assert sizes[0] >= 10 * sizes[len(sizes) // 2]
+
+    def test_no_isolated_routers(self, generated_small):
+        topology, _, _ = generated_small
+        for router in topology.routers:
+            assert topology.degree(router.router_id) > 0
+
+    def test_interdomain_fraction_in_band(self, generated_small):
+        _, _, report = generated_small
+        assert 0.05 <= report.interdomain_fraction <= 0.35
+
+    def test_mean_degree_near_target(self, generated_small):
+        topology, _, _ = generated_small
+        mean_degree = 2.0 * topology.n_links / topology.n_routers
+        assert 2.0 <= mean_degree <= 4.5
+
+    def test_each_as_internally_connected(self, generated_small):
+        topology, _, _ = generated_small
+        by_asn: dict[int, list[int]] = {}
+        for router in topology.routers:
+            by_asn.setdefault(router.asn, []).append(router.router_id)
+        for asn, members in by_asn.items():
+            member_set = set(members)
+            seen = {members[0]}
+            stack = [members[0]]
+            while stack:
+                current = stack.pop()
+                for neighbor in topology.neighbors(current):
+                    if neighbor in member_set and neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            assert seen == member_set, f"AS {asn} is internally disconnected"
+
+    def test_whole_graph_one_component(self, generated_small):
+        topology, _, _ = generated_small
+        from repro.routing.shortest_path import largest_component
+
+        component = largest_component(topology.routing_graph())
+        assert component.size == topology.n_routers
+
+    def test_hostnames_assigned_to_every_interface(self, generated_small):
+        topology, _, _ = generated_small
+        assert set(topology.hostnames) == set(topology.interfaces)
+
+    def test_some_private_interfaces_planted(self, generated_small):
+        topology, _, _ = generated_small
+        private = [a for a in topology.interfaces if is_private(a)]
+        # ~0.5% of interfaces; should exist but stay rare.
+        assert 0 < len(private) < 0.03 * topology.n_interfaces
+
+    def test_interface_addresses_unique(self, generated_small):
+        topology, _, _ = generated_small
+        addresses = list(topology.interfaces)
+        assert len(addresses) == len(set(addresses))
+
+    def test_addresses_belong_to_owner_as_blocks(self, generated_small):
+        topology, plan, _ = generated_small
+        checked = 0
+        for address, iface in topology.interfaces.items():
+            if is_private(address):
+                continue
+            asn = topology.routers[iface.router_id].asn
+            assert any(p.contains(address) for p in plan.prefixes_of(asn))
+            checked += 1
+            if checked > 500:
+                break
+
+    def test_report_matches_topology(self, generated_small):
+        topology, _, report = generated_small
+        assert report.n_routers == topology.n_routers
+        assert report.n_links == topology.n_links
+        assert report.n_interfaces == topology.n_interfaces
+
+    def test_intradomain_links_shorter_on_average(self, generated_small):
+        topology, _, _ = generated_small
+        lengths = topology.link_lengths()
+        inter = np.array([l.interdomain for l in topology.links])
+        assert lengths[~inter].mean() < lengths[inter].mean()
+
+    def test_city_routers_carry_city_codes(self, generated_small):
+        topology, _, _ = generated_small
+        with_code = sum(1 for r in topology.routers if r.city_code)
+        assert with_code > 0.8 * topology.n_routers
+
+    def test_deterministic_given_seed(self, world_small):
+        config = GroundTruthConfig(
+            total_routers=200, n_ases=20, tier1_count=2, tier2_count=4
+        )
+        t1, _, _ = generate_ground_truth(
+            world_small, config, np.random.default_rng(3)
+        )
+        t2, _, _ = generate_ground_truth(
+            world_small, config, np.random.default_rng(3)
+        )
+        assert t1.n_routers == t2.n_routers
+        assert t1.n_links == t2.n_links
+        assert [r.location for r in t1.routers] == [r.location for r in t2.routers]

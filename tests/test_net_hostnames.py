@@ -1,0 +1,73 @@
+"""Tests for repro.net.hostnames (ISP naming conventions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeolocationError
+from repro.net.hostnames import extract_city_code, make_hostname
+
+codes = st.from_regex(r"[A-Z]{3}", fullmatch=True)
+router_ids = st.integers(min_value=0, max_value=10_000)
+
+
+class TestMakeHostname:
+    def test_embedded_code_round_trips(self):
+        rng = np.random.default_rng(0)
+        hostname = make_hostname(7, "NYC", "alter.net", rng, embed_location=True)
+        assert extract_city_code(hostname) == "NYC"
+
+    def test_without_embedding_no_code(self):
+        rng = np.random.default_rng(0)
+        hostname = make_hostname(7, "NYC", "alter.net", rng, embed_location=False)
+        assert extract_city_code(hostname) is None
+
+    def test_empty_city_code_means_no_location(self):
+        rng = np.random.default_rng(0)
+        hostname = make_hostname(7, "", "alter.net", rng, embed_location=True)
+        assert extract_city_code(hostname) is None
+
+    def test_hostname_ends_with_domain(self):
+        rng = np.random.default_rng(0)
+        hostname = make_hostname(3, "LAX", "example.net", rng, embed_location=True)
+        assert hostname.endswith(".example.net")
+
+    def test_paper_example_shape(self):
+        # The paper's example: 0.so-5-2-0.XL1.NYC8.ALTER.NET
+        rng = np.random.default_rng(1)
+        hostname = make_hostname(3, "NYC", "alter.net", rng, embed_location=True)
+        parts = hostname.split(".")
+        assert parts[0].isdigit()
+        assert "-" in parts[1]
+
+    @settings(max_examples=60)
+    @given(router_ids, codes)
+    def test_round_trip_property(self, router_id, code):
+        rng = np.random.default_rng(router_id)
+        hostname = make_hostname(
+            router_id, code, "testnet.net", rng, embed_location=True
+        )
+        assert extract_city_code(hostname) == code
+
+    def test_digit_tagged_synthetic_codes_round_trip(self):
+        rng = np.random.default_rng(2)
+        hostname = make_hostname(11, "3QF", "zone.net", rng, embed_location=True)
+        assert extract_city_code(hostname) == "3QF"
+
+
+class TestExtractCityCode:
+    def test_unparseable_hostname_raises(self):
+        with pytest.raises(GeolocationError):
+            extract_city_code("www.example.com")
+
+    def test_garbage_raises(self):
+        with pytest.raises(GeolocationError):
+            extract_city_code("!!!")
+
+    def test_unit_digits_stripped(self):
+        rng = np.random.default_rng(3)
+        hostname = make_hostname(8, "SEA", "x.net", rng, embed_location=True)
+        # Router 8 gets a unit number appended to the code; the parser
+        # must strip it.
+        assert extract_city_code(hostname) == "SEA"

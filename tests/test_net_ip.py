@@ -1,0 +1,146 @@
+"""Tests for repro.net.ip (addresses and prefixes)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net.ip import (
+    ADDRESS_SPACE,
+    Prefix,
+    check_address,
+    format_address,
+    is_private,
+    parse_address,
+    prefix_mask,
+)
+
+addresses = st.integers(min_value=0, max_value=ADDRESS_SPACE - 1)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressBasics:
+    def test_check_address_passes_valid(self):
+        assert check_address(0) == 0
+        assert check_address(ADDRESS_SPACE - 1) == ADDRESS_SPACE - 1
+
+    def test_check_address_rejects_negative(self):
+        with pytest.raises(AddressError):
+            check_address(-1)
+
+    def test_check_address_rejects_overflow(self):
+        with pytest.raises(AddressError):
+            check_address(ADDRESS_SPACE)
+
+    def test_check_address_rejects_bool(self):
+        with pytest.raises(AddressError):
+            check_address(True)
+
+    def test_format_known(self):
+        assert format_address(0) == "0.0.0.0"
+        assert format_address(0xC0A80101) == "192.168.1.1"
+        assert format_address(ADDRESS_SPACE - 1) == "255.255.255.255"
+
+    def test_parse_known(self):
+        assert parse_address("10.0.0.1") == 0x0A000001
+        assert parse_address("255.255.255.255") == ADDRESS_SPACE - 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "01.2.3.4", "-1.0.0.0"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_address(bad)
+
+    @given(addresses)
+    def test_format_parse_round_trip(self, address):
+        assert parse_address(format_address(address)) == address
+
+
+class TestPrivate:
+    def test_rfc1918_ranges(self):
+        assert is_private(parse_address("10.1.2.3"))
+        assert is_private(parse_address("172.16.0.1"))
+        assert is_private(parse_address("172.31.255.255"))
+        assert is_private(parse_address("192.168.100.100"))
+
+    def test_public_addresses(self):
+        assert not is_private(parse_address("8.8.8.8"))
+        assert not is_private(parse_address("172.32.0.1"))
+        assert not is_private(parse_address("192.169.0.1"))
+        assert not is_private(parse_address("11.0.0.1"))
+
+
+class TestPrefixMask:
+    def test_known_masks(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(AddressError):
+            prefix_mask(33)
+        with pytest.raises(AddressError):
+            prefix_mask(-1)
+
+
+class TestPrefix:
+    def test_parse_and_str_round_trip(self):
+        p = Prefix.parse("192.168.0.0/16")
+        assert str(p) == "192.168.0.0/16"
+        assert p.length == 16
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix(parse_address("192.168.0.1"), 16)
+
+    def test_parse_rejects_missing_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0")
+
+    def test_size_and_last(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.size == 256
+        assert format_address(p.last) == "10.0.0.255"
+
+    def test_contains(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(parse_address("10.200.3.4"))
+        assert not p.contains(parse_address("11.0.0.0"))
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_subdivide_halves(self):
+        p = Prefix.parse("10.0.0.0/8")
+        halves = p.subdivide(9)
+        assert [str(h) for h in halves] == ["10.0.0.0/9", "10.128.0.0/9"]
+
+    def test_subdivide_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/8").subdivide(7)
+
+    def test_subdivide_rejects_explosion(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("0.0.0.0/0").subdivide(32)
+
+    def test_ordering_is_by_base_then_length(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("11.0.0.0/8")
+        assert a < b
+
+    @given(addresses, lengths)
+    def test_mask_canonicalisation_property(self, address, length):
+        base = address & prefix_mask(length)
+        p = Prefix(base, length)
+        assert p.contains(address)
+        # All sub-prefix bases stay inside.
+        if length <= 30:
+            for child in p.subdivide(min(length + 2, 32))[:4]:
+                assert p.contains_prefix(child)

@@ -1,0 +1,184 @@
+"""Tests for repro.net.topology and repro.net.elements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint
+from repro.net.elements import AutonomousSystem, Link, Router
+from repro.net.topology import Topology
+
+
+class TestElements:
+    def test_as_domain_slug(self):
+        asys = AutonomousSystem(
+            asn=7, name="Alter Net 7", headquarters=GeoPoint(0.0, 0.0)
+        )
+        assert asys.domain == "alternet7.net"
+
+    def test_as_rejects_bad_asn(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=0, name="x", headquarters=GeoPoint(0.0, 0.0))
+
+    def test_as_rejects_bad_tier(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(
+                asn=1, name="x", headquarters=GeoPoint(0.0, 0.0), tier=4
+            )
+
+    def test_router_rejects_negative_id(self):
+        with pytest.raises(TopologyError):
+            Router(router_id=-1, asn=1, location=GeoPoint(0, 0), city_code="",
+                   loopback=5)
+
+    def test_link_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Link(0, 1, 1, 10, 11, 0.0, False)
+
+    def test_link_other_router(self):
+        link = Link(0, 1, 2, 10, 11, 5.0, False)
+        assert link.other_router(1) == 2
+        assert link.other_router(2) == 1
+        with pytest.raises(TopologyError):
+            link.other_router(3)
+
+
+class TestTopologyConstruction:
+    def test_toy_shape(self, toy_topology):
+        assert toy_topology.n_routers == 6
+        assert toy_topology.n_links == 5
+        # 6 loopbacks + 2 interfaces per link.
+        assert toy_topology.n_interfaces == 6 + 10
+
+    def test_duplicate_asn_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_as(
+                AutonomousSystem(asn=100, name="dup", headquarters=GeoPoint(0, 0))
+            )
+
+    def test_router_unknown_as_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_router(999, GeoPoint(0, 0), "", 5000)
+
+    def test_duplicate_loopback_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_router(100, GeoPoint(0, 0), "", 1000)
+
+    def test_self_loop_link_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_link(0, 0, 9000, 9001)
+
+    def test_duplicate_link_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_link(0, 1, 9000, 9001)
+        with pytest.raises(TopologyError):
+            toy_topology.add_link(1, 0, 9002, 9003)
+
+    def test_duplicate_interface_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_link(0, 4, 2000, 9001)
+
+    def test_unknown_router_link_rejected(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.add_link(0, 77, 9000, 9001)
+
+    def test_endpoint_normalisation(self, toy_topology):
+        link = toy_topology.add_link(5, 0, 9000, 9001)
+        assert link.router_a == 0 and link.router_b == 5
+        assert link.interface_a == 9001 and link.interface_b == 9000
+
+
+class TestTopologyQueries:
+    def test_neighbors(self, toy_topology):
+        assert set(toy_topology.neighbors(1)) == {0, 2}
+        assert toy_topology.neighbors(0) == [1]
+
+    def test_unknown_router_neighbors_raise(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.neighbors(42)
+
+    def test_degree(self, toy_topology):
+        assert toy_topology.degree(0) == 1
+        assert toy_topology.degree(2) == 2
+
+    def test_has_link_symmetric(self, toy_topology):
+        assert toy_topology.has_link(0, 1)
+        assert toy_topology.has_link(1, 0)
+        assert not toy_topology.has_link(0, 5)
+
+    def test_interdomain_flag(self, toy_topology):
+        cross = toy_topology.link_between(2, 3)
+        within = toy_topology.link_between(0, 1)
+        assert cross.interdomain
+        assert not within.interdomain
+
+    def test_link_lengths_positive(self, toy_topology):
+        lengths = toy_topology.link_lengths()
+        assert lengths.shape == (5,)
+        assert np.all(lengths > 0)
+
+    def test_router_coordinates(self, toy_topology):
+        lats, lons = toy_topology.router_coordinates()
+        assert lats.shape == (6,)
+        assert lats[0] == pytest.approx(37.77)
+
+    def test_router_asns(self, toy_topology):
+        asns = toy_topology.router_asns()
+        assert asns.tolist() == [100, 100, 100, 200, 200, 200]
+
+    def test_link_between_missing_raises(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.link_between(0, 5)
+
+    def test_incident_links(self, toy_topology):
+        ids = toy_topology.incident_links(2)
+        assert len(ids) == 2
+
+    def test_link_interface_toward(self, toy_topology):
+        link = toy_topology.link_between(0, 1)
+        toward_1 = toy_topology.link_interface_toward(0, 1)
+        toward_0 = toy_topology.link_interface_toward(1, 0)
+        assert {toward_0, toward_1} == {link.interface_a, link.interface_b}
+        # The interface toward router 1 must belong to router 1.
+        assert toy_topology.interfaces[toward_1].router_id == 1
+
+    def test_interfaces_of_router(self, toy_topology):
+        interfaces = toy_topology.interfaces_of_router(2)
+        # Loopback + 2 link interfaces.
+        assert len(interfaces) == 3
+
+
+class TestRoutingGraph:
+    def test_symmetric_csr(self, toy_topology):
+        graph = toy_topology.routing_graph()
+        dense = graph.toarray()
+        assert np.allclose(dense, dense.T)
+        assert dense[0, 1] > 0
+
+    def test_hop_cost_added(self, toy_topology):
+        no_cost = toy_topology.routing_graph(hop_cost=0.0).toarray()
+        with_cost = toy_topology.routing_graph(hop_cost=100.0).toarray()
+        nz = no_cost > 0
+        assert np.allclose(with_cost[nz] - no_cost[nz], 100.0)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().routing_graph()
+
+
+class TestValidate:
+    def test_valid_topology_passes(self, toy_topology):
+        toy_topology.validate()
+
+    def test_hostname_requires_known_interface(self, toy_topology):
+        with pytest.raises(TopologyError):
+            toy_topology.set_hostname(424242, "x.example.net")
+
+    def test_corruption_detected(self, toy_topology):
+        # Simulate corruption: break an interface's link reference.
+        from repro.net.elements import Interface
+
+        address = toy_topology.links[0].interface_a
+        toy_topology.interfaces[address] = Interface(address, 0, 99)
+        with pytest.raises(TopologyError):
+            toy_topology.validate()

@@ -1,0 +1,136 @@
+"""Tests for repro.population.cities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.population.cities import (
+    City,
+    seed_cities,
+    seed_zone_names,
+    synthesize_cities,
+    zipf_populations,
+)
+from repro.geo.coords import GeoPoint
+
+
+class TestCity:
+    def test_valid_city(self):
+        c = City("Testville", "TST", GeoPoint(10.0, 20.0), 1e5, "USA")
+        assert c.code == "TST"
+
+    def test_lowercase_code_rejected(self):
+        with pytest.raises(ConfigError):
+            City("x", "abc", GeoPoint(0.0, 0.0), 1e5, "USA")
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(ConfigError):
+            City("x", "", GeoPoint(0.0, 0.0), 1e5, "USA")
+
+    def test_non_positive_population_rejected(self):
+        with pytest.raises(ConfigError):
+            City("x", "XXX", GeoPoint(0.0, 0.0), 0.0, "USA")
+
+
+class TestSeedCities:
+    def test_all_zones_have_seeds(self):
+        for zone in seed_zone_names():
+            cities = seed_cities(zone)
+            assert len(cities) >= 7
+
+    def test_unknown_zone_raises(self):
+        with pytest.raises(ConfigError):
+            seed_cities("Narnia")
+
+    def test_seed_codes_unique_within_zone(self):
+        for zone in seed_zone_names():
+            codes = [c.code for c in seed_cities(zone)]
+            assert len(codes) == len(set(codes))
+
+    def test_seed_codes_unique_globally(self):
+        codes = [
+            c.code for zone in seed_zone_names() for c in seed_cities(zone)
+        ]
+        assert len(codes) == len(set(codes))
+
+    def test_known_city_coordinates(self):
+        usa = {c.code: c for c in seed_cities("USA")}
+        nyc = usa["NYC"]
+        assert nyc.location.lat == pytest.approx(40.71, abs=0.1)
+        assert nyc.location.lon == pytest.approx(-74.01, abs=0.1)
+
+    def test_populations_are_plausible(self):
+        for zone in seed_zone_names():
+            for city in seed_cities(zone):
+                assert 1e4 < city.population < 5e7
+
+
+class TestZipfPopulations:
+    def test_follows_zipf_law(self):
+        sizes = zipf_populations(100, largest=1e6, exponent=1.0, floor=1.0)
+        assert sizes[0] == pytest.approx(1e6)
+        assert sizes[9] == pytest.approx(1e5)
+
+    def test_floor_applied(self):
+        sizes = zipf_populations(1000, largest=1e5, floor=5e3)
+        assert sizes.min() == pytest.approx(5e3)
+
+    def test_monotone_non_increasing(self):
+        sizes = zipf_populations(50, largest=1e6)
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigError):
+            zipf_populations(0, largest=1e6)
+        with pytest.raises(ConfigError):
+            zipf_populations(10, largest=-1.0)
+        with pytest.raises(ConfigError):
+            zipf_populations(10, largest=1e6, exponent=0.0)
+
+
+class TestSynthesizeCities:
+    def _make(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        return synthesize_cities(
+            "USA", 50.0, 24.0, -130.0, -65.0, n_synthetic=n, rng=rng,
+            zone_tag="6",
+        )
+
+    def test_counts(self):
+        cities = self._make(40)
+        assert len(cities) == len(seed_cities("USA")) + 40
+
+    def test_synthetic_cities_inside_box(self):
+        for city in self._make(60):
+            if city.name.startswith("USA town"):
+                assert 24.0 <= city.location.lat <= 50.0
+                assert -130.0 <= city.location.lon <= -65.0
+
+    def test_synthetic_codes_unique_and_tagged(self):
+        cities = self._make(80)
+        codes = [c.code for c in cities]
+        assert len(codes) == len(set(codes))
+        synthetic = [c.code for c in cities if c.name.startswith("USA town")]
+        assert all(code.startswith("6") for code in synthetic)
+
+    def test_synthetic_smaller_than_seeds(self):
+        cities = self._make(30)
+        seeds = [c for c in cities if not c.name.startswith("USA town")]
+        synth = [c for c in cities if c.name.startswith("USA town")]
+        assert max(s.population for s in synth) <= min(
+            s.population for s in seeds
+        )
+
+    def test_zero_synthetic_returns_seeds_only(self):
+        rng = np.random.default_rng(1)
+        cities = synthesize_cities(
+            "Japan", 46.0, 30.0, 129.0, 146.0, n_synthetic=0, rng=rng
+        )
+        assert len(cities) == len(seed_cities("Japan"))
+
+    def test_deterministic_given_seed(self):
+        a = self._make(25, seed=5)
+        b = self._make(25, seed=5)
+        assert [(c.code, c.location) for c in a] == [
+            (c.code, c.location) for c in b
+        ]

@@ -1,0 +1,45 @@
+"""Tests for repro.population.raster."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import US, WORLD
+from repro.population.raster import rasterize
+
+
+class TestRasterize:
+    def test_raster_conserves_region_population(self, world_small):
+        raster = rasterize(world_small.field, US, cell_arcmin=75.0)
+        direct = world_small.field.region_population(US)
+        assert raster.total_population == pytest.approx(direct, rel=1e-9)
+
+    def test_raster_conserves_online(self, world_small):
+        raster = rasterize(world_small.field, US, cell_arcmin=75.0)
+        direct = world_small.field.region_online(US)
+        assert raster.total_online == pytest.approx(direct, rel=1e-9)
+
+    def test_world_raster_covers_everything(self, world_small):
+        raster = rasterize(world_small.field, WORLD, cell_arcmin=150.0)
+        assert raster.total_population == pytest.approx(
+            world_small.field.total_population, rel=1e-6
+        )
+
+    def test_occupied_cells_nonzero(self, world_small):
+        raster = rasterize(world_small.field, US, cell_arcmin=75.0)
+        occupied = raster.occupied_cells()
+        assert occupied.size > 0
+        assert np.all(raster.population[occupied] > 0)
+
+    def test_occupied_centers_inside_region(self, world_small):
+        raster = rasterize(world_small.field, US, cell_arcmin=75.0)
+        lats, lons, pop = raster.occupied_centers()
+        assert np.all(US.contains_mask(lats, lons))
+        assert pop.sum() == pytest.approx(raster.total_population, rel=1e-9)
+
+    def test_finer_grid_same_total(self, world_small):
+        coarse = rasterize(world_small.field, US, cell_arcmin=150.0)
+        fine = rasterize(world_small.field, US, cell_arcmin=30.0)
+        assert coarse.total_population == pytest.approx(
+            fine.total_population, rel=1e-9
+        )
+        assert fine.grid.n_cells > coarse.grid.n_cells

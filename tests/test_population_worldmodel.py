@@ -1,0 +1,134 @@
+"""Tests for repro.population.worldmodel (zones, world synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.geo.regions import Region, USA_ECON, WESTERN_EUROPE
+from repro.population.worldmodel import (
+    EconomicZone,
+    World,
+    build_world,
+    default_zones,
+)
+
+
+def _zone(**overrides) -> EconomicZone:
+    base = dict(
+        name="Testland",
+        box=Region("Testland box", north=10.0, south=0.0, west=0.0, east=10.0),
+        population_millions=100.0,
+        online_millions=50.0,
+        n_synthetic_cities=5,
+    )
+    base.update(overrides)
+    return EconomicZone(**base)
+
+
+class TestEconomicZone:
+    def test_penetration(self):
+        assert _zone().penetration == pytest.approx(0.5)
+
+    def test_zero_population_rejected(self):
+        with pytest.raises(ConfigError):
+            _zone(population_millions=0.0)
+
+    def test_online_exceeding_population_rejected(self):
+        with pytest.raises(ConfigError):
+            _zone(online_millions=101.0)
+
+    def test_bad_urban_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            _zone(urban_fraction=1.0)
+
+    def test_bad_interface_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            _zone(interfaces_per_online=0.0)
+
+
+class TestDefaultZones:
+    def test_seven_zones_matching_table3(self):
+        zones = default_zones()
+        names = [z.name for z in zones]
+        assert names == [
+            "Africa", "South America", "Mexico", "W. Europe", "Japan",
+            "Australia", "USA",
+        ]
+
+    def test_paper_population_totals(self):
+        by_name = {z.name: z for z in default_zones()}
+        # Table III population column, in millions.
+        assert by_name["Africa"].population_millions == 837.0
+        assert by_name["USA"].population_millions == 299.0
+        assert by_name["Japan"].population_millions == 136.0
+
+    def test_paper_online_totals(self):
+        by_name = {z.name: z for z in default_zones()}
+        assert by_name["USA"].online_millions == 166.0
+        assert by_name["Africa"].online_millions == 4.15
+
+    def test_penetration_contrast(self):
+        by_name = {z.name: z for z in default_zones()}
+        assert by_name["USA"].penetration > 50 * by_name["Africa"].penetration
+
+    def test_city_scale_reduces_counts(self):
+        full = default_zones(city_scale=1.0)
+        small = default_zones(city_scale=0.1)
+        assert all(
+            s.n_synthetic_cities <= f.n_synthetic_cities
+            for s, f in zip(small, full)
+        )
+
+
+class TestBuildWorld:
+    @pytest.fixture(scope="class")
+    def world(self) -> World:
+        return build_world(np.random.default_rng(5), city_scale=0.2)
+
+    def test_total_population_matches_zone_sum(self, world):
+        expected = sum(z.population_millions for z in world.zones) * 1e6
+        assert world.field.total_population == pytest.approx(expected, rel=1e-6)
+
+    def test_total_online_matches_zone_sum(self, world):
+        expected = sum(z.online_millions for z in world.zones) * 1e6
+        assert world.field.total_online == pytest.approx(expected, rel=1e-6)
+
+    def test_online_never_exceeds_population_pointwise(self, world):
+        assert np.all(
+            world.field.online_weights <= world.field.weights + 1e-9
+        )
+
+    def test_field_arrays_parallel(self, world):
+        n = world.field.lats.shape[0]
+        assert world.field.lons.shape == (n,)
+        assert world.field.weights.shape == (n,)
+        assert world.field.zone_index.shape == (n,)
+
+    def test_us_region_population_is_large(self, world):
+        pop = world.field.region_population(USA_ECON)
+        assert pop > 250e6
+
+    def test_europe_online_fraction_high(self, world):
+        pop = world.field.region_population(WESTERN_EUROPE)
+        online = world.field.region_online(WESTERN_EUROPE)
+        assert 0.2 < online / pop < 0.6
+
+    def test_cities_have_unique_codes(self, world):
+        codes = [c.code for c in world.cities]
+        assert len(codes) == len(set(codes))
+
+    def test_zone_lookup(self, world):
+        assert world.zone_by_name("USA").name == "USA"
+        with pytest.raises(ConfigError):
+            world.zone_by_name("Mars")
+
+    def test_cities_in_zone(self, world):
+        usa_cities = world.cities_in_zone("USA")
+        assert usa_cities
+        assert all(c.zone == "USA" for c in usa_cities)
+
+    def test_deterministic_given_seed(self):
+        w1 = build_world(np.random.default_rng(42), city_scale=0.1)
+        w2 = build_world(np.random.default_rng(42), city_scale=0.1)
+        assert np.array_equal(w1.field.lats, w2.field.lats)
+        assert np.array_equal(w1.field.weights, w2.field.weights)

@@ -1,0 +1,169 @@
+"""Tests for repro.routing (shortest paths and forwarding semantics)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import RoutingError
+from repro.routing.forwarding import (
+    interface_hops,
+    observed_trace,
+    path_links,
+    source_routed_path,
+)
+from repro.routing.shortest_path import (
+    largest_component,
+    shortest_path_tree,
+    shortest_path_trees,
+)
+
+
+def _chain_graph(n: int) -> sparse.csr_matrix:
+    rows = list(range(n - 1)) + list(range(1, n))
+    cols = list(range(1, n)) + list(range(n - 1))
+    data = [1.0] * (2 * (n - 1))
+    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+class TestShortestPathTree:
+    def test_chain_path(self):
+        tree = shortest_path_tree(_chain_graph(5), 0)
+        assert tree.path_to(4) == [0, 1, 2, 3, 4]
+
+    def test_path_to_source_is_singleton(self):
+        tree = shortest_path_tree(_chain_graph(5), 2)
+        assert tree.path_to(2) == [2]
+
+    def test_distances_monotone_along_chain(self):
+        tree = shortest_path_tree(_chain_graph(6), 0)
+        assert np.all(np.diff(tree.distances) > 0)
+
+    def test_unreachable_raises(self):
+        graph = sparse.csr_matrix((4, 4))
+        tree = shortest_path_tree(graph, 0)
+        assert not tree.reachable(3)
+        with pytest.raises(RoutingError):
+            tree.path_to(3)
+
+    def test_out_of_range_source_raises(self):
+        with pytest.raises(RoutingError):
+            shortest_path_tree(_chain_graph(3), 7)
+
+    def test_out_of_range_target_raises(self):
+        tree = shortest_path_tree(_chain_graph(3), 0)
+        with pytest.raises(RoutingError):
+            tree.path_to(9)
+
+    def test_weighted_shortcut_preferred(self):
+        # 0-1-2 with weight 1 each, plus direct 0-2 with weight 5: the
+        # two-hop route (total 2) wins.
+        rows = [0, 1, 1, 2, 0, 2]
+        cols = [1, 0, 2, 1, 2, 0]
+        data = [1.0, 1.0, 1.0, 1.0, 5.0, 5.0]
+        graph = sparse.csr_matrix((data, (rows, cols)), shape=(3, 3))
+        tree = shortest_path_tree(graph, 0)
+        assert tree.path_to(2) == [0, 1, 2]
+
+    def test_batch_matches_single(self):
+        graph = _chain_graph(7)
+        batch = shortest_path_trees(graph, [0, 3])
+        single = shortest_path_tree(graph, 3)
+        assert batch[1].path_to(6) == single.path_to(6)
+
+    def test_empty_batch(self):
+        assert shortest_path_trees(_chain_graph(3), []) == []
+
+
+class TestLargestComponent:
+    def test_connected_graph_returns_all(self):
+        comp = largest_component(_chain_graph(5))
+        assert comp.tolist() == [0, 1, 2, 3, 4]
+
+    def test_disconnected_graph_returns_biggest(self):
+        # Components {0,1,2} and {3,4}.
+        rows = [0, 1, 1, 2, 3, 4]
+        cols = [1, 0, 2, 1, 4, 3]
+        graph = sparse.csr_matrix(
+            ([1.0] * 6, (rows, cols)), shape=(5, 5)
+        )
+        comp = largest_component(graph)
+        assert comp.tolist() == [0, 1, 2]
+
+
+class TestInterfaceHops:
+    def test_hops_report_inbound_interfaces(self, toy_topology):
+        hops = interface_hops(toy_topology, [0, 1, 2])
+        # Each reported address must live on the corresponding router.
+        assert toy_topology.interfaces[hops[0]].router_id == 1
+        assert toy_topology.interfaces[hops[1]].router_id == 2
+
+    def test_source_not_reported(self, toy_topology):
+        hops = interface_hops(toy_topology, [0, 1])
+        assert len(hops) == 1
+
+    def test_non_adjacent_raises(self, toy_topology):
+        with pytest.raises(RoutingError):
+            interface_hops(toy_topology, [0, 5])
+
+
+class TestObservedTrace:
+    def test_full_response(self, toy_topology):
+        rng = np.random.default_rng(0)
+        trace = observed_trace(toy_topology, [0, 1, 2, 3], rng, 1.0, 30)
+        assert None not in trace
+        assert len(trace) == 3
+
+    def test_max_hops_truncates(self, toy_topology):
+        rng = np.random.default_rng(0)
+        trace = observed_trace(toy_topology, [0, 1, 2, 3, 4, 5], rng, 1.0, 2)
+        assert len(trace) == 2
+
+    def test_zero_ish_response_rate_gives_stars(self, toy_topology):
+        rng = np.random.default_rng(0)
+        trace = observed_trace(toy_topology, [0, 1, 2, 3], rng, 1e-12, 30)
+        assert trace == [None, None, None]
+
+
+class TestSourceRoutedPath:
+    def test_concatenates_legs(self, toy_topology):
+        graph = toy_topology.routing_graph()
+        source_tree = shortest_path_tree(graph, 0)
+        via_tree = shortest_path_tree(graph, 3)
+        path = source_routed_path(via_tree, source_tree, 3, 5)
+        assert path[0] == 0
+        assert 3 in path
+        assert path[-1] == 5
+
+    def test_loop_trimmed(self, toy_topology):
+        # source->via and via->target legs overlap on a chain topology;
+        # the combined path must not revisit any router.
+        graph = toy_topology.routing_graph()
+        source_tree = shortest_path_tree(graph, 0)
+        via_tree = shortest_path_tree(graph, 4)
+        path = source_routed_path(via_tree, source_tree, 4, 1)
+        assert len(path) == len(set(path))
+        assert path[0] == 0 and path[-1] == 1
+
+    def test_wrong_via_tree_raises(self, toy_topology):
+        graph = toy_topology.routing_graph()
+        source_tree = shortest_path_tree(graph, 0)
+        via_tree = shortest_path_tree(graph, 3)
+        with pytest.raises(RoutingError):
+            source_routed_path(via_tree, source_tree, 2, 5)
+
+    def test_consecutive_hops_are_adjacent(self, toy_topology):
+        graph = toy_topology.routing_graph()
+        source_tree = shortest_path_tree(graph, 0)
+        via_tree = shortest_path_tree(graph, 5)
+        path = source_routed_path(via_tree, source_tree, 5, 2)
+        for a, b in zip(path, path[1:]):
+            assert toy_topology.has_link(a, b)
+
+
+class TestPathLinks:
+    def test_normalised_pairs(self):
+        assert path_links([3, 1, 2]) == [(1, 3), (1, 2)]
+
+    def test_empty_and_singleton(self):
+        assert path_links([]) == []
+        assert path_links([5]) == []

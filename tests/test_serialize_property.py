@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for dataset serialisation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.mapped import MappedDataset
+from repro.datasets.serialize import dataset_from_dict, dataset_to_dict
+
+
+@st.composite
+def datasets(draw) -> MappedDataset:
+    n = draw(st.integers(min_value=1, max_value=30))
+    lats = draw(
+        st.lists(
+            st.floats(min_value=-89.0, max_value=89.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    lons = draw(
+        st.lists(
+            st.floats(min_value=-179.0, max_value=179.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    asns = draw(
+        st.lists(st.integers(min_value=-1, max_value=70_000), min_size=n,
+                 max_size=n)
+    )
+    n_links = draw(st.integers(min_value=0, max_value=40))
+    links = []
+    if n >= 2:
+        for _ in range(n_links):
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b:
+                links.append((a, b))
+    return MappedDataset(
+        label=draw(st.text(min_size=0, max_size=20)),
+        kind=draw(st.sampled_from(["skitter", "mercator", "generated"])),
+        addresses=np.arange(n, dtype=np.int64),
+        lats=np.asarray(lats),
+        lons=np.asarray(lons),
+        asns=np.asarray(asns, dtype=np.int64),
+        links=(
+            np.asarray(links, dtype=np.intp)
+            if links
+            else np.empty((0, 2), dtype=np.intp)
+        ),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(datasets())
+def test_dict_round_trip_preserves_everything(ds):
+    again = dataset_from_dict(dataset_to_dict(ds))
+    assert again.label == ds.label
+    assert again.kind == ds.kind
+    assert np.array_equal(again.addresses, ds.addresses)
+    assert np.array_equal(again.lats, ds.lats)
+    assert np.array_equal(again.lons, ds.lons)
+    assert np.array_equal(again.asns, ds.asns)
+    assert np.array_equal(again.links, ds.links)
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_round_trip_preserves_derived_statistics(ds):
+    again = dataset_from_dict(dataset_to_dict(ds))
+    assert again.n_nodes == ds.n_nodes
+    assert again.n_links == ds.n_links
+    assert again.n_locations == ds.n_locations
+    assert np.array_equal(again.interdomain_mask(), ds.interdomain_mask())
+    assert np.allclose(again.link_lengths(), ds.link_lengths())

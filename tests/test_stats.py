@@ -1,0 +1,204 @@
+"""Tests for repro.core.stats (fits, distributions, correlation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    bin_counts,
+    ccdf_loglog_points,
+    empirical_distribution,
+    least_squares_fit,
+    loglog_fit,
+    pearson_correlation,
+    semilog_fit,
+    spearman_correlation,
+    tail_span_decades,
+)
+from repro.errors import AnalysisError
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestLeastSquares:
+    def test_exact_line_recovered(self):
+        x = np.linspace(0, 10, 50)
+        y = 2.5 * x - 3.0
+        fit = least_squares_fit(x, y)
+        assert fit.slope == pytest.approx(2.5)
+        assert fit.intercept == pytest.approx(-3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_approximate(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 500)
+        y = 1.7 * x + 4.0 + rng.normal(0, 0.1, 500)
+        fit = least_squares_fit(x, y)
+        assert fit.slope == pytest.approx(1.7, abs=0.05)
+        assert fit.r_squared > 0.95
+
+    def test_predict_evaluates_line(self):
+        fit = least_squares_fit(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        assert float(fit.predict(2.0)) == pytest.approx(5.0)
+
+    def test_equation_string(self):
+        fit = least_squares_fit(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert "y = " in fit.equation("d")
+        assert "d" in fit.equation("d")
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(AnalysisError):
+            least_squares_fit(np.array([1.0]), np.array([2.0]))
+
+    def test_constant_x_raises(self):
+        with pytest.raises(AnalysisError):
+            least_squares_fit(np.array([2.0, 2.0]), np.array([1.0, 3.0]))
+
+    def test_non_finite_raises(self):
+        with pytest.raises(AnalysisError):
+            least_squares_fit(np.array([0.0, np.inf]), np.array([0.0, 1.0]))
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_recovers_arbitrary_lines(self, slope, intercept):
+        x = np.linspace(-5, 5, 20)
+        fit = least_squares_fit(x, slope * x + intercept)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+
+class TestLogLogFit:
+    def test_power_law_slope_recovered(self):
+        x = np.logspace(1, 4, 60)
+        y = 0.5 * x**1.4
+        fit = loglog_fit(x, y)
+        assert fit.slope == pytest.approx(1.4, abs=1e-6)
+
+    def test_non_positive_entries_dropped(self):
+        x = np.array([0.0, 10.0, 100.0, 1000.0])
+        y = np.array([5.0, 10.0, 100.0, 1000.0])
+        fit = loglog_fit(x, y)
+        assert fit.n == 3
+
+    def test_all_non_positive_raise(self):
+        with pytest.raises(AnalysisError):
+            loglog_fit(np.array([0.0, -1.0]), np.array([1.0, 2.0]))
+
+
+class TestSemilogFit:
+    def test_exponential_decay_recovered(self):
+        d = np.linspace(0, 300, 40)
+        f = 0.01 * np.exp(-d / 140.0)
+        fit = semilog_fit(d, f)
+        assert -1.0 / fit.slope == pytest.approx(140.0, rel=1e-6)
+
+    def test_zero_values_dropped(self):
+        d = np.array([0.0, 10.0, 20.0, 30.0])
+        f = np.array([1.0, 0.0, np.e**-2, np.e**-3])
+        fit = semilog_fit(d, f)
+        assert fit.n == 3
+
+
+class TestEmpiricalDistribution:
+    def test_cdf_and_ccdf_complement(self):
+        dist = empirical_distribution(np.array([1.0, 2.0, 2.0, 5.0]))
+        assert np.allclose(dist.cdf + dist.ccdf, 1.0)
+
+    def test_cdf_monotone_and_ends_at_one(self):
+        rng = np.random.default_rng(4)
+        dist = empirical_distribution(rng.pareto(1.5, 500))
+        assert np.all(np.diff(dist.cdf) > 0)
+        assert dist.cdf[-1] == pytest.approx(1.0)
+
+    def test_values_sorted_unique(self):
+        dist = empirical_distribution(np.array([3.0, 1.0, 3.0]))
+        assert dist.values.tolist() == [1.0, 3.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            empirical_distribution(np.array([]))
+
+    def test_nan_raises(self):
+        with pytest.raises(AnalysisError):
+            empirical_distribution(np.array([1.0, np.nan]))
+
+    @settings(max_examples=40)
+    @given(st.lists(finite, min_size=1, max_size=100))
+    def test_cdf_at_value_counts_at_most(self, samples):
+        arr = np.asarray(samples)
+        dist = empirical_distribution(arr)
+        for v, c in zip(dist.values, dist.cdf):
+            assert c == pytest.approx(np.mean(arr <= v))
+
+
+class TestCcdfLogLog:
+    def test_tail_points_are_finite(self):
+        rng = np.random.default_rng(9)
+        lx, ly = ccdf_loglog_points(rng.pareto(1.0, 1000) + 1.0)
+        assert np.all(np.isfinite(lx)) and np.all(np.isfinite(ly))
+
+    def test_pareto_tail_is_roughly_linear(self):
+        rng = np.random.default_rng(10)
+        lx, ly = ccdf_loglog_points(rng.pareto(1.2, 20_000) + 1.0)
+        fit = least_squares_fit(lx, ly)
+        assert fit.slope == pytest.approx(-1.2, abs=0.25)
+
+    def test_decades_span(self):
+        assert tail_span_decades(np.array([1.0, 10.0, 1000.0])) == pytest.approx(3.0)
+        assert tail_span_decades(np.array([-1.0, 0.0])) == 0.0
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_raises(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation(np.ones(5), np.arange(5.0))
+
+    def test_spearman_monotone_nonlinear_is_one(self):
+        x = np.arange(1.0, 20.0)
+        assert spearman_correlation(x, x**3) == pytest.approx(1.0)
+
+    def test_spearman_handles_ties(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+    @settings(max_examples=40)
+    @given(st.lists(finite, min_size=3, max_size=50))
+    def test_pearson_bounded(self, xs):
+        x = np.asarray(xs)
+        if np.std(x) < 1e-6:  # (near-)constant input is rejected by design
+            return
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=x.size)
+        r = pearson_correlation(x, y)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestBinCounts:
+    def test_basic_binning(self):
+        series = bin_counts(np.array([0.5, 1.5, 1.7, 9.0]), width=1.0, n_bins=5)
+        assert series.values[0] == 1
+        assert series.values[1] == 2
+        assert series.values.sum() == 3  # 9.0 beyond the last bin is dropped
+
+    def test_negative_samples_dropped(self):
+        series = bin_counts(np.array([-0.5, 0.5]), width=1.0, n_bins=2)
+        assert series.values.sum() == 1
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(AnalysisError):
+            bin_counts(np.array([1.0]), width=0.0, n_bins=5)
+        with pytest.raises(AnalysisError):
+            bin_counts(np.array([1.0]), width=1.0, n_bins=0)
