@@ -3,8 +3,12 @@
 These are conventional pytest-benchmark timings (multiple rounds) of
 the substrate kernels, at reduced scale so rounds stay fast: world
 synthesis, ground-truth generation, Skitter/Mercator campaigns,
-geolocation + AS mapping, and the exact pair-count kernel.
+geolocation + AS mapping, and the exact pair-count kernel — plus the
+staged runtime's own per-stage telemetry baseline and the
+``locate_many`` batch-vs-scalar contrast on the mapping hot path.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -99,3 +103,83 @@ def test_bench_exact_pair_counts(benchmark):
     lons = rng.uniform(-124, -66, 4_000)
 
     benchmark(lambda: exact_pair_counts(lats, lons, 35.0, 100))
+
+
+# --- Staged runtime -----------------------------------------------------------
+
+
+def test_pipeline_stage_timing_baseline(record_artifact):
+    """Record the per-stage telemetry profile of one reduced-scale run.
+
+    The written artefact is the timing baseline for the staged runtime:
+    wall time, RSS high-water mark, and node/link counters per stage.
+    """
+    from repro.config import small_scenario
+    from repro.datasets.pipeline import build_pipeline_graph, run_pipeline
+    from repro.runtime import Telemetry
+
+    telemetry = Telemetry()
+    run_pipeline(small_scenario(), telemetry=telemetry)
+    assert {e.stage for e in telemetry.events} == set(
+        build_pipeline_graph().names
+    )
+    record_artifact("pipeline_stage_profile", telemetry.render_profile())
+
+
+def test_locate_many_speedup_visible(bench_world, bench_truth):
+    """The batched mapping hot path beats per-address locate calls.
+
+    Runs the same IxMapper pass over the same inventory through
+    ``build_snapshot`` twice — once with the tool's vectorised
+    ``locate_many``, once with the batch API hidden so the per-address
+    fallback loop runs — and asserts the batch path is faster (best of
+    three, equal results).
+    """
+    from repro.datasets.pipeline import build_snapshot
+
+    topology, plan, _ = bench_truth
+    rng = np.random.default_rng(5)
+    from repro.config import GeolocConfig
+
+    context = build_context(bench_world, topology, plan, GeolocConfig(), rng)
+    table = build_routeviews_snapshot(plan, BgpConfig(), rng)
+    inventory = run_skitter(
+        topology,
+        SkitterConfig(n_monitors=8, destinations_per_monitor=1_200),
+        rng,
+    )
+    cleaned, _ = clean_inventory(inventory)
+
+    class _ScalarOnly:
+        """Wraps a mapper, hiding locate_many to force the scalar loop."""
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        name = "IxMapper"
+
+        def locate(self, address):
+            return self._inner.locate(address)
+
+    def timed(make_mapper):
+        best = float("inf")
+        snapshot = None
+        for _ in range(3):
+            mapper = make_mapper()
+            start = time.perf_counter()
+            snapshot = build_snapshot(cleaned, mapper, table, "bench")
+            best = min(best, time.perf_counter() - start)
+        return best, snapshot
+
+    batch_s, (batch_ds, _) = timed(
+        lambda: IxMapper(context, np.random.default_rng(6))
+    )
+    scalar_s, (scalar_ds, _) = timed(
+        lambda: _ScalarOnly(IxMapper(context, np.random.default_rng(6)))
+    )
+    assert np.array_equal(batch_ds.addresses, scalar_ds.addresses)
+    assert np.array_equal(batch_ds.lats, scalar_ds.lats)
+    assert batch_s < scalar_s, (
+        f"batched mapping ({batch_s:.3f}s) not faster than "
+        f"scalar loop ({scalar_s:.3f}s)"
+    )

@@ -26,6 +26,7 @@ from repro.config import (
 )
 from repro.datasets import MappedDataset, PipelineResult, run_pipeline
 from repro.errors import ReproError
+from repro.runtime import ArtifactCache, Telemetry
 
 __version__ = "1.0.0"
 
@@ -42,5 +43,7 @@ __all__ = [
     "PipelineResult",
     "run_pipeline",
     "ReproError",
+    "ArtifactCache",
+    "Telemetry",
     "__version__",
 ]

@@ -13,8 +13,9 @@ import time
 
 from repro.config import default_scenario, small_scenario
 from repro.core import experiments, report
-from repro.datasets.pipeline import PipelineResult, run_pipeline
+from repro.datasets.pipeline import PipelineResult
 from repro.errors import ReproError
+from repro.runtime import Telemetry
 
 _EXPERIMENT_NAMES = (
     "table1",
@@ -85,7 +86,27 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=f"which artefacts to print: all, or any of {', '.join(_EXPERIMENT_NAMES)}",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for independent pipeline stages (default 1; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory; warm runs skip unchanged stages",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage telemetry table to stderr",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.scale == "small":
         config = small_scenario() if args.seed is None else small_scenario(args.seed)
@@ -106,8 +127,20 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     print(f"running pipeline (scale={args.scale}, seed={config.seed})...",
           file=sys.stderr)
-    result = run_pipeline(config)
+    telemetry = Telemetry() if args.profile else None
+    try:
+        result = experiments.prepare_result(
+            config,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            telemetry=telemetry,
+        )
+    except ReproError as exc:
+        print(f"error: pipeline failed: {exc}", file=sys.stderr)
+        return 1
     print(f"pipeline done in {time.time() - start:.1f}s", file=sys.stderr)
+    if telemetry is not None:
+        print(telemetry.render_profile(), file=sys.stderr)
 
     for name in wanted:
         try:

@@ -4,12 +4,24 @@
 yields the four processed datasets of its Table I
 ({IxMapper, EdgeScape} x {Mercator, Skitter}) plus everything needed to
 validate them against ground truth.
+
+The pipeline is expressed as an explicit stage DAG over
+:mod:`repro.runtime`: world synthesis, ground-truth generation, the BGP
+snapshot, the geolocation context, the two measurement campaigns, and
+the four mapping passes are separate stages with declared inputs.  Each
+stage draws from its own RNG stream spawned from the scenario seed, so
+the executor may run independent branches (Skitter vs. Mercator, the
+four ``build_snapshot`` passes) concurrently — or serve them from the
+artifact cache — without changing a single bit of the output.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections import Counter
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -17,8 +29,9 @@ from repro.bgp.routeviews import build_routeviews_snapshot
 from repro.bgp.table import UNMAPPED_ASN, BgpTable
 from repro.config import ScenarioConfig
 from repro.datasets.mapped import LOCATION_DECIMALS, MappedDataset
+from repro.datasets.serialize import dataset_from_dict, dataset_to_dict
 from repro.errors import DatasetError
-from repro.geoloc.base import GeoContext, Geolocator, build_context
+from repro.geoloc.base import GeoContext, Geolocator, build_context, locate_batch
 from repro.geoloc.edgescape import EdgeScape
 from repro.geoloc.ixmapper import IxMapper
 from repro.measure.artifacts import clean_inventory
@@ -29,6 +42,34 @@ from repro.net.addressing import AddressPlan
 from repro.net.generate import GenerationReport, generate_ground_truth
 from repro.net.topology import Topology
 from repro.population.worldmodel import World, build_world
+from repro.runtime import (
+    ArtifactCache,
+    Stage,
+    StageContext,
+    StageGraph,
+    Telemetry,
+    execute,
+    register_codec,
+)
+
+#: Mapping tools and measurements, in the paper's presentation order.
+MAPPER_NAMES = ("IxMapper", "EdgeScape")
+MEASUREMENT_NAMES = ("Mercator", "Skitter")
+
+#: Stage names of the pipeline DAG (mapping stages are derived below).
+STAGE_WORLD = "world"
+STAGE_GROUND_TRUTH = "ground_truth"
+STAGE_BGP = "bgp_snapshot"
+STAGE_GEO_CONTEXT = "geo_context"
+STAGE_SKITTER = "skitter"
+STAGE_MERCATOR = "mercator"
+
+_MEASUREMENT_STAGES = {"Skitter": STAGE_SKITTER, "Mercator": STAGE_MERCATOR}
+
+
+def mapping_stage_name(mapper: str, measurement: str) -> str:
+    """The DAG stage name of one mapping pass."""
+    return f"map:{mapper},{measurement}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +115,10 @@ def build_snapshot(
     city granularity); ties discard the router.  The parent AS is, for
     Mercator, the AS most commonly reported by the member interfaces.
 
+    All member interfaces are geolocated in one ``locate_many`` batch —
+    the mapping stage's hot path — rather than one ``locate`` call per
+    interface.
+
     Raises:
         DatasetError: if the inventory fails validation.
     """
@@ -87,12 +132,18 @@ def build_snapshot(
     n_ties = 0
     n_as_unmapped = 0
 
-    for node in sorted(inventory.nodes):
-        members = inventory.aliases[node]
+    ordered_nodes = sorted(inventory.nodes)
+    member_lists = [inventory.aliases[node] for node in ordered_nodes]
+    flat_members = [member for members in member_lists for member in members]
+    flat_results = locate_batch(geolocator, flat_members)
+
+    offset = 0
+    for node, members in zip(ordered_nodes, member_lists):
+        results = flat_results[offset:offset + len(members)]
+        offset += len(members)
         votes: list[tuple[float, float]] = []
         exact: dict[tuple[float, float], tuple[float, float]] = {}
-        for member in members:
-            result = geolocator.locate(member)
+        for result in results:
             if not result.mapped:
                 continue
             assert result.location is not None
@@ -187,57 +238,206 @@ class PipelineResult:
         return self.datasets[label]
 
 
-def run_pipeline(config: ScenarioConfig) -> PipelineResult:
-    """Run the full reproduction pipeline for one scenario."""
-    rng = config.rng()
-    world = build_world(rng, city_scale=config.city_scale)
-    topology, plan, generation_report = generate_ground_truth(
-        world, config.ground_truth, rng
+# --- Stage functions ---------------------------------------------------------
+
+
+def _stage_world(ctx: StageContext) -> World:
+    return build_world(ctx.rng, city_scale=ctx.config.city_scale)
+
+
+def _stage_ground_truth(
+    ctx: StageContext,
+) -> tuple[Topology, AddressPlan, GenerationReport]:
+    return generate_ground_truth(
+        ctx.input(STAGE_WORLD), ctx.config.ground_truth, ctx.rng
     )
-    bgp_table = build_routeviews_snapshot(plan, config.bgp, rng)
-    context = build_context(world, topology, plan, config.geoloc, rng)
 
-    skitter_raw = run_skitter(topology, config.skitter, rng)
-    skitter_clean, _ = clean_inventory(skitter_raw)
-    mercator_raw = run_mercator(topology, config.mercator, rng)
-    mercator_clean, _ = clean_inventory(mercator_raw)
 
-    result = PipelineResult(
-        config=config,
-        world=world,
-        topology=topology,
-        plan=plan,
-        generation_report=generation_report,
-        bgp_table=bgp_table,
+def _stage_bgp(ctx: StageContext) -> BgpTable:
+    _, plan, _ = ctx.input(STAGE_GROUND_TRUTH)
+    return build_routeviews_snapshot(plan, ctx.config.bgp, ctx.rng)
+
+
+def _stage_geo_context(ctx: StageContext) -> GeoContext:
+    topology, plan, _ = ctx.input(STAGE_GROUND_TRUTH)
+    return build_context(
+        ctx.input(STAGE_WORLD), topology, plan, ctx.config.geoloc, ctx.rng
     )
-    for inventory, measurement in (
-        (mercator_clean, "Mercator"),
-        (skitter_clean, "Skitter"),
-    ):
-        for mapper in _mappers(context, topology, config, rng):
-            label = f"{mapper.name}, {measurement}"
-            dataset, report = build_snapshot(inventory, mapper, bgp_table, label)
-            result.datasets[label] = dataset
-            result.processing_reports[label] = report
-    return result
 
 
-def _mappers(
+def _stage_skitter(ctx: StageContext) -> RawInventory:
+    topology, _, _ = ctx.input(STAGE_GROUND_TRUTH)
+    raw = run_skitter(topology, ctx.config.skitter, ctx.rng)
+    cleaned, _ = clean_inventory(raw)
+    return cleaned
+
+
+def _stage_mercator(ctx: StageContext) -> RawInventory:
+    topology, _, _ = ctx.input(STAGE_GROUND_TRUTH)
+    raw = run_mercator(topology, ctx.config.mercator, ctx.rng)
+    cleaned, _ = clean_inventory(raw)
+    return cleaned
+
+
+def _make_mapper(
+    mapper: str,
     context: GeoContext,
     topology: Topology,
     config: ScenarioConfig,
     rng: np.random.Generator,
-) -> list[Geolocator]:
-    """Fresh geolocator instances for one measurement's mapping passes."""
-    return [
-        IxMapper(
+) -> Geolocator:
+    """A fresh geolocator instance for one mapping pass."""
+    if mapper == "IxMapper":
+        return IxMapper(
             context, rng, failure_rate=config.geoloc.ixmapper_unmapped_rate
-        ),
-        EdgeScape(
+        )
+    if mapper == "EdgeScape":
+        return EdgeScape(
             context,
             topology,
             rng,
             isp_coverage=config.geoloc.edgescape_isp_coverage,
             failure_rate=config.geoloc.edgescape_unmapped_rate,
-        ),
-    ]
+        )
+    raise DatasetError(f"unknown mapper {mapper!r}")
+
+
+def _make_mapping_stage(mapper: str, measurement: str):
+    """A stage function running one (mapper, measurement) pass."""
+
+    def run(ctx: StageContext) -> tuple[MappedDataset, ProcessingReport]:
+        topology, _, _ = ctx.input(STAGE_GROUND_TRUTH)
+        geolocator = _make_mapper(
+            mapper, ctx.input(STAGE_GEO_CONTEXT), topology, ctx.config, ctx.rng
+        )
+        return build_snapshot(
+            ctx.input(_MEASUREMENT_STAGES[measurement]),
+            geolocator,
+            ctx.input(STAGE_BGP),
+            f"{mapper}, {measurement}",
+        )
+
+    return run
+
+
+# --- Snapshot cache codec ----------------------------------------------------
+#
+# Mapping-stage artifacts are (MappedDataset, ProcessingReport) pairs —
+# the shareable output of the study — so they are cached in the
+# library's JSON interchange format (datasets/serialize.py) rather than
+# pickled.
+
+
+def _dump_snapshot(value: tuple[MappedDataset, ProcessingReport], path: Path) -> None:
+    dataset, report = value
+    payload = {
+        "dataset": dataset_to_dict(dataset),
+        "report": dataclasses.asdict(report),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def _load_snapshot(path: Path) -> tuple[MappedDataset, ProcessingReport]:
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return (
+        dataset_from_dict(payload["dataset"]),
+        ProcessingReport(**payload["report"]),
+    )
+
+
+register_codec("snapshot-json", ".json", _dump_snapshot, _load_snapshot)
+
+
+def build_pipeline_graph() -> StageGraph:
+    """The reproduction's stage DAG.
+
+    Stage registration order is part of the contract: per-stage RNG
+    streams are assigned by this order (see ``StageGraph.seed_streams``),
+    so reordering registrations changes every golden value.
+    """
+    graph = StageGraph()
+    graph.add(Stage(name=STAGE_WORLD, fn=_stage_world))
+    graph.add(
+        Stage(
+            name=STAGE_GROUND_TRUTH,
+            fn=_stage_ground_truth,
+            inputs=(STAGE_WORLD,),
+        )
+    )
+    graph.add(Stage(name=STAGE_BGP, fn=_stage_bgp, inputs=(STAGE_GROUND_TRUTH,)))
+    graph.add(
+        Stage(
+            name=STAGE_GEO_CONTEXT,
+            fn=_stage_geo_context,
+            inputs=(STAGE_WORLD, STAGE_GROUND_TRUTH),
+        )
+    )
+    graph.add(
+        Stage(name=STAGE_SKITTER, fn=_stage_skitter, inputs=(STAGE_GROUND_TRUTH,))
+    )
+    graph.add(
+        Stage(name=STAGE_MERCATOR, fn=_stage_mercator, inputs=(STAGE_GROUND_TRUTH,))
+    )
+    for measurement in MEASUREMENT_NAMES:
+        for mapper in MAPPER_NAMES:
+            graph.add(
+                Stage(
+                    name=mapping_stage_name(mapper, measurement),
+                    fn=_make_mapping_stage(mapper, measurement),
+                    inputs=(
+                        STAGE_GROUND_TRUTH,
+                        STAGE_GEO_CONTEXT,
+                        STAGE_BGP,
+                        _MEASUREMENT_STAGES[measurement],
+                    ),
+                    codec="snapshot-json",
+                )
+            )
+    return graph
+
+
+def run_pipeline(
+    config: ScenarioConfig,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    telemetry: Telemetry | None = None,
+) -> PipelineResult:
+    """Run the full reproduction pipeline for one scenario.
+
+    Args:
+        config: the scenario to reproduce.
+        jobs: worker threads for independent stages (1 = serial).  The
+            result is bit-for-bit identical for any value.
+        cache_dir: optional artifact-cache directory; warm runs serve
+            generation/measurement stages from disk.
+        telemetry: optional per-stage event collector (``--profile``).
+    """
+    graph = build_pipeline_graph()
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    artifacts = execute(
+        graph,
+        config,
+        seed=config.seed,
+        jobs=jobs,
+        cache=cache,
+        telemetry=telemetry,
+    )
+    topology, plan, generation_report = artifacts[STAGE_GROUND_TRUTH]
+    result = PipelineResult(
+        config=config,
+        world=artifacts[STAGE_WORLD],
+        topology=topology,
+        plan=plan,
+        generation_report=generation_report,
+        bgp_table=artifacts[STAGE_BGP],
+    )
+    for measurement in MEASUREMENT_NAMES:
+        for mapper in MAPPER_NAMES:
+            label = f"{mapper}, {measurement}"
+            dataset, report = artifacts[mapping_stage_name(mapper, measurement)]
+            result.datasets[label] = dataset
+            result.processing_reports[label] = report
+    return result

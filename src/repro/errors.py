@@ -54,3 +54,11 @@ class DatasetError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was asked to operate on unusable data."""
+
+
+class StageGraphError(ReproError):
+    """A pipeline stage graph is malformed (cycle, unknown input...)."""
+
+
+class CacheError(ReproError):
+    """The artifact cache was misused or its store is unusable."""

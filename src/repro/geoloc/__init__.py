@@ -9,7 +9,9 @@ from repro.geoloc.base import (
     GeoContext,
     Geolocator,
     MappingResult,
+    SequentialLocateMixin,
     build_context,
+    locate_batch,
 )
 from repro.geoloc.dnsloc import build_loc_records
 from repro.geoloc.edgescape import EdgeScape
@@ -26,7 +28,9 @@ __all__ = [
     "GeoContext",
     "Geolocator",
     "MappingResult",
+    "SequentialLocateMixin",
     "build_context",
+    "locate_batch",
     "build_loc_records",
     "EdgeScape",
     "IxMapper",

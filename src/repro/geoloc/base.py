@@ -10,7 +10,7 @@ the whois registry, and published DNS LOC records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -104,3 +104,40 @@ class Geolocator(Protocol):
     def locate(self, address: int) -> MappingResult:
         """Locate one interface address."""
         ...
+
+    def locate_many(self, addresses: Sequence[int]) -> list[MappingResult]:
+        """Locate a batch of addresses, one result per input, in order.
+
+        The mapping stage's hot path: implementations should vectorise
+        whatever they can (the built-in tools batch their RNG draws) but
+        must consume randomness exactly as an equivalent sequence of
+        ``locate`` calls would, so batch size never changes results.
+        """
+        ...
+
+
+class SequentialLocateMixin:
+    """Default ``locate_many`` for locators without a batched fast path.
+
+    Mixing this in keeps per-address locators (e.g. scripted test stubs)
+    conformant with the :class:`Geolocator` protocol.
+    """
+
+    def locate_many(self, addresses: Sequence[int]) -> list[MappingResult]:
+        """Locate a batch by calling ``locate`` once per address."""
+        return [self.locate(address) for address in addresses]
+
+
+def locate_batch(
+    geolocator: Geolocator, addresses: Sequence[int]
+) -> list[MappingResult]:
+    """Batch-locate through ``locate_many`` when the tool provides it.
+
+    Falls back to per-address ``locate`` calls for minimal locators that
+    predate the batch API (duck-typed, so third-party locators keep
+    working unchanged).
+    """
+    locate_many = getattr(geolocator, "locate_many", None)
+    if locate_many is not None:
+        return list(locate_many(addresses))
+    return [geolocator.locate(address) for address in addresses]

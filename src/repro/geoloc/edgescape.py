@@ -11,6 +11,8 @@ than IxMapper's (the paper reports 0.3-0.6% vs 1-1.5%).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import GeolocationError
@@ -93,8 +95,27 @@ class EdgeScape:
 
     def locate(self, address: int) -> MappingResult:
         """Locate an address via ISP feed, then hostname, then whois."""
-        if self._rng.random() < self._failure_rate:
-            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        return self.locate_many((address,))[0]
+
+    def locate_many(self, addresses: Sequence[int]) -> list[MappingResult]:
+        """Batch-locate addresses with one vectorised failure draw.
+
+        Consumes exactly one uniform variate per address, in order, so
+        results are bit-identical to per-address ``locate`` calls.
+        """
+        n = len(addresses)
+        if n == 0:
+            return []
+        failed = self._rng.random(n) < self._failure_rate
+        return [
+            MappingResult(location=None, method=METHOD_UNMAPPED)
+            if fail
+            else self._resolve(address)
+            for address, fail in zip(addresses, failed)
+        ]
+
+    def _resolve(self, address: int) -> MappingResult:
+        """The fallback chain for one address (no randomness)."""
         isp = self._isp_locations.get(address)
         if isp is not None:
             return MappingResult(location=isp, method=METHOD_ISP)

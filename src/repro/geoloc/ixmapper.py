@@ -16,6 +16,8 @@ whois, or random lookup failure), matching the paper's ~1-1.5%.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import GeolocationError
@@ -52,8 +54,27 @@ class IxMapper:
 
     def locate(self, address: int) -> MappingResult:
         """Locate an address via hostname, then LOC, then whois."""
-        if self._rng.random() < self._failure_rate:
-            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        return self.locate_many((address,))[0]
+
+    def locate_many(self, addresses: Sequence[int]) -> list[MappingResult]:
+        """Batch-locate addresses with one vectorised failure draw.
+
+        Consumes exactly one uniform variate per address, in order, so
+        results are bit-identical to per-address ``locate`` calls.
+        """
+        n = len(addresses)
+        if n == 0:
+            return []
+        failed = self._rng.random(n) < self._failure_rate
+        return [
+            MappingResult(location=None, method=METHOD_UNMAPPED)
+            if fail
+            else self._resolve(address)
+            for address, fail in zip(addresses, failed)
+        ]
+
+    def _resolve(self, address: int) -> MappingResult:
+        """The fallback chain for one address (no randomness)."""
         hostname = self._context.hostnames.get(address)
         if hostname is not None:
             try:

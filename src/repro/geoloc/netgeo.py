@@ -11,6 +11,8 @@ hostname/ISP techniques moved the state of the art.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import GeolocationError
@@ -44,8 +46,27 @@ class NetGeo:
 
     def locate(self, address: int) -> MappingResult:
         """Locate an address via whois only."""
-        if self._rng.random() < self._failure_rate:
-            return MappingResult(location=None, method=METHOD_UNMAPPED)
+        return self.locate_many((address,))[0]
+
+    def locate_many(self, addresses: Sequence[int]) -> list[MappingResult]:
+        """Batch-locate addresses with one vectorised failure draw.
+
+        Consumes exactly one uniform variate per address, in order, so
+        results are bit-identical to per-address ``locate`` calls.
+        """
+        n = len(addresses)
+        if n == 0:
+            return []
+        failed = self._rng.random(n) < self._failure_rate
+        return [
+            MappingResult(location=None, method=METHOD_UNMAPPED)
+            if fail
+            else self._resolve(address)
+            for address, fail in zip(addresses, failed)
+        ]
+
+    def _resolve(self, address: int) -> MappingResult:
+        """The whois lookup for one address (no randomness)."""
         org = self._context.whois.lookup(address)
         if org is None:
             return MappingResult(location=None, method=METHOD_UNMAPPED)

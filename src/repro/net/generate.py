@@ -674,7 +674,7 @@ class GroundTruthGenerator:
         self.topology.validate()
         if self.topology.n_links == 0:
             raise TopologyError("generation produced no links")
-        inter = sum(1 for l in self.topology.links if l.interdomain)
+        inter = sum(1 for link in self.topology.links if link.interdomain)
         self.report = GenerationReport(
             zone_router_budgets={
                 z.name: int(b)

@@ -195,16 +195,16 @@ class Topology:
 
     def link_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
         """Parallel arrays of router-id endpoints per link."""
-        a = np.fromiter((l.router_a for l in self.links), dtype=np.intp,
+        a = np.fromiter((link.router_a for link in self.links), dtype=np.intp,
                         count=self.n_links)
-        b = np.fromiter((l.router_b for l in self.links), dtype=np.intp,
+        b = np.fromiter((link.router_b for link in self.links), dtype=np.intp,
                         count=self.n_links)
         return a, b
 
     def link_lengths(self) -> np.ndarray:
         """Length in miles per link."""
         return np.fromiter(
-            (l.length_miles for l in self.links), dtype=float, count=self.n_links
+            (link.length_miles for link in self.links), dtype=float, count=self.n_links
         )
 
     def routing_graph(self, hop_cost: float = HOP_COST_MILES) -> sparse.csr_matrix:

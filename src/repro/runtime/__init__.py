@@ -1,0 +1,35 @@
+"""Staged pipeline runtime.
+
+The end-to-end reproduction is a DAG of stages (generate, measure,
+geolocate, AS-map) with independent branches — exactly the shape of the
+multi-monitor measurement unions in the source paper.  This package
+makes that structure explicit and executable:
+
+- :mod:`repro.runtime.stages` — typed :class:`Stage` /
+  :class:`StageGraph` with declared inputs and validation;
+- :mod:`repro.runtime.cache` — content-addressed on-disk artifact cache
+  keyed by configuration digest, stage name, and upstream keys;
+- :mod:`repro.runtime.executor` — topological execution, serial or with
+  a thread pool running independent branches concurrently, bit-for-bit
+  identical either way thanks to per-stage RNG streams;
+- :mod:`repro.runtime.telemetry` — per-stage wall time, RSS high-water
+  mark, and node/link counters as structured events plus a rendered
+  profile table.
+"""
+
+from repro.runtime.cache import ArtifactCache, config_digest, register_codec
+from repro.runtime.executor import execute
+from repro.runtime.stages import Stage, StageContext, StageGraph
+from repro.runtime.telemetry import StageEvent, Telemetry
+
+__all__ = [
+    "ArtifactCache",
+    "config_digest",
+    "register_codec",
+    "execute",
+    "Stage",
+    "StageContext",
+    "StageGraph",
+    "StageEvent",
+    "Telemetry",
+]

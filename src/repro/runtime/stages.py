@@ -1,0 +1,181 @@
+"""Typed pipeline stages and the stage DAG.
+
+A :class:`Stage` names one unit of pipeline work, the upstream stages it
+consumes, and how its artifact is cached.  A :class:`StageGraph` holds a
+set of stages, validates the dependency structure, and derives the
+deterministic execution order and per-stage RNG streams.
+
+RNG streams are spawned from one :class:`numpy.random.SeedSequence` per
+scenario seed, assigned to stages by registration order.  Each stage
+therefore owns an independent stream, so the *schedule* (serial, or any
+parallel interleaving of independent branches) cannot change what any
+stage computes — parallel and serial runs are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import StageGraphError
+
+#: Cache codec identifiers a stage may declare (see repro.runtime.cache).
+CODEC_PICKLE = "pickle"
+
+StageFn = Callable[["StageContext"], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class StageContext:
+    """What a stage function sees when it runs.
+
+    Attributes:
+        config: the scenario being executed (opaque to the runtime).
+        inputs: upstream stage name -> upstream artifact.
+        rng: this stage's private RNG stream (None when the stage
+            declared ``uses_rng=False``).
+    """
+
+    config: Any
+    inputs: Mapping[str, Any]
+    rng: np.random.Generator | None
+
+    def input(self, name: str) -> Any:
+        """Fetch one upstream artifact by stage name.
+
+        Raises:
+            StageGraphError: when the stage did not declare that input.
+        """
+        if name not in self.inputs:
+            raise StageGraphError(
+                f"stage input {name!r} was not declared; have {sorted(self.inputs)}"
+            )
+        return self.inputs[name]
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One node of the pipeline DAG.
+
+    Attributes:
+        name: unique stage name.
+        fn: the work; called with a :class:`StageContext`, returns the
+            stage's artifact.
+        inputs: names of upstream stages whose artifacts this stage reads.
+        uses_rng: whether the stage receives a spawned RNG stream.
+        cacheable: whether the artifact may be stored in / served from
+            the on-disk cache.
+        codec: cache codec used to serialise the artifact.
+    """
+
+    name: str
+    fn: StageFn
+    inputs: tuple[str, ...] = ()
+    uses_rng: bool = True
+    cacheable: bool = True
+    codec: str = CODEC_PICKLE
+
+
+@dataclass
+class StageGraph:
+    """An ordered collection of stages forming a DAG."""
+
+    _stages: dict[str, Stage] = field(default_factory=dict)
+
+    def add(self, stage: Stage) -> Stage:
+        """Register a stage.
+
+        Raises:
+            StageGraphError: on a duplicate stage name.
+        """
+        if stage.name in self._stages:
+            raise StageGraphError(f"duplicate stage name {stage.name!r}")
+        self._stages[stage.name] = stage
+        return stage
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def __getitem__(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise StageGraphError(
+                f"unknown stage {name!r}; have {sorted(self._stages)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Stage names in registration order."""
+        return tuple(self._stages)
+
+    def stages(self) -> tuple[Stage, ...]:
+        """All stages in registration order."""
+        return tuple(self._stages.values())
+
+    def dependents_of(self, name: str) -> tuple[str, ...]:
+        """Stages that consume ``name``'s artifact, in registration order."""
+        return tuple(
+            stage.name for stage in self._stages.values() if name in stage.inputs
+        )
+
+    def validate(self) -> None:
+        """Check the graph is a well-formed DAG.
+
+        Raises:
+            StageGraphError: on an undeclared input or a cycle.
+        """
+        for stage in self._stages.values():
+            for dep in stage.inputs:
+                if dep not in self._stages:
+                    raise StageGraphError(
+                        f"stage {stage.name!r} reads unknown input {dep!r}"
+                    )
+        self.topological_order()
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Deterministic topological order (Kahn's algorithm).
+
+        Among simultaneously-ready stages, registration order breaks the
+        tie, so the serial schedule is stable run to run.
+
+        Raises:
+            StageGraphError: when the graph contains a cycle.
+        """
+        remaining_deps = {
+            stage.name: {dep for dep in stage.inputs if dep in self._stages}
+            for stage in self._stages.values()
+        }
+        order: list[str] = []
+        ready = [name for name, deps in remaining_deps.items() if not deps]
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for other in self._stages.values():
+                deps = remaining_deps[other.name]
+                if name in deps:
+                    deps.discard(name)
+                    if not deps:
+                        ready.append(other.name)
+        if len(order) != len(self._stages):
+            stuck = sorted(set(self._stages) - set(order))
+            raise StageGraphError(f"stage graph has a cycle through {stuck}")
+        return tuple(order)
+
+    def seed_streams(self, seed: int) -> dict[str, np.random.Generator | None]:
+        """Independent per-stage RNG streams for one scenario seed.
+
+        Every stage consumes one spawned child (whether or not it uses
+        randomness) so adding RNG use to a stage never shifts the other
+        stages' streams.
+        """
+        children = np.random.SeedSequence(seed).spawn(len(self._stages))
+        return {
+            stage.name: (np.random.default_rng(child) if stage.uses_rng else None)
+            for stage, child in zip(self._stages.values(), children)
+        }

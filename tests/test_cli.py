@@ -39,3 +39,46 @@ class TestCli:
         )
         assert code == 0
         assert "FIGURE 2" in capsys.readouterr().out
+
+    def test_parallel_jobs_and_profile(self, capsys):
+        code = main(
+            [
+                "--scale", "small", "--jobs", "4", "--profile",
+                "--experiments", "table1",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "TABLE I" in captured.out
+        assert "PIPELINE STAGE PROFILE" in captured.err
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", "--experiments", "table1"])
+
+    def test_cache_dir_warm_run_hits_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "--scale", "small", "--cache-dir", cache_dir,
+            "--profile", "--experiments", "table1",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        # Every stage of the warm run is served from the cache.
+        profile = capsys.readouterr().err
+        assert profile.count("cache-hit") == 10
+
+    def test_pipeline_error_exits_cleanly(self, capsys, monkeypatch):
+        from repro.core import experiments
+        from repro.errors import ReproError
+
+        def explode(config, **kwargs):
+            raise ReproError("synthetic pipeline failure")
+
+        monkeypatch.setattr(experiments, "prepare_result", explode)
+        code = main(["--scale", "small", "--experiments", "table1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "synthetic pipeline failure" in captured.err
+        assert "Traceback" not in captured.err

@@ -1,10 +1,8 @@
 """Tests for repro.core.experiments (per-table/figure runners)."""
 
 import numpy as np
-import pytest
 
 from repro.core import experiments, report
-from repro.errors import AnalysisError
 
 
 class TestTable1:

@@ -44,7 +44,7 @@ class TestRender:
     def test_render_dimensions(self):
         text = self._figure().render(width=40, height=10)
         lines = text.splitlines()
-        canvas_lines = [l for l in lines if l.strip().startswith("|")]
+        canvas_lines = [line for line in lines if line.strip().startswith("|")]
         assert len(canvas_lines) == 10
 
     def test_render_log_axes(self):

@@ -175,6 +175,68 @@ class TestEdgeScape:
             )
 
 
+class TestLocateMany:
+    """The batch API must be bit-identical to sequential locate calls."""
+
+    def _toy_addresses(self, toy_topology):
+        return sorted(toy_topology.interfaces)
+
+    def test_ixmapper_batch_matches_sequential(self, toy_context, toy_topology):
+        addresses = self._toy_addresses(toy_topology)
+        batched = IxMapper(
+            toy_context, np.random.default_rng(11), failure_rate=0.3
+        ).locate_many(addresses)
+        scalar_mapper = IxMapper(
+            toy_context, np.random.default_rng(11), failure_rate=0.3
+        )
+        sequential = [scalar_mapper.locate(a) for a in addresses]
+        assert batched == sequential
+
+    def test_edgescape_batch_matches_sequential(self, toy_context, toy_topology):
+        make = lambda seed: EdgeScape(  # noqa: E731
+            toy_context, toy_topology, np.random.default_rng(seed),
+            isp_coverage=0.5, failure_rate=0.3,
+        )
+        addresses = self._toy_addresses(toy_topology)
+        batched = make(7).locate_many(addresses)
+        scalar_mapper = make(7)
+        sequential = [scalar_mapper.locate(a) for a in addresses]
+        assert batched == sequential
+
+    def test_locate_delegates_to_locate_many(self, toy_context, toy_topology):
+        a = IxMapper(toy_context, np.random.default_rng(5), failure_rate=0.0)
+        b = IxMapper(toy_context, np.random.default_rng(5), failure_rate=0.0)
+        address = toy_topology.routers[0].loopback
+        assert a.locate(address) == b.locate_many([address])[0]
+
+    def test_empty_batch(self, toy_context):
+        mapper = IxMapper(toy_context, np.random.default_rng(5))
+        assert mapper.locate_many([]) == []
+
+    def test_sequential_mixin_fallback(self, toy_context, toy_topology):
+        from repro.geoloc.base import MappingResult, SequentialLocateMixin
+
+        class Scripted(SequentialLocateMixin):
+            name = "Scripted"
+
+            def locate(self, address):
+                return MappingResult(location=None, method=METHOD_UNMAPPED)
+
+        results = Scripted().locate_many([1, 2, 3])
+        assert len(results) == 3 and not any(r.mapped for r in results)
+
+    def test_locate_batch_falls_back_without_locate_many(self):
+        from repro.geoloc.base import MappingResult, locate_batch
+
+        class Minimal:
+            name = "Minimal"
+
+            def locate(self, address):
+                return MappingResult(location=None, method=METHOD_UNMAPPED)
+
+        assert len(locate_batch(Minimal(), [1, 2])) == 2
+
+
 class TestBuildContext:
     def test_context_from_ground_truth(self, world_small, generated_small):
         topology, plan, _ = generated_small

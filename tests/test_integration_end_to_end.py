@@ -6,7 +6,6 @@ benchmark harness exercises the tight full-scale bands.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import experiments
 from repro.core.asgeo import as_size_measures, hull_areas, size_correlations

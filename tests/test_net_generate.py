@@ -120,7 +120,7 @@ class TestGeneratedTopology:
     def test_intradomain_links_shorter_on_average(self, generated_small):
         topology, _, _ = generated_small
         lengths = topology.link_lengths()
-        inter = np.array([l.interdomain for l in topology.links])
+        inter = np.array([link.interdomain for link in topology.links])
         assert lengths[~inter].mean() < lengths[inter].mean()
 
     def test_city_routers_carry_city_codes(self, generated_small):

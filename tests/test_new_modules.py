@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.validation import validate_recovery
-from repro.errors import AnalysisError, ConfigError, GeolocationError
+from repro.errors import ConfigError, GeolocationError
 from repro.generators.brite import (
     MODE_HYBRID,
     MODE_PREFERENTIAL,
