@@ -8,7 +8,9 @@ staged runtime's own per-stage telemetry baseline and the
 ``locate_many`` batch-vs-scalar contrast on the mapping hot path.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -113,6 +115,10 @@ def test_pipeline_stage_timing_baseline(record_artifact):
 
     The written artefact is the timing baseline for the staged runtime:
     wall time, RSS high-water mark, and node/link counters per stage.
+    Besides the rendered table, the same events land machine-readable in
+    ``BENCH_stages.json`` at the repo root, so successive sessions
+    accumulate a comparable perf trajectory (and ``repro report diff``
+    has a stable counter baseline to check against).
     """
     from repro.config import small_scenario
     from repro.datasets.pipeline import build_pipeline_graph, run_pipeline
@@ -124,6 +130,19 @@ def test_pipeline_stage_timing_baseline(record_artifact):
         build_pipeline_graph().names
     )
     record_artifact("pipeline_stage_profile", telemetry.render_profile())
+
+    events = sorted(telemetry.events, key=lambda e: (e.start_s, e.stage))
+    payload = {
+        "schema": "repro-bench-stages",
+        "schema_version": 1,
+        "scale": "small",
+        "total_wall_s": round(telemetry.total_wall_s(), 6),
+        "stages": [e.to_dict() for e in events],
+    }
+    bench_path = Path(__file__).resolve().parents[1] / "BENCH_stages.json"
+    bench_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 def test_locate_many_speedup_visible(bench_world, bench_truth):

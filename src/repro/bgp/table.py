@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.bgp.trie import PrefixTrie
 from repro.errors import AddressError
 from repro.net.ip import Prefix
+from repro.obs import current_metrics
 
 #: Sentinel ASN for addresses no announced prefix covers.
 UNMAPPED_ASN = -1
@@ -63,10 +64,19 @@ class BgpTable:
     def origin_of(self, address: int) -> int:
         """Origin AS of the longest announced prefix covering ``address``.
 
+        When observability is active, every lookup increments
+        ``bgp.lookups`` (and ``bgp.misses`` when nothing matches) on the
+        active metrics registry.
+
         Returns:
             The origin ASN, or :data:`UNMAPPED_ASN` when nothing matches.
         """
         match = self._trie.longest_match(address)
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.counter("bgp.lookups").add(1)
+            if match is None:
+                metrics.counter("bgp.misses").add(1)
         if match is None:
             return UNMAPPED_ASN
         _, asn = match

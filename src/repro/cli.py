@@ -1,8 +1,20 @@
 """Command-line experiment driver.
 
-``python -m repro.cli --scale small --experiments table1 table5`` runs
-the pipeline once and prints the requested paper artefacts.  ``all``
-(the default) prints every table and figure summary.
+Two subcommands:
+
+- ``repro run`` (the default when no subcommand is given, so the
+  original flag-only invocation keeps working): run the pipeline once
+  and print the requested paper artefacts.  ``--report out.json``
+  additionally captures the full observability bundle — stage events,
+  span tree, metrics, artifact hashes — as a machine-readable
+  :class:`~repro.obs.report.RunReport`.
+- ``repro report``: ``show`` pretty-prints a saved report; ``diff``
+  compares two reports and exits nonzero on stage wall-time regressions
+  past ``--threshold`` or any counter/artifact drift.
+
+``python -m repro.cli run --scale small --experiments table1 table5``
+runs the pipeline once and prints the requested artefacts; ``all`` (the
+default) prints every table and figure summary.
 """
 
 from __future__ import annotations
@@ -10,11 +22,28 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack
 
 from repro.config import default_scenario, small_scenario
 from repro.core import experiments, report
 from repro.datasets.pipeline import PipelineResult
-from repro.errors import ReproError
+from repro.errors import ReportError, ReproError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    diff_reports,
+    get_logger,
+    load_report,
+    render_diff,
+    render_report,
+    setup_logging,
+    use_metrics,
+    use_tracer,
+    write_report,
+)
+from repro.obs import span as obs_span
+from repro.obs.report import DEFAULT_MIN_WALL_S, DEFAULT_WALL_THRESHOLD
 from repro.runtime import Telemetry
 
 _EXPERIMENT_NAMES = (
@@ -30,6 +59,11 @@ _EXPERIMENT_NAMES = (
     "figures7-10",
     "x1",
 )
+
+#: Exit codes of ``repro report diff``.
+EXIT_OK = 0
+EXIT_DIFF = 1
+EXIT_INVALID = 2
 
 
 def _render(name: str, result: PipelineResult, mapper: str) -> str:
@@ -61,10 +95,10 @@ def _render(name: str, result: PipelineResult, mapper: str) -> str:
     raise ReproError(f"unknown experiment {name!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+def _run_main(argv: list[str]) -> int:
+    """The ``repro run`` subcommand (also the bare-invocation default)."""
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro run",
         description="Reproduce tables and figures of Lakhina et al. (IMC 2002)",
     )
     parser.add_argument(
@@ -104,9 +138,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the per-stage telemetry table to stderr",
     )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="OUT.json",
+        help="write a structured run report (stage events, span tree, "
+        "metrics, artifact hashes) to this path",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="emit structured JSON logs to stderr",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    setup_logging(args.verbose)
+    log = get_logger("cli")
 
     if args.scale == "small":
         config = small_scenario() if args.seed is None else small_scenario(args.seed)
@@ -127,29 +177,141 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     print(f"running pipeline (scale={args.scale}, seed={config.seed})...",
           file=sys.stderr)
-    telemetry = Telemetry() if args.profile else None
-    try:
-        result = experiments.prepare_result(
-            config,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            telemetry=telemetry,
-        )
-    except ReproError as exc:
-        print(f"error: pipeline failed: {exc}", file=sys.stderr)
-        return 1
-    print(f"pipeline done in {time.time() - start:.1f}s", file=sys.stderr)
-    if telemetry is not None:
-        print(telemetry.render_profile(), file=sys.stderr)
-
-    for name in wanted:
+    log.info(
+        "run starting",
+        extra={"scale": args.scale, "seed": config.seed, "jobs": args.jobs},
+    )
+    observing = args.report is not None
+    telemetry = Telemetry() if (args.profile or observing) else None
+    tracer = Tracer() if observing else None
+    registry = MetricsRegistry() if observing else None
+    outputs: list[tuple[str, str]] = []
+    with ExitStack() as stack:
+        if observing:
+            stack.enter_context(use_tracer(tracer))
+            stack.enter_context(use_metrics(registry))
+            stack.enter_context(
+                obs_span(
+                    "run",
+                    scale=args.scale,
+                    seed=config.seed,
+                    mapper=args.mapper,
+                    jobs=args.jobs,
+                )
+            )
         try:
-            print(_render(name, result, args.mapper))
+            result = experiments.prepare_result(
+                config,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                telemetry=telemetry,
+            )
         except ReproError as exc:
-            print(f"[{name} unavailable at this scale: {exc}]")
+            print(f"error: pipeline failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"pipeline done in {time.time() - start:.1f}s", file=sys.stderr)
+        for name in wanted:
+            try:
+                outputs.append((name, _render(name, result, args.mapper)))
+            except ReproError as exc:
+                outputs.append(
+                    (name, f"[{name} unavailable at this scale: {exc}]")
+                )
+    if telemetry is not None and args.profile:
+        print(telemetry.render_profile(), file=sys.stderr)
+    if observing:
+        run_report = build_run_report(
+            config=config,
+            result=result,
+            telemetry=telemetry,
+            tracer=tracer,
+            metrics=registry,
+            argv=["run", *argv],
+        )
+        try:
+            write_report(run_report, args.report)
+        except ReportError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"run report written to {args.report}", file=sys.stderr)
+        log.info("run report written", extra={"path": args.report})
+
+    for _, text in outputs:
+        print(text)
         print()
     return 0
 
 
+def _report_main(argv: list[str]) -> int:
+    """The ``repro report`` subcommand: show or diff saved run reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Inspect and compare structured run reports",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    show = commands.add_parser("show", help="pretty-print one run report")
+    show.add_argument("path", help="report JSON file")
+    diff = commands.add_parser(
+        "diff",
+        help="compare two run reports; exit 1 on wall-time regressions "
+        "past the threshold or any counter/artifact drift",
+    )
+    diff.add_argument("old", help="baseline report JSON file")
+    diff.add_argument("new", help="candidate report JSON file")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_WALL_THRESHOLD,
+        help="fractional stage slowdown to flag as a regression "
+        "(default %(default)s, i.e. one quarter slower)",
+    )
+    diff.add_argument(
+        "--min-wall-s",
+        type=float,
+        default=DEFAULT_MIN_WALL_S,
+        help="ignore slowdowns smaller than this many seconds "
+        "(default %(default)ss)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "show":
+            print(render_report(load_report(args.path)))
+            return EXIT_OK
+        outcome = diff_reports(
+            load_report(args.old),
+            load_report(args.new),
+            wall_threshold=args.threshold,
+            min_wall_s=args.min_wall_s,
+        )
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID
+    print(render_diff(outcome))
+    return EXIT_OK if outcome.clean else EXIT_DIFF
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code.
+
+    ``repro run ...`` and ``repro report ...`` dispatch to the
+    subcommands; anything else is treated as ``run`` flags so existing
+    ``python -m repro.cli --scale small ...`` invocations keep working.
+    """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return _run_main(argv)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro report show ... | head`)
+        # closed the pipe; silence the interpreter's flush-at-exit noise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

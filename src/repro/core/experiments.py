@@ -8,7 +8,9 @@ and prints them via :mod:`repro.core.report`.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 import numpy as np
 
@@ -49,6 +51,7 @@ from repro.datasets.mapped import MappedDataset
 from repro.datasets.pipeline import PipelineResult, run_pipeline
 from repro.errors import AnalysisError
 from repro.generators.base import GeneratedGraph
+from repro.obs import span as obs_span
 from repro.geo.fractal import BoxCountResult, box_counting_dimension
 from repro.geo.projection import equirectangular_miles
 from repro.geo.regions import EUROPE, STUDY_REGIONS, US, WORLD, Region
@@ -57,6 +60,27 @@ from repro.geo.regions import EUROPE, STUDY_REGIONS, US, WORLD, Region
 MEASUREMENTS = ("Mercator", "Skitter")
 #: Mapping tools, IxMapper first (the paper's main-text tool).
 MAPPERS = ("IxMapper", "EdgeScape")
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def _traced(artefact: str) -> Callable[[_F], _F]:
+    """Wrap a runner in an ``experiment:<artefact>`` span.
+
+    With no active tracer (library use, tests) the wrapper is a single
+    context lookup; under ``--report`` every table/figure gets its own
+    span so per-artefact analysis cost lands in the run report.
+    """
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with obs_span(f"experiment:{artefact}"):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def prepare_result(
@@ -99,6 +123,7 @@ class Table1Row:
     n_locations: int
 
 
+@_traced("table1")
 def table1(result: PipelineResult) -> list[Table1Row]:
     """Table I: sizes of all four processed datasets."""
     rows = []
@@ -134,6 +159,7 @@ class Table3Result:
     online_variation: float
 
 
+@_traced("table3")
 def table3(result: PipelineResult, mapper: str = "IxMapper") -> Table3Result:
     """Table III over the Skitter dataset (the paper's choice)."""
     dataset = result.dataset(mapper, "Skitter")
@@ -147,6 +173,7 @@ def table3(result: PipelineResult, mapper: str = "IxMapper") -> Table3Result:
     )
 
 
+@_traced("table4")
 def table4(
     result: PipelineResult, mapper: str = "IxMapper"
 ) -> list[RegionDensityRow]:
@@ -173,6 +200,7 @@ class Table5Row:
     limit: SensitivityLimit
 
 
+@_traced("table5")
 def table5(result: PipelineResult, mapper: str = "IxMapper") -> list[Table5Row]:
     """Table V rows for both measurements across the study regions.
 
@@ -201,6 +229,7 @@ def table5(result: PipelineResult, mapper: str = "IxMapper") -> list[Table5Row]:
     return rows
 
 
+@_traced("table6")
 def table6(
     result: PipelineResult, mapper: str = "IxMapper"
 ) -> list[LinkDomainRow]:
@@ -212,6 +241,7 @@ def table6(
 # --- Figures 1-6 ------------------------------------------------------------------
 
 
+@_traced("figure1")
 def figure1(
     result: PipelineResult, mapper: str = "IxMapper"
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
@@ -224,6 +254,7 @@ def figure1(
     return series
 
 
+@_traced("figure2")
 def figure2(
     result: PipelineResult, mapper: str = "IxMapper"
 ) -> dict[tuple[str, str], PatchRegression]:
@@ -243,6 +274,7 @@ def figure2(
     return panels
 
 
+@_traced("figure4")
 def figure4(
     result: PipelineResult, mapper: str = "IxMapper"
 ) -> dict[tuple[str, str], DistancePreference]:
@@ -262,6 +294,7 @@ def figure4(
     return panels
 
 
+@_traced("figure5")
 def figure5(
     panels: dict[tuple[str, str], DistancePreference]
 ) -> dict[tuple[str, str], WaxmanFit]:
@@ -277,6 +310,7 @@ def figure5(
     return fits
 
 
+@_traced("figure6")
 def figure6(
     panels: dict[tuple[str, str], DistancePreference]
 ) -> dict[tuple[str, str], CumulatedPreference]:
@@ -318,6 +352,7 @@ class AsGeographyResult:
     dispersal: dict[str, DispersalSummary]
 
 
+@_traced("figures7-10")
 def figures7_to_10(
     result: PipelineResult,
     mapper: str = "IxMapper",
@@ -358,6 +393,7 @@ class FractalResult:
     population: BoxCountResult
 
 
+@_traced("x1")
 def experiment_x1(
     result: PipelineResult,
     region: Region = US,

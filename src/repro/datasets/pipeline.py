@@ -39,6 +39,7 @@ from repro.measure.inventory import RawInventory
 from repro.measure.mercator import run_mercator
 from repro.measure.skitter import run_skitter
 from repro.net.addressing import AddressPlan
+from repro.obs import span as obs_span
 from repro.net.generate import GenerationReport, generate_ground_truth
 from repro.net.topology import Topology
 from repro.population.worldmodel import World, build_world
@@ -417,14 +418,17 @@ def run_pipeline(
     """
     graph = build_pipeline_graph()
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
-    artifacts = execute(
-        graph,
-        config,
-        seed=config.seed,
-        jobs=jobs,
-        cache=cache,
-        telemetry=telemetry,
-    )
+    with obs_span("pipeline", seed=config.seed, jobs=jobs) as pipeline_span:
+        artifacts = execute(
+            graph,
+            config,
+            seed=config.seed,
+            jobs=jobs,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        if cache is not None:
+            pipeline_span.set(cache_hits=cache.hits, cache_misses=cache.misses)
     topology, plan, generation_report = artifacts[STAGE_GROUND_TRUTH]
     result = PipelineResult(
         config=config,

@@ -62,3 +62,7 @@ class StageGraphError(ReproError):
 
 class CacheError(ReproError):
     """The artifact cache was misused or its store is unusable."""
+
+
+class ReportError(ReproError):
+    """A run report is missing, malformed, or fails schema validation."""

@@ -9,12 +9,15 @@ the whois registry, and published DNS LOC records.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro.config import GeolocConfig
+from repro.obs import current_metrics
+from repro.obs import span as obs_span
 from repro.geo.coords import GeoPoint
 from repro.geoloc.dnsloc import build_loc_records
 from repro.geoloc.whois import WhoisRegistry
@@ -136,8 +139,30 @@ def locate_batch(
     Falls back to per-address ``locate`` calls for minimal locators that
     predate the batch API (duck-typed, so third-party locators keep
     working unchanged).
+
+    When observability is active (``repro.obs``), each batch runs in a
+    ``geoloc.locate_batch`` span and records batch size, per-source
+    resolution counters (``geoloc.method.<method>``), and the
+    unknown-location residual (``geoloc.unmapped``).
     """
-    locate_many = getattr(geolocator, "locate_many", None)
-    if locate_many is not None:
-        return list(locate_many(addresses))
-    return [geolocator.locate(address) for address in addresses]
+    tool = getattr(geolocator, "name", type(geolocator).__name__)
+    with obs_span(
+        "geoloc.locate_batch", tool=tool, batch_size=len(addresses)
+    ):
+        locate_many = getattr(geolocator, "locate_many", None)
+        if locate_many is not None:
+            results = list(locate_many(addresses))
+        else:
+            results = [geolocator.locate(address) for address in addresses]
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter("geoloc.batches").add(1)
+        metrics.counter("geoloc.addresses").add(len(results))
+        metrics.histogram("geoloc.batch_size").observe(len(results))
+        by_method = Counter(result.method for result in results)
+        for method, count in by_method.items():
+            metrics.counter(f"geoloc.method.{method}").add(count)
+        metrics.counter("geoloc.unmapped").add(
+            by_method.get(METHOD_UNMAPPED, 0)
+        )
+    return results

@@ -1,0 +1,90 @@
+"""Run-level observability: tracing, metrics, structured logs, reports.
+
+The pipeline runtime's per-stage telemetry (PR 1) shows *which stage*
+cost what; this package opens up everything below stage granularity and
+makes a run's measurements survive the process:
+
+- :mod:`repro.obs.trace` — contextvar-propagated :class:`Span` /
+  :class:`Tracer`, nesting across the executor's worker pool;
+- :mod:`repro.obs.metrics` — counter/gauge/histogram registry for
+  geolocation batches, BGP lookups, and data-quality residuals;
+- :mod:`repro.obs.logging` — JSON-lines logging behind ``--verbose``;
+- :mod:`repro.obs.report` — :class:`RunReport` bundling config, seeds,
+  stage events, the span tree, metrics, and artifact content hashes,
+  plus schema validation and the report diff behind
+  ``repro report diff``.
+
+All instrumentation is contextvar-gated: with no active tracer or
+registry, instrumented call sites cost one context lookup and no
+allocation, keeping uninstrumented runs at full speed.
+"""
+
+from repro.obs.logging import JsonLogFormatter, get_logger, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    incr,
+    observe,
+    set_gauge,
+    use_metrics,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    span,
+    use_tracer,
+)
+from repro.obs.report import (
+    DEFAULT_MIN_WALL_S,
+    DEFAULT_WALL_THRESHOLD,
+    ReportDiff,
+    RunReport,
+    build_run_report,
+    dataset_digest,
+    diff_reports,
+    load_report,
+    render_diff,
+    render_report,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "JsonLogFormatter",
+    "get_logger",
+    "setup_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "incr",
+    "observe",
+    "set_gauge",
+    "use_metrics",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "current_tracer",
+    "span",
+    "use_tracer",
+    "DEFAULT_MIN_WALL_S",
+    "DEFAULT_WALL_THRESHOLD",
+    "ReportDiff",
+    "RunReport",
+    "build_run_report",
+    "dataset_digest",
+    "diff_reports",
+    "load_report",
+    "render_diff",
+    "render_report",
+    "validate_report",
+    "write_report",
+]

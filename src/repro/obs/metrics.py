@@ -1,0 +1,205 @@
+"""Counter / gauge / histogram registry.
+
+Instrumented code reports *what happened* (lookup counts, batch sizes,
+unmapped residuals) through a :class:`MetricsRegistry` so cross-run
+comparability does not depend on parsing rendered tables.  Like the
+tracer (:mod:`repro.obs.trace`), the active registry is a context
+variable: hot paths call :func:`current_metrics` and skip all work when
+observability is off, so an uninstrumented run pays one context lookup
+per call site.
+
+All instruments are thread-safe — the executor's worker pool increments
+them concurrently — and snapshot to plain JSON types for
+:class:`~repro.obs.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+_ACTIVE_METRICS: contextvars.ContextVar["MetricsRegistry | None"] = (
+    contextvars.ContextVar("repro_obs_active_metrics", default=None)
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (must be >= 0)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The latest recorded value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A streaming summary (count / sum / min / max) of observations."""
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float]:
+        """JSON-ready summary; empty histograms report zeroed bounds."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments for one run; instruments are created on demand."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def counter_value(self, name: str) -> int:
+        """A counter's current count (0 when never touched)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+        return 0 if instrument is None else instrument.value
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as plain JSON types, sorted by name."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].summary() for name in sorted(histograms)
+            },
+        }
+
+
+def current_metrics() -> MetricsRegistry | None:
+    """The registry active in this context, if any."""
+    return _ACTIVE_METRICS.get()
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make a registry active for the enclosed block (and spawned contexts)."""
+    token = _ACTIVE_METRICS.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE_METRICS.reset(token)
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Increment a counter on the active registry; no-op when none is."""
+    registry = _ACTIVE_METRICS.get()
+    if registry is not None:
+        registry.counter(name).add(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe into a histogram on the active registry; no-op when none is."""
+    registry = _ACTIVE_METRICS.get()
+    if registry is not None:
+        registry.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry; no-op when none is."""
+    registry = _ACTIVE_METRICS.get()
+    if registry is not None:
+        registry.gauge(name).set(value)

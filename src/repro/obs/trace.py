@@ -1,0 +1,189 @@
+"""Contextvar-propagated tracing spans.
+
+A :class:`Span` times one unit of work (a pipeline stage, a geolocation
+batch, one figure's analysis) and nests under whatever span was active
+when it opened, giving each run a tree of where the time went — the
+sub-stage detail the ``--profile`` table cannot show.
+
+Propagation uses :mod:`contextvars`: the active :class:`Tracer` and the
+current span live in context variables, so library code opens spans with
+the module-level :func:`span` helper without any plumbing — and pays a
+single context lookup (no allocation) when no tracer is active.  The
+executor's worker threads inherit the submitting thread's context via
+``contextvars.copy_context()`` (see ``repro.runtime.executor``), so
+stage spans started on pool threads still attach under the pipeline
+span; all tree mutation is serialised on the tracer's lock.
+
+Span clocks are ``time.perf_counter()`` — monotonic, comparable within
+one process — plus one wall-clock epoch stamp per span for report
+readers.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+_ACTIVE_TRACER: contextvars.ContextVar["Tracer | None"] = contextvars.ContextVar(
+    "repro_obs_active_tracer", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed, attributed unit of work.
+
+    Attributes:
+        name: span name, e.g. ``"stage:bgp_snapshot"``.
+        attributes: free-form key/value annotations.
+        start_s: monotonic start (``time.perf_counter()``).
+        end_s: monotonic end (0.0 while the span is open).
+        start_unix: wall-clock epoch seconds at start.
+        thread: name of the thread the span ran on.
+        children: spans opened while this span was current.
+    """
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: float = 0.0
+    start_unix: float = 0.0
+    thread: str = ""
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def wall_s(self) -> float:
+        """Elapsed seconds (0.0 while still open)."""
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, **attributes: Any) -> None:
+        """Attach or update attributes on the span."""
+        self.attributes.update(attributes)
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        return 1 + max((child.depth() for child in self.children), default=0)
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view of the subtree."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "wall_s": self.wall_s,
+            "start_unix": self.start_unix,
+            "thread": self.thread,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """No-op stand-in yielded by :func:`span` when no tracer is active."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        """Discard attributes."""
+
+
+#: Shared no-op span instance.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans for one run (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span nested under the context's current span."""
+        parent = _CURRENT_SPAN.get()
+        new = Span(
+            name=name,
+            attributes=dict(attributes),
+            start_s=time.perf_counter(),
+            start_unix=time.time(),
+            thread=threading.current_thread().name,
+        )
+        with self._lock:
+            if parent is None:
+                self._roots.append(new)
+            else:
+                parent.children.append(new)
+        token = _CURRENT_SPAN.set(new)
+        try:
+            yield new
+        finally:
+            new.end_s = time.perf_counter()
+            _CURRENT_SPAN.reset(token)
+
+    @property
+    def roots(self) -> tuple[Span, ...]:
+        """Top-level spans, in start order."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every collected span, depth-first across roots."""
+        for root in self.roots:
+            yield from root.iter_spans()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with a given name."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def max_depth(self) -> int:
+        """Deepest nesting level across all roots (0 when empty)."""
+        return max((root.depth() for root in self.roots), default=0)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-serialisable span forest."""
+        return [root.to_dict() for root in self.roots]
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer active in this context, if any."""
+    return _ACTIVE_TRACER.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Make a tracer active for the enclosed block (and spawned contexts)."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+@contextmanager
+def span(name: str, **attributes: Any) -> Iterator[Span | _NullSpan]:
+    """Open a span on the active tracer; a cheap no-op when none is."""
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        yield NULL_SPAN
+        return
+    with tracer.span(name, **attributes) as new:
+        yield new

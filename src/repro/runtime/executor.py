@@ -13,12 +13,15 @@ output: parallel and serial execution are bit-for-bit identical.
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any
 
 import numpy as np
 
 from repro.errors import StageGraphError
+from repro.obs import get_logger
+from repro.obs import span as obs_span
 from repro.runtime.cache import ArtifactCache, config_digest, stage_key
 from repro.runtime.stages import Stage, StageContext, StageGraph
 from repro.runtime.telemetry import (
@@ -30,6 +33,9 @@ from repro.runtime.telemetry import (
     artifact_counters,
     peak_rss_mb,
 )
+
+
+_log = get_logger("runtime.executor")
 
 
 def stage_keys(graph: StageGraph, config: Any) -> dict[str, str]:
@@ -57,7 +63,7 @@ def _produce(
     telemetry: Telemetry | None,
 ) -> Any:
     """Run one stage (or serve it from the cache) and record telemetry."""
-    with StageTimer() as timer:
+    with obs_span(f"stage:{stage.name}") as stage_span, StageTimer() as timer:
         status = STATUS_RAN
         value: Any = None
         served = False
@@ -69,6 +75,11 @@ def _produce(
             value = stage.fn(StageContext(config=config, inputs=inputs, rng=rng))
             if cache is not None and key is not None and stage.cacheable:
                 cache.store(key, value, stage.codec)
+        stage_span.set(status=status)
+    _log.debug(
+        "stage finished",
+        extra={"stage": stage.name, "status": status, "wall_s": timer.wall_s},
+    )
     if telemetry is not None:
         telemetry.record(
             StageEvent(
@@ -77,6 +88,8 @@ def _produce(
                 wall_s=timer.wall_s,
                 rss_mb=peak_rss_mb(),
                 counters=artifact_counters(value),
+                start_s=timer.start_s,
+                end_s=timer.end_s,
             )
         )
     return value
@@ -134,9 +147,13 @@ def execute(
                 if all(dep in results for dep in stage.inputs):
                     pending.discard(name)
                     inputs = {dep: results[dep] for dep in stage.inputs}
+                    # Copy the submitting context so worker threads see
+                    # the active tracer/metrics and nest their stage
+                    # spans under the caller's current span.
+                    ctx = contextvars.copy_context()
                     future = pool.submit(
-                        _produce, stage, config, inputs, streams[name],
-                        cache, keys.get(name), telemetry,
+                        ctx.run, _produce, stage, config, inputs,
+                        streams[name], cache, keys.get(name), telemetry,
                     )
                     running[future] = name
 

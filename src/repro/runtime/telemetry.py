@@ -82,6 +82,9 @@ class StageEvent:
             artifact.
         rss_mb: process RSS high-water mark when the stage finished.
         counters: artifact size counters (nodes, links, ...).
+        start_s: monotonic start time (``time.perf_counter()``), shared
+            clock across all stages of one run.
+        end_s: monotonic end time.
     """
 
     stage: str
@@ -89,6 +92,8 @@ class StageEvent:
     wall_s: float
     rss_mb: float
     counters: Mapping[str, int]
+    start_s: float = 0.0
+    end_s: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serialisable view of the event."""
@@ -98,6 +103,8 @@ class StageEvent:
             "wall_s": self.wall_s,
             "rss_mb": self.rss_mb,
             "counters": dict(self.counters),
+            "start_s": self.start_s,
+            "end_s": self.end_s,
         }
 
 
@@ -137,8 +144,13 @@ class Telemetry:
         return sum(event.wall_s for event in self.events)
 
     def render_profile(self) -> str:
-        """The ``--profile`` summary table."""
-        events = self.events
+        """The ``--profile`` summary table.
+
+        Rows are ordered by stage start time (name breaks ties), so the
+        table is deterministic under ``--jobs N`` where completion order
+        depends on the schedule.
+        """
+        events = sorted(self.events, key=lambda e: (e.start_s, e.stage))
         if not events:
             return "PIPELINE STAGE PROFILE\n(no stages recorded)"
         name_width = max(len("stage"), max(len(e.stage) for e in events))
@@ -155,8 +167,10 @@ class Telemetry:
                 f"{event.stage:<{name_width}}  {event.status:<9}  "
                 f"{event.wall_s:>8.3f}  {event.rss_mb:>8.1f}  {counters}"
             )
+        peak_mb = max(e.rss_mb for e in events)
         lines.append(
-            f"{'total':<{name_width}}  {'':<9}  {self.total_wall_s():>8.3f}"
+            f"{'total':<{name_width}}  {'':<9}  {self.total_wall_s():>8.3f}  "
+            f"{peak_mb:>8.1f}"
         )
         return "\n".join(lines)
 
@@ -167,14 +181,18 @@ class StageTimer:
 
     Attributes:
         wall_s: elapsed seconds (valid after exit).
+        start_s: monotonic entry time (``time.perf_counter()``).
+        end_s: monotonic exit time (valid after exit).
     """
 
     wall_s: float = field(default=0.0)
-    _start: float = field(default=0.0, repr=False)
+    start_s: float = field(default=0.0)
+    end_s: float = field(default=0.0)
 
     def __enter__(self) -> "StageTimer":
-        self._start = time.perf_counter()
+        self.start_s = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.wall_s = time.perf_counter() - self._start
+        self.end_s = time.perf_counter()
+        self.wall_s = self.end_s - self.start_s

@@ -1,8 +1,11 @@
 """Tests for the repro.cli experiment driver."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_DIFF, EXIT_INVALID, EXIT_OK, main
+from repro.obs import load_report, validate_report
 
 
 class TestCli:
@@ -69,6 +72,26 @@ class TestCli:
         profile = capsys.readouterr().err
         assert profile.count("cache-hit") == 10
 
+    def test_run_subcommand_is_explicit_alias(self, capsys):
+        code = main(["run", "--scale", "small", "--experiments", "table1"])
+        assert code == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_verbose_emits_json_logs(self, capsys):
+        code = main(
+            ["--scale", "small", "--experiments", "table1", "--verbose"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        started = [
+            line for line in err.splitlines()
+            if line.startswith("{") and '"run starting"' in line
+        ]
+        assert started, err
+        payload = json.loads(started[0])
+        assert payload["scale"] == "small"
+        assert payload["jobs"] == 1
+
     def test_pipeline_error_exits_cleanly(self, capsys, monkeypatch):
         from repro.core import experiments
         from repro.errors import ReproError
@@ -82,3 +105,71 @@ class TestCli:
         captured = capsys.readouterr()
         assert "synthetic pipeline failure" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestReportCli:
+    """The --report flag and the `repro report` subcommand."""
+
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("reports") / "run.json"
+        code = main(
+            [
+                "run", "--scale", "small", "--experiments", "table1",
+                "--jobs", "2", "--report", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_report_is_schema_valid_with_deep_spans(self, report_path):
+        payload = json.loads(report_path.read_text())
+        assert validate_report(payload) == []
+        report = load_report(report_path)
+        # run -> pipeline -> stage:* -> geoloc.locate_batch
+        assert report.span_depth() >= 3
+        assert report.counter("geoloc.addresses") > 0
+        assert report.counter("bgp.lookups") > 0
+        assert len(report.stage_events) == 10
+        assert len(report.artifacts) == 4
+
+    def test_report_show(self, report_path, capsys):
+        assert main(["report", "show", str(report_path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "RUN REPORT" in out
+        assert "SPAN TREE" in out
+
+    def test_report_diff_identical_is_clean(self, report_path, capsys):
+        code = main(["report", "diff", str(report_path), str(report_path)])
+        assert code == EXIT_OK
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_report_diff_flags_regression(self, report_path, tmp_path, capsys):
+        payload = json.loads(report_path.read_text())
+        for event in payload["stage_events"]:
+            event["wall_s"] = event["wall_s"] * 10 + 1.0
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(json.dumps(payload))
+        code = main(["report", "diff", str(report_path), str(slowed)])
+        assert code == EXIT_DIFF
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_report_diff_threshold_is_tunable(self, report_path, tmp_path):
+        payload = json.loads(report_path.read_text())
+        for event in payload["stage_events"]:
+            event["wall_s"] = event["wall_s"] * 10 + 1.0
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(json.dumps(payload))
+        args = ["report", "diff", str(report_path), str(slowed)]
+        assert main(args + ["--threshold", "1e9"]) == EXIT_OK
+
+    def test_report_commands_reject_invalid_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", "show", str(bad)]) == EXIT_INVALID
+        assert main(["report", "diff", str(bad), str(bad)]) == EXIT_INVALID
+        assert (
+            main(["report", "show", str(tmp_path / "missing.json")])
+            == EXIT_INVALID
+        )
+        assert "error:" in capsys.readouterr().err

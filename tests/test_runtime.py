@@ -26,7 +26,12 @@ from repro.runtime import (
     execute,
 )
 from repro.runtime.executor import stage_keys
-from repro.runtime.telemetry import STATUS_CACHE_HIT, STATUS_RAN
+from repro.runtime.telemetry import (
+    STATUS_CACHE_HIT,
+    STATUS_RAN,
+    StageEvent,
+    artifact_counters,
+)
 
 
 def _assert_datasets_identical(a, b):
@@ -220,6 +225,92 @@ class TestTelemetry:
             telemetry=telemetry,
         )
         assert [e.stage for e in seen] == ["s"]
+
+    def test_events_carry_monotonic_timestamps(self):
+        telemetry = Telemetry()
+        execute(
+            StageGraph(
+                {
+                    "a": Stage(name="a", fn=lambda ctx: 1),
+                    "b": Stage(name="b", fn=lambda ctx: 2, inputs=("a",)),
+                }
+            ),
+            config=None,
+            seed=3,
+            telemetry=telemetry,
+        )
+        by_name = {e.stage: e for e in telemetry.events}
+        for event in by_name.values():
+            assert event.end_s >= event.start_s > 0.0
+            assert event.wall_s == pytest.approx(
+                event.end_s - event.start_s, abs=1e-6
+            )
+        # b depends on a, so it cannot start before a finished.
+        assert by_name["b"].start_s >= by_name["a"].end_s
+        assert {"start_s", "end_s"} <= by_name["a"].to_dict().keys()
+
+    def test_render_profile_ordered_by_start_time(self):
+        telemetry = Telemetry()
+        # Record completion out of start order: z finished first but
+        # started last.
+        telemetry.record(
+            StageEvent("z", STATUS_RAN, 0.1, 10.0, {}, start_s=5.0, end_s=5.1)
+        )
+        telemetry.record(
+            StageEvent("a", STATUS_RAN, 9.0, 20.0, {}, start_s=1.0, end_s=10.0)
+        )
+        profile = telemetry.render_profile()
+        lines = profile.splitlines()
+        stages = [line.split()[0] for line in lines[2:]]
+        assert stages == ["a", "z", "total"]
+        # The total row aligns wall and rss under their columns.
+        header, total = lines[1], lines[-1]
+        assert total.index("9.100") < header.index("rss MB")
+        assert "20.0" in total  # peak RSS, not a sum
+
+    def test_empty_profile_renders(self):
+        assert "(no stages recorded)" in Telemetry().render_profile()
+
+
+class TestArtifactCounters:
+    def test_nested_tuples_first_provider_wins(self):
+        class Inventory:
+            n_nodes = 7
+            n_links = 3
+
+        class Table:
+            entries = {"10.0.0.0/8": 1}
+
+        counters = artifact_counters(((Inventory(), Table()), Inventory()))
+        assert counters == {"nodes": 7, "links": 3, "entries": 1}
+
+    def test_object_with_both_n_nodes_and_routers(self):
+        class Hybrid:
+            n_nodes = 42  # explicit counter beats len(routers)
+            routers = {"r1": None, "r2": None}
+            interfaces = {"if1": None}
+
+        assert artifact_counters(Hybrid()) == {
+            "nodes": 42,
+            "interfaces": 1,
+        }
+
+    def test_topology_like_uses_len(self):
+        class Topology:
+            routers = [1, 2, 3]
+            interfaces = [1]
+
+        assert artifact_counters(Topology()) == {"nodes": 3, "interfaces": 1}
+
+    def test_non_int_n_nodes_ignored(self):
+        class Weird:
+            n_nodes = "many"
+
+        assert artifact_counters(Weird()) == {}
+
+    def test_opaque_values_give_empty_counters(self):
+        assert artifact_counters(object()) == {}
+        assert artifact_counters(()) == {}
 
 
 class TestPipelineDeterminism:
