@@ -1,0 +1,127 @@
+"""End-to-end smoke test of the snapshot query service (CI gate).
+
+Exercises the full serving path through real subprocesses, exactly as a
+user would:
+
+1. ``repro snapshot`` builds the small snapshot and exports it as npz;
+2. ``repro serve`` loads it and binds an ephemeral port (parsed from
+   the printed banner);
+3. a client hits ``/healthz``, ``/locate`` twice (asserting identical
+   answers and a cache hit in ``/stats``);
+4. SIGINT stops the server, which must exit 0 and write a schema-valid
+   stats report.
+
+Run from the repo root with ``PYTHONPATH=src python scripts/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.report import validate_report  # noqa: E402
+from repro.serve import SnapshotClient  # noqa: E402
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
+
+
+def _run_cli(*args: str) -> None:
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        check=True,
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        snapshot = Path(tmp) / "snapshot.npz"
+        report_path = Path(tmp) / "serve-stats.json"
+
+        print("== building snapshot ==", flush=True)
+        _run_cli("snapshot", "--scale", "small", "--out", str(snapshot))
+        address = int(np.load(snapshot)["addresses"][0])
+
+        print("== starting server ==", flush=True)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--snapshot",
+                str(snapshot),
+                "--port",
+                "0",
+                "--stats-report",
+                str(report_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=_cli_env(),
+            cwd=REPO_ROOT,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"on (http://\S+)", banner)
+            assert match, f"no server URL in banner: {banner!r}"
+            client = SnapshotClient(match.group(1))
+
+            health = client.healthz()
+            assert health["status"] == "ok", health
+            print("healthz ok,", "snapshot", health["snapshot_hash"][:12])
+
+            first = client.locate(address)
+            second = client.locate(address)
+            assert first == second, (first, second)
+            stats = client.stats()
+            assert stats["cache"]["hits"] >= 1, stats["cache"]
+            print(
+                f"locate({address}) -> ({first['lat']}, {first['lon']}), "
+                f"cache hits {stats['cache']['hits']}"
+            )
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                _, err = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                _, err = proc.communicate()
+        assert proc.returncode == 0, f"serve exited {proc.returncode}: {err}"
+
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        errors = validate_report(payload)
+        assert not errors, "invalid stats report: " + "; ".join(errors)
+        counters = payload["metrics"]["counters"]
+        assert counters.get("serve.requests.locate", 0) >= 2, counters
+        print("stats report valid,", len(counters), "counters")
+
+    print("serve smoke: ALL OK")
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    code = main()
+    print(f"({time.perf_counter() - start:.1f}s)")
+    sys.exit(code)

@@ -1,6 +1,6 @@
-"""Command-line experiment driver.
+"""Command-line experiment driver and query-service front end.
 
-Two subcommands:
+Subcommands:
 
 - ``repro run`` (the default when no subcommand is given, so the
   original flag-only invocation keeps working): run the pipeline once
@@ -11,6 +11,12 @@ Two subcommands:
 - ``repro report``: ``show`` pretty-prints a saved report; ``diff``
   compares two reports and exits nonzero on stage wall-time regressions
   past ``--threshold`` or any counter/artifact drift.
+- ``repro snapshot``: build one mapped dataset and export it
+  (``json``/``npz``/CSV pair) for sharing or serving.
+- ``repro serve``: load a snapshot (or build one in-process) and run
+  the concurrent query server (:mod:`repro.serve`) until interrupted.
+- ``repro query``: one-shot client call against a running server,
+  e.g. ``repro query http://127.0.0.1:8765 locate address=1234``.
 
 ``python -m repro.cli run --scale small --experiments table1 table5``
 runs the pipeline once and prints the requested artefacts; ``all`` (the
@@ -290,16 +296,269 @@ def _report_main(argv: list[str]) -> int:
     return EXIT_OK if outcome.clean else EXIT_DIFF
 
 
+def _snapshot_common_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``snapshot`` and ``serve`` for in-process builds."""
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default"),
+        default="small",
+        help="scenario size to build when no snapshot file is given",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    parser.add_argument(
+        "--mapper",
+        choices=("IxMapper", "EdgeScape"),
+        default="IxMapper",
+        help="geolocation tool of the exported dataset",
+    )
+    parser.add_argument(
+        "--measurement",
+        choices=("Skitter", "Mercator"),
+        default="Skitter",
+        help="measurement campaign of the exported dataset",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="pipeline worker threads"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory for the pipeline build",
+    )
+
+
+def _build_dataset(args: argparse.Namespace):
+    """Run the pipeline and pick the requested (mapper, measurement) row."""
+    from repro.core.experiments import prepare_result
+
+    if args.scale == "small":
+        config = small_scenario() if args.seed is None else small_scenario(args.seed)
+    else:
+        config = (
+            default_scenario() if args.seed is None else default_scenario(args.seed)
+        )
+    print(
+        f"building snapshot (scale={args.scale}, seed={config.seed})...",
+        file=sys.stderr,
+    )
+    result = prepare_result(config, jobs=args.jobs, cache_dir=args.cache_dir)
+    return result.dataset(args.mapper, args.measurement)
+
+
+def _snapshot_main(argv: list[str]) -> int:
+    """The ``repro snapshot`` subcommand: build and export one dataset."""
+    from repro.datasets.serialize import save_dataset
+    from repro.obs.report import dataset_digest
+
+    parser = argparse.ArgumentParser(
+        prog="repro snapshot",
+        description="Build one mapped dataset and export it to a file",
+    )
+    _snapshot_common_args(parser)
+    parser.add_argument(
+        "--out", required=True, metavar="PATH", help="output file or CSV directory"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("auto", "json", "npz", "csv"),
+        default="auto",
+        help="serialisation format (auto: by extension)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        dataset = _build_dataset(args)
+        save_dataset(dataset, args.out, format=args.format)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {dataset.label!r} ({dataset.n_nodes} nodes, "
+        f"{dataset.n_links} links) to {args.out} "
+        f"[{dataset_digest(dataset)[:12]}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``repro serve`` subcommand: run the snapshot query server."""
+    from repro.datasets.serialize import load_dataset
+    from repro.serve import SnapshotIndex, SnapshotServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve geo/AS queries over one snapshot "
+        "(see README 'Serving' for endpoints)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="snapshot file (json/npz) or CSV directory; "
+        "omit to build one in-process",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("auto", "json", "npz", "csv"),
+        default="auto",
+        help="snapshot format (auto: by extension)",
+    )
+    _snapshot_common_args(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=8192, help="response-cache entries"
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="concurrent requests before shedding with 503",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="bounded locate-queue depth before shedding",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=512, help="micro-batch flush size"
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing window (latency cost of batching)",
+    )
+    parser.add_argument(
+        "--stats-report",
+        default=None,
+        metavar="OUT.json",
+        help="write a RunReport-compatible stats snapshot on shutdown",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="structured JSON logs"
+    )
+    args = parser.parse_args(argv)
+
+    setup_logging(args.verbose)
+    log = get_logger("serve")
+    try:
+        if args.snapshot is not None:
+            dataset = load_dataset(args.snapshot, format=args.format)
+        else:
+            dataset = _build_dataset(args)
+        index = SnapshotIndex(dataset)
+        server = SnapshotServer(
+            index,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+            batch_window_s=args.batch_window_ms / 1e3,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server.start()
+    # Parsed by scripts/serve_smoke.py — keep the line format stable.
+    print(f"serving {dataset.label!r} on {server.url}", flush=True)
+    log.info(
+        "server started",
+        extra={"url": server.url, "snapshot_hash": index.snapshot_hash},
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        stats = server.stats()
+        print(
+            f"served {sum(v for k, v in stats['metrics']['counters'].items() if k.startswith('serve.requests.'))} "
+            f"requests, cache hit ratio {stats['cache']['hit_ratio']:.2f}",
+            file=sys.stderr,
+        )
+        if args.stats_report is not None:
+            try:
+                write_report(server.stats_report(), args.stats_report)
+                print(
+                    f"stats report written to {args.stats_report}",
+                    file=sys.stderr,
+                )
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+    return 0
+
+
+def _query_main(argv: list[str]) -> int:
+    """The ``repro query`` subcommand: one-shot client calls."""
+    import json as _json
+
+    from repro.serve import SnapshotClient
+    from repro.serve.client import QueryError
+
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Query a running snapshot server once and print the JSON",
+    )
+    parser.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8765")
+    parser.add_argument(
+        "endpoint",
+        help="endpoint path, e.g. healthz, stats, locate, as/64512, near",
+    )
+    parser.add_argument(
+        "params",
+        nargs="*",
+        metavar="key=value",
+        help="query parameters, e.g. address=1234 lat=40 lon=-100 k=3",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, help="request timeout seconds"
+    )
+    args = parser.parse_args(argv)
+    params: dict[str, str] = {}
+    for pair in args.params:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            parser.error(f"parameters must be key=value, got {pair!r}")
+        params[key] = value
+    client = SnapshotClient(args.url, timeout_s=args.timeout)
+    try:
+        payload = client.get(args.endpoint, **params)
+    except QueryError as exc:
+        print(_json.dumps(exc.payload, indent=2))
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(payload, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
-    ``repro run ...`` and ``repro report ...`` dispatch to the
+    ``repro run|report|snapshot|serve|query ...`` dispatch to the
     subcommands; anything else is treated as ``run`` flags so existing
     ``python -m repro.cli --scale small ...`` invocations keep working.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "report":
-        return _report_main(argv[1:])
+    subcommands = {
+        "report": _report_main,
+        "snapshot": _snapshot_main,
+        "serve": _serve_main,
+        "query": _query_main,
+    }
+    if argv and argv[0] in subcommands:
+        return subcommands[argv[0]](argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     return _run_main(argv)

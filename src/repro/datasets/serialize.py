@@ -2,14 +2,21 @@
 
 Processed snapshots are the shareable artefact of a measurement study
 (the paper's datasets were passed between institutions); we support a
-self-describing JSON format plus a compact CSV pair (nodes + links) for
-interoperability with external tooling.
+self-describing JSON format, a compact CSV pair (nodes + links) for
+interoperability with external tooling, and a binary ``.npz`` format
+whose arrays round-trip losslessly without ``tolist()``/JSON costs —
+the cold-start path of the snapshot query service
+(:mod:`repro.serve`).
+
+:func:`save_dataset` / :func:`load_dataset` dispatch between the three
+formats by file extension (a directory selects the CSV pair).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -82,6 +89,132 @@ def load_dataset_json(path: str | Path) -> MappedDataset:
     except (OSError, json.JSONDecodeError) as exc:
         raise DatasetError(f"cannot read dataset from {path}: {exc}") from exc
     return dataset_from_dict(payload)
+
+
+#: Array fields of the npz layout, with their canonical dtypes.
+_NPZ_ARRAYS = (
+    ("addresses", np.int64),
+    ("lats", np.float64),
+    ("lons", np.float64),
+    ("asns", np.int64),
+    ("links", np.int64),
+)
+
+
+def save_dataset_npz(dataset: MappedDataset, path: str | Path) -> None:
+    """Write a dataset to a compressed binary ``.npz`` file.
+
+    Arrays are stored verbatim (no ``tolist()`` round-trip through JSON
+    floats), so loading is lossless and fast — the format the query
+    server cold-starts from.
+    """
+    # Write through an open handle: ``savez_compressed`` appends
+    # ``.npz`` to bare path names, which would break explicit-format
+    # saves to arbitrary extensions.
+    with Path(path).open("wb") as handle:
+        np.savez_compressed(
+            handle,
+            format_version=np.int64(_FORMAT_VERSION),
+            label=np.asarray(dataset.label),
+            kind=np.asarray(dataset.kind),
+            addresses=dataset.addresses.astype(np.int64),
+            lats=dataset.lats.astype(np.float64),
+            lons=dataset.lons.astype(np.float64),
+            asns=dataset.asns.astype(np.int64),
+            links=dataset.links.astype(np.int64).reshape(-1, 2),
+        )
+
+
+def load_dataset_npz(path: str | Path) -> MappedDataset:
+    """Read a dataset written by :func:`save_dataset_npz`.
+
+    Raises:
+        DatasetError: when the file is missing, not an npz archive, or
+            has a version/field mismatch.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            version = int(payload["format_version"])
+            if version != _FORMAT_VERSION:
+                raise DatasetError(
+                    f"unsupported dataset format version {version!r}"
+                )
+            arrays = {
+                name: payload[name].astype(dtype)
+                for name, dtype in _NPZ_ARRAYS
+            }
+            label = str(payload["label"][()])
+            kind = str(payload["kind"][()])
+    except OSError as exc:
+        raise DatasetError(f"cannot read dataset from {path}: {exc}") from exc
+    except KeyError as exc:
+        raise DatasetError(f"npz dataset missing field {exc}") from exc
+    except (ValueError, zipfile.BadZipFile) as exc:
+        raise DatasetError(f"{path} is not a dataset npz archive: {exc}") from exc
+    links = arrays.pop("links").astype(np.intp)
+    return MappedDataset(
+        label=label,
+        kind=kind,
+        links=links if links.size else np.empty((0, 2), dtype=np.intp),
+        **arrays,
+    )
+
+
+def save_dataset(
+    dataset: MappedDataset, path: str | Path, format: str = "auto"
+) -> None:
+    """Write a dataset in the format named or implied by ``path``.
+
+    ``format`` may be ``"json"``, ``"npz"``, ``"csv"``, or ``"auto"``
+    (dispatch on the extension; anything that is not ``.json``/``.npz``
+    is treated as a CSV-pair directory).
+
+    Raises:
+        DatasetError: on an unknown format name.
+    """
+    resolved = _resolve_format(path, format)
+    if resolved == "json":
+        save_dataset_json(dataset, path)
+    elif resolved == "npz":
+        save_dataset_npz(dataset, path)
+    else:
+        save_dataset_csv(dataset, path)
+
+
+def load_dataset(
+    path: str | Path,
+    format: str = "auto",
+    label: str = "csv import",
+    kind: str = "skitter",
+) -> MappedDataset:
+    """Read a dataset in the format named or implied by ``path``.
+
+    ``label``/``kind`` apply only to the CSV pair, which does not store
+    them.
+
+    Raises:
+        DatasetError: on an unknown format or an unreadable file.
+    """
+    resolved = _resolve_format(path, format)
+    if resolved == "json":
+        return load_dataset_json(path)
+    if resolved == "npz":
+        return load_dataset_npz(path)
+    return load_dataset_csv(path, label=label, kind=kind)
+
+
+def _resolve_format(path: str | Path, format: str) -> str:
+    if format == "auto":
+        suffix = Path(path).suffix.lower()
+        if suffix == ".json":
+            return "json"
+        if suffix == ".npz":
+            return "npz"
+        return "csv"
+    if format not in ("json", "npz", "csv"):
+        raise DatasetError(f"unknown dataset format {format!r}")
+    return format
 
 
 def save_dataset_csv(dataset: MappedDataset, directory: str | Path) -> None:

@@ -66,3 +66,11 @@ class CacheError(ReproError):
 
 class ReportError(ReproError):
     """A run report is missing, malformed, or fails schema validation."""
+
+
+class ServeError(ReproError):
+    """The snapshot query service was misused or refused a request."""
+
+
+class OverloadError(ServeError):
+    """The service shed a request because a bounded queue was full."""

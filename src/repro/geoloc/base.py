@@ -16,6 +16,7 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from repro.config import GeolocConfig
+from repro.errors import GeolocationError
 from repro.obs import current_metrics
 from repro.obs import span as obs_span
 from repro.geo.coords import GeoPoint
@@ -140,24 +141,51 @@ def locate_batch(
     predate the batch API (duck-typed, so third-party locators keep
     working unchanged).
 
+    Repeated addresses within one batch are resolved **once**: the tool
+    sees each distinct address a single time (first-occurrence order)
+    and every duplicate input receives that one result.  This keeps the
+    query server's micro-batcher from geolocating the same IP twice per
+    flush, and makes duplicate inputs deterministic even for tools with
+    per-call randomness.  The pipeline's batches never contain
+    duplicates, so its RNG consumption (and every golden value) is
+    unchanged.
+
     When observability is active (``repro.obs``), each batch runs in a
     ``geoloc.locate_batch`` span and records batch size, per-source
-    resolution counters (``geoloc.method.<method>``), and the
-    unknown-location residual (``geoloc.unmapped``).
+    resolution counters (``geoloc.method.<method>``), the
+    unknown-location residual (``geoloc.unmapped``), and the number of
+    duplicate lookups saved (``geoloc.dedup_saved``).
     """
     tool = getattr(geolocator, "name", type(geolocator).__name__)
+    unique: list[int] = []
+    seen: dict[int, int] = {}
+    for address in addresses:
+        if address not in seen:
+            seen[address] = len(unique)
+            unique.append(address)
+    n_duplicates = len(addresses) - len(unique)
     with obs_span(
-        "geoloc.locate_batch", tool=tool, batch_size=len(addresses)
+        "geoloc.locate_batch",
+        tool=tool,
+        batch_size=len(addresses),
+        unique=len(unique),
     ):
         locate_many = getattr(geolocator, "locate_many", None)
         if locate_many is not None:
-            results = list(locate_many(addresses))
+            unique_results = list(locate_many(unique))
         else:
-            results = [geolocator.locate(address) for address in addresses]
+            unique_results = [geolocator.locate(address) for address in unique]
+    if len(unique_results) != len(unique):
+        raise GeolocationError(
+            f"{tool} returned {len(unique_results)} results "
+            f"for {len(unique)} addresses"
+        )
+    results = [unique_results[seen[address]] for address in addresses]
     metrics = current_metrics()
     if metrics is not None:
         metrics.counter("geoloc.batches").add(1)
         metrics.counter("geoloc.addresses").add(len(results))
+        metrics.counter("geoloc.dedup_saved").add(n_duplicates)
         metrics.histogram("geoloc.batch_size").observe(len(results))
         by_method = Counter(result.method for result in results)
         for method, count in by_method.items():

@@ -1,0 +1,40 @@
+"""Online query service over built snapshots.
+
+The paper's processed datasets were shareable artefacts queried
+repeatedly for per-address geolocation, origin-AS, and link-distance
+questions; this package turns a serialized
+:class:`~repro.datasets.mapped.MappedDataset` into a live, concurrent
+query service:
+
+- :mod:`repro.serve.index` — :class:`SnapshotIndex`: O(1)/O(log n)
+  lookup structures built once per snapshot;
+- :mod:`repro.serve.cache` — :class:`LruCache`: the response cache;
+- :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces
+  concurrent point lookups into vectorised batches;
+- :mod:`repro.serve.server` — :class:`SnapshotServer`: the threaded
+  HTTP endpoint with backpressure;
+- :mod:`repro.serve.client` — :class:`SnapshotClient`: a small stdlib
+  client honouring the 503/Retry-After contract.
+
+``repro serve`` / ``repro query`` are the CLI entry points;
+``benchmarks/bench_serve.py`` is the load generator.
+"""
+
+from repro.errors import OverloadError, ServeError
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import LruCache
+from repro.serve.client import QueryError, SnapshotClient
+from repro.serve.index import AsSummary, SnapshotIndex
+from repro.serve.server import SnapshotServer
+
+__all__ = [
+    "AsSummary",
+    "LruCache",
+    "MicroBatcher",
+    "OverloadError",
+    "QueryError",
+    "ServeError",
+    "SnapshotClient",
+    "SnapshotIndex",
+    "SnapshotServer",
+]

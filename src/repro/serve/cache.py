@@ -1,0 +1,79 @@
+"""Thread-safe LRU response cache.
+
+The query server caches *rendered responses* keyed on
+``(endpoint, params, snapshot_hash)`` — the snapshot hash is part of the
+key so a server restarted over a different snapshot can never serve
+stale bytes, and entries need no invalidation (the index is immutable).
+
+Implementation is a plain ``OrderedDict`` under one lock; the values the
+server stores are small serialized payloads, so capacity is a count, not
+a byte budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.errors import ServeError
+
+
+class LruCache:
+    """A bounded mapping that evicts the least recently used entry."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServeError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit (refreshing recency), else ``(False, None)``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return True, self._entries[key]
+            self._misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the oldest when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Number of cache hits so far."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of cache misses so far."""
+        with self._lock:
+            return self._misses
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss/occupancy summary."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": (self._hits / total) if total else 0.0,
+            }

@@ -1,0 +1,122 @@
+"""Small stdlib client for the snapshot query service.
+
+Used by ``repro query`` (one-shot CLI calls), the CI smoke script, and
+the serve benchmark's correctness checks.  It speaks plain
+``urllib.request``, parses the JSON error envelope, and honours the
+server's backpressure contract: a ``503`` is retried after the
+advertised ``Retry-After`` delay, up to a retry budget, before
+surfacing as :class:`OverloadError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any
+
+from repro.errors import OverloadError, ServeError
+
+
+class QueryError(ServeError):
+    """A non-retryable error response (4xx) from the query service.
+
+    Attributes:
+        status: the HTTP status code.
+        payload: the decoded JSON error envelope.
+    """
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class SnapshotClient:
+    """One-connection-per-call JSON client for a :class:`SnapshotServer`."""
+
+    def __init__(
+        self, base_url: str, timeout_s: float = 10.0, max_retries: int = 3
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+
+    def get(self, endpoint: str, **params: Any) -> dict:
+        """GET one endpoint with query parameters; returns decoded JSON.
+
+        Raises:
+            QueryError: on a 4xx response.
+            OverloadError: when the server keeps shedding past the
+                retry budget.
+            ServeError: on transport failures or undecodable payloads.
+        """
+        target = "/" + endpoint.lstrip("/")
+        if params:
+            target += "?" + urllib.parse.urlencode(params)
+        url = self.base_url + target
+        shed = 0
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=self.timeout_s) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                body = exc.read().decode("utf-8", errors="replace")
+                try:
+                    payload = json.loads(body)
+                except json.JSONDecodeError:
+                    payload = {"error": body}
+                if exc.code == 503:
+                    shed += 1
+                    if shed > self.max_retries:
+                        raise OverloadError(
+                            f"server still shedding after {shed} attempts: "
+                            f"{payload.get('error')}"
+                        ) from exc
+                    retry_after = exc.headers.get("Retry-After")
+                    time.sleep(min(float(retry_after or 1.0), 5.0))
+                    continue
+                raise QueryError(exc.code, payload) from exc
+            except (urllib.error.URLError, OSError) as exc:
+                raise ServeError(f"cannot reach {url}: {exc}") from exc
+            except json.JSONDecodeError as exc:
+                raise ServeError(f"undecodable response from {url}") from exc
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness probe."""
+        return self.get("healthz")
+
+    def stats(self) -> dict:
+        """Operational counters."""
+        return self.get("stats")
+
+    def locate(self, address: int) -> dict:
+        """Locate one address."""
+        return self.get("locate", address=address)
+
+    def locate_many(self, addresses: list[int]) -> list[dict | None]:
+        """Locate a batch of addresses in one request."""
+        payload = self.get("locate", addresses=",".join(map(str, addresses)))
+        return payload["results"]
+
+    def as_info(self, asn: int) -> dict:
+        """Per-AS summary."""
+        return self.get(f"as/{asn}")
+
+    def near(self, lat: float, lon: float, k: int = 1) -> dict:
+        """k-nearest-node query."""
+        return self.get("near", lat=lat, lon=lon, k=k)
+
+    def within_radius(self, lat: float, lon: float, radius: float) -> dict:
+        """Radius (disc) query."""
+        return self.get("near", lat=lat, lon=lon, radius=radius)
+
+    def distance_preference(self, region: str, d: float | None = None) -> dict:
+        """Section V ``f_hat`` table (or one value at distance ``d``)."""
+        if d is None:
+            return self.get("distance-preference", region=region)
+        return self.get("distance-preference", region=region, d=d)

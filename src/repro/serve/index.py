@@ -1,0 +1,439 @@
+"""Indexed in-memory view of one snapshot, built once, queried many times.
+
+A :class:`SnapshotIndex` loads a serialized :class:`MappedDataset` and
+precomputes every lookup structure the query server needs so request
+handling never touches O(n) scans:
+
+- address -> node row via one sorted-array ``searchsorted`` (O(log n),
+  vectorised for batches);
+- node degree from the link table (one ``bincount`` at build);
+- per-AS summaries (node/location counts, centroid, convex-hull extent,
+  AS-graph degree) computed once for every mapped AS;
+- a grid-bucketed spatial index (the paper's 75-arc-minute patches)
+  backing nearest-node and radius queries by ring search;
+- per-region distance-preference tables (Section V's ``f_hat(d)``),
+  computed lazily on first request and memoised — pair counting is the
+  one genuinely expensive build step, so cold start does not pay it.
+
+The index is immutable after construction and safe for concurrent
+readers; the only mutation is the memoised preference table behind a
+lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.bgp.table import UNMAPPED_ASN
+from repro.core.distance import (
+    N_BINS,
+    PAPER_BIN_MILES,
+    DistancePreference,
+    preference_function,
+)
+from repro.datasets.mapped import MappedDataset
+from repro.errors import AnalysisError, ServeError
+from repro.geo.distance import haversine_miles
+from repro.geo.hull import convex_hull_area
+from repro.geo.projection import WORLD_ALBERS
+from repro.geo.regions import STUDY_REGIONS, Region, WORLD
+from repro.obs.report import dataset_digest
+
+#: Spatial-index cell edge in arc-minutes (the paper's patch size).
+DEFAULT_CELL_ARCMIN = 75.0
+#: Bin width for distance-preference tables of non-paper regions.
+DEFAULT_BIN_MILES = 35.0
+#: Miles per degree of latitude (conservative ring-search bound).
+_MILES_PER_DEG = 69.0
+
+
+@dataclass(frozen=True, slots=True)
+class AsSummary:
+    """Precomputed Section VI facts about one AS.
+
+    Attributes:
+        asn: the autonomous system number.
+        n_nodes: nodes mapped to this AS.
+        n_locations: distinct rounded locations among them.
+        degree: degree in the observed AS graph.
+        centroid_lat, centroid_lon: mean node position.
+        hull_area_sq_miles: convex-hull extent (Albers projection).
+    """
+
+    asn: int
+    n_nodes: int
+    n_locations: int
+    degree: int
+    centroid_lat: float
+    centroid_lon: float
+    hull_area_sq_miles: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready view."""
+        return asdict(self)
+
+
+class SnapshotIndex:
+    """Read-optimised lookup structures over one mapped snapshot."""
+
+    def __init__(
+        self,
+        dataset: MappedDataset,
+        cell_arcmin: float = DEFAULT_CELL_ARCMIN,
+    ) -> None:
+        start = time.perf_counter()
+        self.dataset = dataset
+        self.snapshot_hash = dataset_digest(dataset)
+
+        # Address -> row: one sort at build, binary search per lookup.
+        self._addr_order = np.argsort(dataset.addresses, kind="stable")
+        self._sorted_addresses = dataset.addresses[self._addr_order]
+
+        # Node degree from the link table.
+        self._degrees = np.zeros(dataset.n_nodes, dtype=np.int64)
+        if dataset.n_links:
+            np.add.at(self._degrees, dataset.links.ravel(), 1)
+
+        # Spatial grid: every node bucketed into a 75' world patch.
+        self._region = WORLD
+        self._cell_deg = cell_arcmin / 60.0
+        self._n_rows = max(1, int(np.ceil(self._region.lat_span / self._cell_deg)))
+        self._n_cols = max(1, int(np.ceil(self._region.lon_span / self._cell_deg)))
+        cells = self._cell_of(dataset.lats, dataset.lons)
+        self._cell_order = np.argsort(cells, kind="stable")
+        sorted_cells = cells[self._cell_order]
+        uniq, starts = np.unique(sorted_cells, return_index=True)
+        stops = np.append(starts[1:], sorted_cells.size)
+        self._cell_slices: dict[int, tuple[int, int]] = {
+            int(c): (int(a), int(b)) for c, a, b in zip(uniq, starts, stops)
+        }
+
+        # Per-AS summaries, all computed once.
+        as_degrees = dataset.as_degrees()
+        self._as_nodes: dict[int, np.ndarray] = {}
+        self._as_summaries: dict[int, AsSummary] = {}
+        if dataset.n_nodes:
+            as_order = np.argsort(dataset.asns, kind="stable")
+            sorted_asns = dataset.asns[as_order]
+            a_uniq, a_starts = np.unique(sorted_asns, return_index=True)
+            a_stops = np.append(a_starts[1:], sorted_asns.size)
+            x, y = WORLD_ALBERS.project(dataset.lats, dataset.lons)
+            for asn, lo, hi in zip(a_uniq, a_starts, a_stops):
+                asn = int(asn)
+                if asn == UNMAPPED_ASN:
+                    continue
+                nodes = as_order[lo:hi]
+                self._as_nodes[asn] = nodes
+                keys = np.unique(
+                    np.column_stack(
+                        [
+                            np.round(dataset.lats[nodes], 1),
+                            np.round(dataset.lons[nodes], 1),
+                        ]
+                    ),
+                    axis=0,
+                )
+                self._as_summaries[asn] = AsSummary(
+                    asn=asn,
+                    n_nodes=int(nodes.size),
+                    n_locations=int(keys.shape[0]),
+                    degree=int(as_degrees.get(asn, 0)),
+                    centroid_lat=float(np.mean(dataset.lats[nodes])),
+                    centroid_lon=float(np.mean(dataset.lons[nodes])),
+                    hull_area_sq_miles=convex_hull_area(
+                        np.column_stack([x[nodes], y[nodes]])
+                    ),
+                )
+
+        # Distance-preference tables: lazy, memoised per region.
+        self._pref_lock = threading.Lock()
+        self._pref_tables: dict[str, DistancePreference | AnalysisError] = {}
+
+        self.build_seconds = time.perf_counter() - start
+
+    # -- address lookups -----------------------------------------------------
+
+    def row_of(self, address: int) -> int:
+        """Node row of an address, or -1 when the snapshot lacks it."""
+        pos = int(np.searchsorted(self._sorted_addresses, address))
+        if (
+            pos < self._sorted_addresses.size
+            and self._sorted_addresses[pos] == address
+        ):
+            return int(self._addr_order[pos])
+        return -1
+
+    def rows_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`row_of`: one searchsorted for the whole batch."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        pos = np.searchsorted(self._sorted_addresses, addresses)
+        pos = np.clip(pos, 0, max(self._sorted_addresses.size - 1, 0))
+        if self._sorted_addresses.size == 0:
+            return np.full(addresses.shape, -1, dtype=np.intp)
+        found = self._sorted_addresses[pos] == addresses
+        rows = np.where(found, self._addr_order[pos], -1)
+        return rows.astype(np.intp)
+
+    def node_record(self, row: int) -> dict:
+        """JSON-ready facts about one node row."""
+        ds = self.dataset
+        asn = int(ds.asns[row])
+        return {
+            "address": int(ds.addresses[row]),
+            "lat": float(ds.lats[row]),
+            "lon": float(ds.lons[row]),
+            "asn": None if asn == UNMAPPED_ASN else asn,
+            "degree": int(self._degrees[row]),
+        }
+
+    def locate(self, address: int) -> dict | None:
+        """Coordinates, origin AS, and degree of one address (or None)."""
+        row = self.row_of(address)
+        return None if row < 0 else self.node_record(row)
+
+    def locate_many(self, addresses: list[int]) -> list[dict | None]:
+        """Batch :meth:`locate` through the vectorised row lookup.
+
+        The micro-batcher's flush path: one ``searchsorted`` resolves
+        every address in the batch.
+        """
+        if not addresses:
+            return []
+        rows = self.rows_of(np.asarray(addresses, dtype=np.int64))
+        return [
+            None if row < 0 else self.node_record(int(row)) for row in rows
+        ]
+
+    # -- spatial queries -----------------------------------------------------
+
+    def _cell_of(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Flat grid cell per point; out-of-box points clip to the edge."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        rows = np.clip(
+            np.floor((lats - self._region.south) / self._cell_deg).astype(np.intp),
+            0,
+            self._n_rows - 1,
+        )
+        cols = np.clip(
+            np.floor((lons - self._region.west) / self._cell_deg).astype(np.intp),
+            0,
+            self._n_cols - 1,
+        )
+        return rows * self._n_cols + cols
+
+    def _cell_nodes(self, row: int, col: int) -> np.ndarray:
+        """Node rows bucketed in grid cell (row, col); empty when none."""
+        lo_hi = self._cell_slices.get(row * self._n_cols + col)
+        if lo_hi is None:
+            return np.empty(0, dtype=np.intp)
+        lo, hi = lo_hi
+        return self._cell_order[lo:hi]
+
+    def _ring_nodes(self, row: int, col: int, ring: int) -> np.ndarray:
+        """Node rows in all cells at Chebyshev distance ``ring``."""
+        if ring == 0:
+            return self._cell_nodes(row, col)
+        parts: list[np.ndarray] = []
+        lo_r, hi_r = row - ring, row + ring
+        for c in range(col - ring, col + ring + 1):
+            if 0 <= c < self._n_cols:
+                if lo_r >= 0:
+                    parts.append(self._cell_nodes(lo_r, c))
+                if hi_r < self._n_rows:
+                    parts.append(self._cell_nodes(hi_r, c))
+        for r in range(row - ring + 1, row + ring):
+            if 0 <= r < self._n_rows:
+                if col - ring >= 0:
+                    parts.append(self._cell_nodes(r, col - ring))
+                if col + ring < self._n_cols:
+                    parts.append(self._cell_nodes(r, col + ring))
+        if not parts:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(parts)
+
+    def nearest(self, lat: float, lon: float, k: int = 1) -> list[dict]:
+        """The ``k`` nodes nearest a point, closest first.
+
+        Ring search over the patch grid: rings expand until the best
+        ``k`` exact distances cannot be beaten by any unexplored cell.
+
+        Raises:
+            ServeError: on an invalid coordinate or ``k``.
+        """
+        lat, lon = _check_point(lat, lon)
+        if k < 1:
+            raise ServeError(f"k must be >= 1, got {k}")
+        if self.dataset.n_nodes == 0:
+            return []
+        query_cell = self._cell_of(np.array([lat]), np.array([lon]))[0]
+        row, col = divmod(int(query_cell), self._n_cols)
+        # Conservative miles-per-cell along the narrower (east-west) axis.
+        cos_lat = max(0.05, float(np.cos(np.radians(min(abs(lat), 85.0)))))
+        min_edge = self._cell_deg * _MILES_PER_DEG * cos_lat
+        max_ring = max(self._n_rows, self._n_cols)
+        cand_rows: list[np.ndarray] = []
+        cand_dists: list[np.ndarray] = []
+        n_found = 0
+        for ring in range(max_ring + 1):
+            if n_found >= k:
+                kth = np.sort(np.concatenate(cand_dists))[k - 1]
+                # Any point in an unexplored cell is >= (ring-1) cells out.
+                if kth <= (ring - 1) * min_edge:
+                    break
+            nodes = self._ring_nodes(row, col, ring)
+            if nodes.size:
+                dists = np.asarray(
+                    haversine_miles(
+                        lat, lon, self.dataset.lats[nodes], self.dataset.lons[nodes]
+                    )
+                )
+                cand_rows.append(nodes)
+                cand_dists.append(dists)
+                n_found += nodes.size
+        all_rows = np.concatenate(cand_rows)
+        all_dists = np.concatenate(cand_dists)
+        order = np.argsort(all_dists, kind="stable")[:k]
+        return [
+            {**self.node_record(int(all_rows[i])), "miles": float(all_dists[i])}
+            for i in order
+        ]
+
+    def within_radius(
+        self, lat: float, lon: float, radius_miles: float, limit: int = 1000
+    ) -> list[dict]:
+        """All nodes within ``radius_miles`` of a point, closest first.
+
+        Raises:
+            ServeError: on an invalid coordinate or radius.
+        """
+        lat, lon = _check_point(lat, lon)
+        if not np.isfinite(radius_miles) or radius_miles <= 0:
+            raise ServeError(f"radius must be positive, got {radius_miles}")
+        if self.dataset.n_nodes == 0:
+            return []
+        query_cell = self._cell_of(np.array([lat]), np.array([lon]))[0]
+        row, col = divmod(int(query_cell), self._n_cols)
+        radius_deg = radius_miles / _MILES_PER_DEG
+        reach_lat = min(abs(lat) + radius_deg, 85.0)
+        cos_lat = max(0.05, float(np.cos(np.radians(reach_lat))))
+        d_rows = int(np.ceil(radius_deg / self._cell_deg)) + 1
+        d_cols = int(np.ceil(radius_deg / (self._cell_deg * cos_lat))) + 1
+        parts: list[np.ndarray] = []
+        for r in range(max(0, row - d_rows), min(self._n_rows, row + d_rows + 1)):
+            for c in range(max(0, col - d_cols), min(self._n_cols, col + d_cols + 1)):
+                nodes = self._cell_nodes(r, c)
+                if nodes.size:
+                    parts.append(nodes)
+        if not parts:
+            return []
+        nodes = np.concatenate(parts)
+        dists = np.asarray(
+            haversine_miles(
+                lat, lon, self.dataset.lats[nodes], self.dataset.lons[nodes]
+            )
+        )
+        keep = dists <= radius_miles
+        nodes, dists = nodes[keep], dists[keep]
+        order = np.argsort(dists, kind="stable")[:limit]
+        return [
+            {**self.node_record(int(nodes[i])), "miles": float(dists[i])}
+            for i in order
+        ]
+
+    # -- AS summaries --------------------------------------------------------
+
+    def as_summary(self, asn: int) -> AsSummary | None:
+        """The precomputed summary of one AS (None when unknown)."""
+        return self._as_summaries.get(asn)
+
+    def as_nodes(self, asn: int) -> np.ndarray:
+        """Node rows mapped to an AS (empty when unknown)."""
+        return self._as_nodes.get(asn, np.empty(0, dtype=np.intp))
+
+    @property
+    def n_ases(self) -> int:
+        """Number of mapped ASes in the snapshot."""
+        return len(self._as_summaries)
+
+    # -- distance preference -------------------------------------------------
+
+    def distance_preference(self, region: Region) -> DistancePreference:
+        """The memoised ``f_hat(d)`` table for a region.
+
+        The first call per region pays the pair-counting cost; later
+        calls (and :meth:`f_of_d`) are dictionary hits.
+
+        Raises:
+            AnalysisError: when the region holds too few nodes; the
+                failure itself is memoised so retries stay cheap.
+        """
+        with self._pref_lock:
+            cached = self._pref_tables.get(region.name)
+        if cached is None:
+            bin_miles = PAPER_BIN_MILES.get(region.name, DEFAULT_BIN_MILES)
+            try:
+                cached = preference_function(
+                    self.dataset, region, bin_miles, n_bins=N_BINS
+                )
+            except AnalysisError as exc:
+                cached = exc
+            with self._pref_lock:
+                cached = self._pref_tables.setdefault(region.name, cached)
+        if isinstance(cached, AnalysisError):
+            raise cached
+        return cached
+
+    def f_of_d(self, region: Region, d: float) -> float | None:
+        """``f_hat`` at distance ``d`` (None outside the populated range).
+
+        Raises:
+            AnalysisError: when the region has no preference table.
+            ServeError: on a negative distance.
+        """
+        if not np.isfinite(d) or d < 0:
+            raise ServeError(f"distance must be >= 0, got {d}")
+        pref = self.distance_preference(region)
+        b = int(d // pref.bin_miles)
+        if b >= pref.f_hat.size or pref.pair_counts[b] == 0:
+            return None
+        value = float(pref.f_hat[b])
+        return value if np.isfinite(value) else None
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def preferred_regions(self) -> tuple[Region, ...]:
+        """Regions the distance-preference endpoint understands."""
+        return STUDY_REGIONS
+
+    def stats(self) -> dict:
+        """JSON-ready index facts for ``/stats``."""
+        return {
+            "label": self.dataset.label,
+            "kind": self.dataset.kind,
+            "snapshot_hash": self.snapshot_hash,
+            "n_nodes": self.dataset.n_nodes,
+            "n_links": self.dataset.n_links,
+            "n_ases": self.n_ases,
+            "n_grid_cells": len(self._cell_slices),
+            "build_seconds": round(self.build_seconds, 6),
+            "preference_tables": sorted(
+                name
+                for name, value in self._pref_tables.items()
+                if not isinstance(value, AnalysisError)
+            ),
+        }
+
+
+def _check_point(lat: float, lon: float) -> tuple[float, float]:
+    lat, lon = float(lat), float(lon)
+    if not (np.isfinite(lat) and -90.0 <= lat <= 90.0):
+        raise ServeError(f"latitude out of range: {lat}")
+    if not (np.isfinite(lon) and -180.0 <= lon <= 180.0):
+        raise ServeError(f"longitude out of range: {lon}")
+    return lat, lon

@@ -1,0 +1,513 @@
+"""Concurrent snapshot query server (stdlib sockets only).
+
+:class:`SnapshotServer` exposes one :class:`~repro.serve.index.SnapshotIndex`
+over a small JSON/HTTP protocol:
+
+==============================  ==============================================
+endpoint                        answers
+==============================  ==============================================
+``/locate?address=N``           coordinates, origin AS, degree of one address
+``/locate?addresses=a,b,c``     the batch form (one vectorised lookup)
+``/as/<asn>``                   per-AS summary: nodes, locations, hull, degree
+``/near?lat=&lon=&k=``          k nearest nodes (``radius=`` for a disc query)
+``/distance-preference?region=``  Section V ``f_hat(d)`` (``d=`` for one value)
+``/healthz``                    liveness (never shed)
+``/stats``                      cache/batcher/index/metrics counters (never shed)
+==============================  ==============================================
+
+Three load-management layers keep the service responsive instead of
+collapsing under pressure:
+
+- **response cache** — an LRU keyed on ``(request target, snapshot
+  hash)`` serves repeated queries without touching the index;
+- **micro-batching** — concurrent ``/locate`` cache misses coalesce
+  into one vectorised ``locate_many`` flush
+  (:mod:`repro.serve.batcher`);
+- **backpressure** — both the in-flight request count and the batcher
+  queue are bounded; beyond either bound the server sheds with
+  ``503`` + ``Retry-After`` while ``/healthz`` keeps answering.
+
+HTTP handling is a deliberately minimal HTTP/1.1 subset over
+``socketserver.ThreadingTCPServer`` (GET only, keep-alive, explicit
+``Content-Length``) — ``BaseHTTPRequestHandler``'s header parsing costs
+more than the queries themselves at the request rates the benchmark
+drives.
+
+Instrumentation goes through :mod:`repro.obs`: per-endpoint request
+counters and latency histograms, shed counters, cache hit/miss
+counters, and a queue-depth gauge land in a
+:class:`~repro.obs.metrics.MetricsRegistry`; :meth:`SnapshotServer.stats_report`
+bundles them into a schema-valid, RunReport-compatible snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from typing import Any
+from urllib.parse import unquote_plus
+
+from repro.errors import (
+    AnalysisError,
+    GeoError,
+    OverloadError,
+    ReportError,
+    ServeError,
+)
+from repro.geo.regions import region_by_name
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import RunReport, validate_report
+from repro.obs.trace import Tracer
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import LruCache
+from repro.serve.index import SnapshotIndex
+
+#: Endpoints exempt from admission control: the service must stay
+#: observable exactly when it is shedding everything else.
+_ALWAYS_ADMIT = ("healthz", "stats")
+
+_JSON_HEADERS = b"Content-Type: application/json\r\n"
+
+
+class SnapshotServer:
+    """A threaded HTTP query server over one immutable snapshot index."""
+
+    def __init__(
+        self,
+        index: SnapshotIndex,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 8192,
+        max_inflight: int = 64,
+        max_pending: int = 4096,
+        max_batch: int = 512,
+        batch_window_s: float = 0.002,
+        retry_after_s: int = 1,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.index = index
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.cache = LruCache(cache_size)
+        self.batcher = MicroBatcher(
+            index.locate_many,
+            max_batch=max_batch,
+            max_wait_s=batch_window_s,
+            max_pending=max_pending,
+        )
+        self._max_inflight = max_inflight
+        self._retry_after_s = retry_after_s
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._started_unix = time.time()
+        self._httpd = _TcpServer((host, port), _Handler)
+        self._httpd.app = self
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the actual one when constructed with port 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SnapshotServer":
+        """Serve in a background thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down cleanly: stop accepting, then drain the batcher."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.batcher.close()
+
+    def __enter__(self) -> "SnapshotServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- admission control ---------------------------------------------------
+
+    def _admit(self) -> bool:
+        with self._inflight_lock:
+            if self._inflight >= self._max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being processed (shed-able endpoints)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def retry_after_s(self) -> int:
+        """Seconds clients are told to back off when shed."""
+        return self._retry_after_s
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle_target(self, target: str) -> tuple[int, bytes]:
+        """Answer one GET target; returns ``(status, json_body_bytes)``."""
+        path, _, raw_query = target.partition("?")
+        endpoint = _endpoint_of(path)
+        start = time.perf_counter()
+        shed_able = endpoint not in _ALWAYS_ADMIT
+        admitted = False
+        try:
+            if shed_able:
+                admitted = self._admit()
+                if not admitted:
+                    self.metrics.counter("serve.shed").add(1)
+                    return 503, _encode(
+                        {
+                            "error": "over capacity",
+                            "retry_after_s": self._retry_after_s,
+                        }
+                    )
+            if shed_able:
+                hit, cached = self.cache.get((target, self.index.snapshot_hash))
+                if hit:
+                    self.metrics.counter("serve.cache.hits").add(1)
+                    return 200, cached
+                self.metrics.counter("serve.cache.misses").add(1)
+            try:
+                if self.tracer is not None and shed_able:
+                    with self.tracer.span(f"serve.{endpoint}"):
+                        status, payload = self._dispatch(endpoint, path, raw_query)
+                else:
+                    status, payload = self._dispatch(endpoint, path, raw_query)
+            except OverloadError as exc:
+                self.metrics.counter("serve.shed").add(1)
+                return 503, _encode(
+                    {"error": str(exc), "retry_after_s": self._retry_after_s}
+                )
+            except ServeError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except (AnalysisError, GeoError) as exc:
+                status, payload = 404, {"error": str(exc)}
+            body = _encode(payload)
+            if shed_able and status == 200:
+                self.cache.put((target, self.index.snapshot_hash), body)
+            return status, body
+        finally:
+            if admitted:
+                self._release()
+            self.metrics.counter(f"serve.requests.{endpoint}").add(1)
+            self.metrics.histogram(f"serve.latency_ms.{endpoint}").observe(
+                (time.perf_counter() - start) * 1e3
+            )
+
+    def _dispatch(
+        self, endpoint: str, path: str, raw_query: str
+    ) -> tuple[int, Any]:
+        params = _parse_query(raw_query)
+        if endpoint == "healthz":
+            return 200, {
+                "status": "ok",
+                "snapshot_hash": self.index.snapshot_hash,
+                "uptime_s": round(time.time() - self._started_unix, 3),
+            }
+        if endpoint == "stats":
+            return 200, self.stats()
+        if endpoint == "locate":
+            return self._handle_locate(params)
+        if endpoint == "as":
+            return self._handle_as(path)
+        if endpoint == "near":
+            return self._handle_near(params)
+        if endpoint == "distance-preference":
+            return self._handle_preference(params)
+        return 404, {"error": f"unknown endpoint {path!r}"}
+
+    def _handle_locate(self, params: dict[str, str]) -> tuple[int, Any]:
+        if "addresses" in params:
+            addresses = [
+                _int_param(part, "addresses")
+                for part in params["addresses"].split(",")
+                if part
+            ]
+            if not addresses:
+                raise ServeError("addresses must be a comma-separated list")
+            results = self.index.locate_many(addresses)
+            return 200, {"results": results}
+        if "address" not in params:
+            raise ServeError("locate requires ?address=N (or ?addresses=a,b)")
+        address = _int_param(params["address"], "address")
+        # Cache miss path: coalesce with concurrent misses in one flush.
+        future = self.batcher.submit(address)
+        self.metrics.gauge("serve.queue_depth").set(self.batcher.queue_depth)
+        record = future.result()
+        if record is None:
+            return 404, {"error": f"address {address} is not in this snapshot"}
+        return 200, record
+
+    def _handle_as(self, path: str) -> tuple[int, Any]:
+        _, _, tail = path.lstrip("/").partition("/")
+        if not tail:
+            raise ServeError("expected /as/<asn>")
+        asn = _int_param(tail, "asn")
+        summary = self.index.as_summary(asn)
+        if summary is None:
+            return 404, {"error": f"AS {asn} is not in this snapshot"}
+        nodes = self.index.as_nodes(asn)
+        sample = [
+            int(self.index.dataset.addresses[row]) for row in nodes[:5]
+        ]
+        return 200, {**summary.to_dict(), "sample_addresses": sample}
+
+    def _handle_near(self, params: dict[str, str]) -> tuple[int, Any]:
+        if "lat" not in params or "lon" not in params:
+            raise ServeError("near requires ?lat=&lon=")
+        lat = _float_param(params["lat"], "lat")
+        lon = _float_param(params["lon"], "lon")
+        if "radius" in params:
+            radius = _float_param(params["radius"], "radius")
+            limit = _int_param(params.get("limit", "1000"), "limit")
+            results = self.index.within_radius(lat, lon, radius, limit=limit)
+            query = {"lat": lat, "lon": lon, "radius": radius}
+        else:
+            k = _int_param(params.get("k", "1"), "k")
+            results = self.index.nearest(lat, lon, k=k)
+            query = {"lat": lat, "lon": lon, "k": k}
+        return 200, {"query": query, "results": results}
+
+    def _handle_preference(self, params: dict[str, str]) -> tuple[int, Any]:
+        name = params.get("region")
+        if not name:
+            raise ServeError(
+                "distance-preference requires ?region= (e.g. US, Europe, Japan)"
+            )
+        region = region_by_name(name)
+        pref = self.index.distance_preference(region)
+        payload: dict[str, Any] = {
+            "region": pref.region,
+            "bin_miles": pref.bin_miles,
+            "n_nodes": pref.n_nodes,
+            "n_bins": int(pref.bin_left.size),
+        }
+        if "d" in params:
+            d = _float_param(params["d"], "d")
+            payload["d"] = d
+            payload["f_hat"] = self.index.f_of_d(region, d)
+        else:
+            f_hat = [
+                (float(v) if v == v else None) for v in pref.f_hat.tolist()
+            ]
+            payload["bin_left"] = pref.bin_left.tolist()
+            payload["f_hat"] = f_hat
+            payload["link_counts"] = pref.link_counts.tolist()
+            payload["pair_counts"] = pref.pair_counts.tolist()
+        return 200, payload
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready operational counters for ``/stats``."""
+        return {
+            "index": self.index.stats(),
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+            "inflight": self.inflight,
+            "max_inflight": self._max_inflight,
+            "uptime_s": round(time.time() - self._started_unix, 3),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def stats_report(self) -> RunReport:
+        """The server's counters as a schema-valid :class:`RunReport`.
+
+        The snapshot is listed as the single artifact (label -> content
+        hash) and every serve counter/histogram lands in ``metrics``, so
+        ``repro report show`` / ``report diff`` work on service stats
+        exactly as on pipeline runs.
+
+        Raises:
+            ReportError: if the assembled report fails schema validation
+                (a bug guard, not an expected path).
+        """
+        report = RunReport(
+            seed=0,
+            config={
+                "service": "snapshot-query",
+                "snapshot_label": self.index.dataset.label,
+                "snapshot_hash": self.index.snapshot_hash,
+                "host": self.host,
+                "port": self.port,
+                "max_inflight": self._max_inflight,
+                "cache_capacity": self.cache.capacity,
+            },
+            metrics=self.metrics.snapshot(),
+            spans=self.tracer.to_dicts() if self.tracer is not None else [],
+            artifacts={self.index.dataset.label: self.index.snapshot_hash},
+            created_unix=time.time(),
+        )
+        errors = validate_report(report.to_dict())
+        if errors:
+            raise ReportError(
+                "serve stats report failed validation: " + "; ".join(errors[:3])
+            )
+        return report
+
+
+# --- transport layer ---------------------------------------------------------
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP server with a bounded accept backlog."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    request_queue_size = 128
+    app: SnapshotServer  # attached right after construction
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """Minimal HTTP/1.1 GET handler (keep-alive, explicit lengths).
+
+    Parsing is by hand because this loop *is* the hot path: the standard
+    ``BaseHTTPRequestHandler`` spends more time in ``email``-based header
+    parsing than the index spends answering the query.
+    """
+
+    timeout = 60
+    wbufsize = -1  # fully buffered writes; one flush per response
+
+    def handle(self) -> None:
+        app = self.server.app  # type: ignore[attr-defined]
+        try:
+            while True:
+                line = self.rfile.readline(8192)
+                if not line or line in (b"\r\n", b"\n"):
+                    return
+                try:
+                    method, target, version = (
+                        line.decode("latin-1").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    self._respond(400, b'{"error": "malformed request line"}', False)
+                    return
+                keep_alive = version == "HTTP/1.1"
+                while True:  # drain headers, watching only Connection:
+                    header = self.rfile.readline(8192)
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    lowered = header.decode("latin-1").strip().lower()
+                    if lowered.startswith("connection:"):
+                        value = lowered.partition(":")[2].strip()
+                        keep_alive = value != "close" and (
+                            keep_alive or value == "keep-alive"
+                        )
+                if method != "GET":
+                    self._respond(
+                        405, b'{"error": "only GET is supported"}', keep_alive
+                    )
+                else:
+                    status, body = app.handle_target(target)
+                    extra = (
+                        f"Retry-After: {app.retry_after_s}\r\n".encode()
+                        if status == 503
+                        else b""
+                    )
+                    self._respond(status, body, keep_alive, extra)
+                if not keep_alive:
+                    return
+        except (TimeoutError, socket.timeout, ConnectionError, BrokenPipeError):
+            return
+
+    def _respond(
+        self, status: int, body: bytes, keep_alive: bool, extra: bytes = b""
+    ) -> None:
+        reason = _REASONS.get(status, "OK")
+        connection = b"keep-alive" if keep_alive else b"close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n".encode()
+            + _JSON_HEADERS
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: "
+            + connection
+            + b"\r\n"
+            + extra
+            + b"\r\n"
+        )
+        self.wfile.write(head + body)
+        self.wfile.flush()
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+# --- small helpers -----------------------------------------------------------
+
+
+def _encode(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _endpoint_of(path: str) -> str:
+    head = path.lstrip("/").split("/", 1)[0]
+    return head or "root"
+
+
+def _parse_query(raw_query: str) -> dict[str, str]:
+    if not raw_query:
+        return {}
+    params: dict[str, str] = {}
+    for piece in raw_query.split("&"):
+        key, _, value = piece.partition("=")
+        if "%" in value or "+" in value:
+            value = unquote_plus(value)
+        params[key] = value
+    return params
+
+
+def _int_param(value: str, name: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ServeError(f"{name} must be an integer, got {value!r}") from None
+
+
+def _float_param(value: str, name: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ServeError(f"{name} must be a number, got {value!r}") from None

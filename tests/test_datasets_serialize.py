@@ -1,18 +1,22 @@
-"""Tests for repro.datasets.serialize (JSON/CSV round trips)."""
+"""Tests for repro.datasets.serialize (JSON/CSV/npz round trips)."""
 
 import json
 
 import numpy as np
 import pytest
 
-from repro.datasets.mapped import MappedDataset
+from repro.datasets.mapped import UNMAPPED_ASN, MappedDataset
 from repro.datasets.serialize import (
     dataset_from_dict,
     dataset_to_dict,
+    load_dataset,
     load_dataset_csv,
     load_dataset_json,
+    load_dataset_npz,
+    save_dataset,
     save_dataset_csv,
     save_dataset_json,
+    save_dataset_npz,
 )
 from repro.errors import DatasetError
 
@@ -27,6 +31,43 @@ def _dataset() -> MappedDataset:
         asns=np.array([100, 100, 200], dtype=np.int64),
         links=np.array([[0, 1], [1, 2]], dtype=np.intp),
     )
+
+
+def _unmapped_dataset() -> MappedDataset:
+    """Two nodes whose origin AS could not be resolved (sentinel -1)."""
+    return MappedDataset(
+        label="partially mapped",
+        kind="skitter",
+        addresses=np.array([3, 7, 12, 20], dtype=np.int64),
+        lats=np.array([10.0, 20.0, 30.0, 40.0]),
+        lons=np.array([5.0, 15.0, 25.0, 35.0]),
+        asns=np.array([42, UNMAPPED_ASN, 42, UNMAPPED_ASN], dtype=np.int64),
+        links=np.array([[0, 1], [2, 3], [0, 3]], dtype=np.intp),
+    )
+
+
+def _empty_links_dataset() -> MappedDataset:
+    return MappedDataset(
+        label="nolinks",
+        kind="skitter",
+        addresses=np.array([1], dtype=np.int64),
+        lats=np.array([0.0]),
+        lons=np.array([0.0]),
+        asns=np.array([1], dtype=np.int64),
+        links=np.empty((0, 2), dtype=np.intp),
+    )
+
+
+def _assert_identical(again: MappedDataset, ds: MappedDataset) -> None:
+    """Lossless round trip: every field bit-identical."""
+    assert again.label == ds.label
+    assert again.kind == ds.kind
+    assert np.array_equal(again.addresses, ds.addresses)
+    assert np.array_equal(again.lats, ds.lats)
+    assert np.array_equal(again.lons, ds.lons)
+    assert np.array_equal(again.asns, ds.asns)
+    assert np.array_equal(again.links, ds.links)
+    assert again.links.shape == ds.links.shape
 
 
 class TestJsonRoundTrip:
@@ -112,3 +153,95 @@ class TestCsvRoundTrip:
         assert again.n_nodes == ds.n_nodes
         assert again.n_links == ds.n_links
         assert again.n_locations == ds.n_locations
+
+
+class TestNpzRoundTrip:
+    def test_npz_round_trip_lossless(self, tmp_path):
+        ds = _dataset()
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(ds, path)
+        _assert_identical(load_dataset_npz(path), ds)
+
+    def test_unmapped_asn_round_trip(self, tmp_path):
+        ds = _unmapped_dataset()
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(ds, path)
+        again = load_dataset_npz(path)
+        _assert_identical(again, ds)
+        assert np.count_nonzero(again.asns == UNMAPPED_ASN) == 2
+
+    def test_empty_links_round_trip(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(_empty_links_dataset(), path)
+        again = load_dataset_npz(path)
+        assert again.n_links == 0
+        assert again.links.shape == (0, 2)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset_npz(tmp_path / "absent.npz")
+
+    def test_corrupt_archive_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a zip archive")
+        with pytest.raises(DatasetError):
+            load_dataset_npz(path)
+
+    def test_missing_array_rejected(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(path, addresses=np.array([1], dtype=np.int64))
+        with pytest.raises(DatasetError):
+            load_dataset_npz(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        ds = _dataset()
+        path = tmp_path / "future.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(999),
+            label=np.asarray(ds.label),
+            kind=np.asarray(ds.kind),
+            addresses=ds.addresses,
+            lats=ds.lats,
+            lons=ds.lons,
+            asns=ds.asns,
+            links=np.asarray(ds.links, dtype=np.int64).reshape(-1, 2),
+        )
+        with pytest.raises(DatasetError):
+            load_dataset_npz(path)
+
+    def test_pipeline_dataset_round_trips(self, pipeline_small, tmp_path):
+        ds = pipeline_small.dataset("IxMapper", "Skitter")
+        path = tmp_path / "full.npz"
+        save_dataset_npz(ds, path)
+        _assert_identical(load_dataset_npz(path), ds)
+
+
+class TestFormatDispatch:
+    @pytest.mark.parametrize("name", ["ds.json", "ds.npz", "csvdir"])
+    def test_auto_round_trip_all_formats(self, tmp_path, name):
+        ds = _unmapped_dataset()
+        path = tmp_path / name
+        save_dataset(ds, path)
+        again = load_dataset(path, label=ds.label, kind=ds.kind)
+        _assert_identical(again, ds)
+
+    @pytest.mark.parametrize("fmt", ["json", "npz", "csv"])
+    def test_explicit_format_overrides_extension(self, tmp_path, fmt):
+        ds = _dataset()
+        path = tmp_path / "snapshot.dat"
+        save_dataset(ds, path, format=fmt)
+        again = load_dataset(path, format=fmt, label=ds.label, kind=ds.kind)
+        assert np.array_equal(again.addresses, ds.addresses)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            save_dataset(_dataset(), tmp_path / "x.json", format="parquet")
+
+    @pytest.mark.parametrize("name", ["ds.json", "ds.npz", "csvdir"])
+    def test_empty_links_all_formats(self, tmp_path, name):
+        ds = _empty_links_dataset()
+        path = tmp_path / name
+        save_dataset(ds, path)
+        again = load_dataset(path, label=ds.label, kind=ds.kind)
+        assert again.n_links == 0 and again.links.shape == (0, 2)

@@ -237,6 +237,84 @@ class TestLocateMany:
         assert len(locate_batch(Minimal(), [1, 2])) == 2
 
 
+class TestLocateBatchDedup:
+    """Duplicate addresses within one batch hit the tool only once."""
+
+    class Recording:
+        """Scripted locator counting how often each address is resolved."""
+
+        name = "Recording"
+
+        def __init__(self):
+            self.calls: list[int] = []
+
+        def locate_many(self, addresses):
+            from repro.geo.coords import GeoPoint
+            from repro.geoloc.base import MappingResult
+
+            self.calls.extend(addresses)
+            return [
+                MappingResult(
+                    location=GeoPoint(float(a % 90), float(a % 180)),
+                    method=METHOD_HOSTNAME,
+                )
+                for a in addresses
+            ]
+
+    def test_duplicates_resolved_once(self):
+        from repro.geoloc.base import locate_batch
+
+        tool = self.Recording()
+        batch = [7, 3, 7, 7, 9, 3]
+        results = locate_batch(tool, batch)
+        # The tool saw each distinct address once, first-occurrence order.
+        assert tool.calls == [7, 3, 9]
+        assert len(results) == len(batch)
+        # Every duplicate receives the single computed result.
+        assert results[0] == results[2] == results[3]
+        assert results[1] == results[5]
+        assert results[0].location.lat == 7.0
+        assert results[4].location.lat == 9.0
+
+    def test_no_duplicates_passes_through_unchanged(self):
+        from repro.geoloc.base import locate_batch
+
+        tool = self.Recording()
+        batch = [1, 2, 3]
+        results = locate_batch(tool, batch)
+        assert tool.calls == batch
+        assert [r.location.lat for r in results] == [1.0, 2.0, 3.0]
+
+    def test_batch_semantics_unchanged_for_real_tool(
+        self, toy_context, toy_topology
+    ):
+        """Dedup must not perturb results for duplicate-free batches."""
+        from repro.geoloc.base import locate_batch
+
+        addresses = sorted(toy_topology.interfaces)
+        via_wrapper = locate_batch(
+            IxMapper(toy_context, np.random.default_rng(11), failure_rate=0.3),
+            addresses,
+        )
+        direct = IxMapper(
+            toy_context, np.random.default_rng(11), failure_rate=0.3
+        ).locate_many(addresses)
+        assert via_wrapper == direct
+
+    def test_result_count_mismatch_rejected(self):
+        from repro.errors import GeolocationError
+        from repro.geoloc.base import locate_batch
+
+        class Broken:
+            name = "Broken"
+
+            def locate_many(self, addresses):
+                return []
+
+        with pytest.raises(GeolocationError):
+            locate_batch(Broken(), [1, 2])
+
+
 class TestBuildContext:
     def test_context_from_ground_truth(self, world_small, generated_small):
         topology, plan, _ = generated_small

@@ -1,0 +1,426 @@
+"""Tests for the snapshot query service (repro.serve).
+
+The index is validated against brute-force scans of the same dataset;
+the server tests exercise the real HTTP transport end to end, including
+the cache, micro-batching, and backpressure contracts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.distance import PAPER_BIN_MILES, N_BINS, preference_function
+from repro.datasets.mapped import UNMAPPED_ASN, MappedDataset
+from repro.errors import AnalysisError, OverloadError, ServeError
+from repro.geo.distance import haversine_miles
+from repro.geo.regions import region_by_name
+from repro.obs.report import validate_report
+from repro.serve import (
+    LruCache,
+    MicroBatcher,
+    QueryError,
+    SnapshotClient,
+    SnapshotIndex,
+    SnapshotServer,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset(pipeline_small) -> MappedDataset:
+    return pipeline_small.dataset("IxMapper", "Skitter")
+
+
+@pytest.fixture(scope="module")
+def index(dataset) -> SnapshotIndex:
+    return SnapshotIndex(dataset)
+
+
+@pytest.fixture()
+def server(index):
+    with SnapshotServer(index, port=0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server) -> SnapshotClient:
+    return SnapshotClient(server.url)
+
+
+def _tiny_dataset() -> MappedDataset:
+    return MappedDataset(
+        label="tiny",
+        kind="skitter",
+        addresses=np.array([10, 20, 30], dtype=np.int64),
+        lats=np.array([40.0, 41.0, 50.0]),
+        lons=np.array([-100.0, -100.5, 10.0]),
+        asns=np.array([1, 1, UNMAPPED_ASN], dtype=np.int64),
+        links=np.array([[0, 1]], dtype=np.intp),
+    )
+
+
+class TestSnapshotIndex:
+    def test_locate_matches_dataset(self, index, dataset):
+        for row in (0, dataset.n_nodes // 2, dataset.n_nodes - 1):
+            record = index.locate(int(dataset.addresses[row]))
+            assert record is not None
+            assert record["lat"] == pytest.approx(float(dataset.lats[row]))
+            assert record["lon"] == pytest.approx(float(dataset.lons[row]))
+
+    def test_locate_unknown_address(self, index, dataset):
+        absent = int(dataset.addresses.max()) + 1
+        assert index.locate(absent) is None
+
+    def test_locate_many_matches_scalar(self, index, dataset):
+        addresses = [int(a) for a in dataset.addresses[:50]]
+        addresses.append(int(dataset.addresses.max()) + 7)  # unknown
+        addresses.append(addresses[0])  # duplicate
+        batch = index.locate_many(addresses)
+        assert batch == [index.locate(a) for a in addresses]
+        assert batch[-2] is None
+        assert batch[-1] == batch[0]
+
+    def test_degree_matches_link_table(self, index, dataset):
+        row = int(dataset.links[0, 0])
+        expected = int(np.count_nonzero(dataset.links == row))
+        record = index.locate(int(dataset.addresses[row]))
+        assert record["degree"] == expected
+
+    def test_unmapped_asn_is_null(self):
+        index = SnapshotIndex(_tiny_dataset())
+        assert index.locate(30)["asn"] is None
+        assert index.locate(10)["asn"] == 1
+
+    def test_nearest_matches_brute_force(self, index, dataset):
+        for lat, lon in ((40.0, -95.0), (51.0, 0.5), (35.7, 139.7)):
+            got = index.nearest(lat, lon, k=5)
+            dists = np.asarray(
+                haversine_miles(lat, lon, dataset.lats, dataset.lons)
+            )
+            want = np.sort(dists)[:5]
+            assert [r["miles"] for r in got] == pytest.approx(want.tolist())
+
+    def test_within_radius_matches_brute_force(self, index, dataset):
+        lat, lon, radius = 40.0, -95.0, 500.0
+        got = index.within_radius(lat, lon, radius)
+        dists = np.asarray(
+            haversine_miles(lat, lon, dataset.lats, dataset.lons)
+        )
+        assert len(got) == int(np.count_nonzero(dists <= radius))
+        assert all(r["miles"] <= radius for r in got)
+        miles = [r["miles"] for r in got]
+        assert miles == sorted(miles)
+
+    def test_invalid_queries_rejected(self, index):
+        with pytest.raises(ServeError):
+            index.nearest(91.0, 0.0)
+        with pytest.raises(ServeError):
+            index.nearest(0.0, 181.0)
+        with pytest.raises(ServeError):
+            index.nearest(0.0, 0.0, k=0)
+        with pytest.raises(ServeError):
+            index.within_radius(0.0, 0.0, -5.0)
+
+    def test_as_summary_matches_dataset(self, index, dataset):
+        counts = dataset.as_node_counts()
+        assert index.n_ases == len(counts)
+        asn = max(counts, key=counts.get)
+        summary = index.as_summary(asn)
+        assert summary.n_nodes == counts[asn]
+        assert summary.degree == dataset.as_degrees()[asn]
+        nodes = index.as_nodes(asn)
+        assert summary.centroid_lat == pytest.approx(
+            float(np.mean(dataset.lats[nodes]))
+        )
+
+    def test_unknown_as(self, index):
+        assert index.as_summary(999_999_999) is None
+        assert index.as_nodes(999_999_999).size == 0
+
+    def test_distance_preference_matches_core(self, index, dataset):
+        region = region_by_name("US")
+        pref = index.distance_preference(region)
+        direct = preference_function(
+            dataset, region, PAPER_BIN_MILES["US"], n_bins=N_BINS
+        )
+        assert np.array_equal(pref.link_counts, direct.link_counts)
+        assert np.array_equal(pref.pair_counts, direct.pair_counts)
+        # Memoised: the second call returns the same object.
+        assert index.distance_preference(region) is pref
+
+    def test_distance_preference_failure_memoised(self):
+        index = SnapshotIndex(_tiny_dataset())
+        region = region_by_name("Japan")
+        with pytest.raises(AnalysisError):
+            index.distance_preference(region)
+        with pytest.raises(AnalysisError):  # memoised failure, same type
+            index.distance_preference(region)
+
+    def test_stats_shape(self, index, dataset):
+        stats = index.stats()
+        assert stats["n_nodes"] == dataset.n_nodes
+        assert stats["n_links"] == dataset.n_links
+        assert stats["snapshot_hash"] == index.snapshot_hash
+        assert stats["build_seconds"] >= 0
+
+
+class TestLruCache:
+    def test_hit_miss_and_eviction(self):
+        cache = LruCache(2)
+        hit, _ = cache.get("a")
+        assert not hit
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refreshes recency of "a"
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+        assert len(cache) == 2
+
+    def test_stats(self):
+        cache = LruCache(4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_ratio"] == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ServeError):
+            LruCache(0)
+
+
+class TestMicroBatcher:
+    def test_concurrent_submissions_all_resolve(self):
+        def compute(keys):
+            return [k * 10 for k in keys]
+
+        batcher = MicroBatcher(compute, max_wait_s=0.005)
+        try:
+            futures = {}
+            threads = []
+
+            def submit(k):
+                futures[k] = batcher.submit(k)
+
+            for k in range(32):
+                t = threading.Thread(target=submit, args=(k,))
+                threads.append(t)
+                t.start()
+            for t in threads:
+                t.join()
+            for k, future in futures.items():
+                assert future.result(timeout=5.0) == k * 10
+        finally:
+            batcher.close()
+
+    def test_flush_deduplicates(self):
+        calls: list[list[int]] = []
+        release = threading.Event()
+
+        def compute(keys):
+            release.wait(timeout=5.0)
+            calls.append(list(keys))
+            return [k + 1 for k in keys]
+
+        # A long window so all submissions land in one flush.
+        batcher = MicroBatcher(compute, max_wait_s=0.2)
+        try:
+            futures = [batcher.submit(k) for k in (5, 5, 8, 5)]
+            release.set()
+            assert [f.result(timeout=5.0) for f in futures] == [6, 6, 9, 6]
+            flat = [k for call in calls for k in call]
+            assert sorted(set(flat)) == [5, 8]
+            assert len(flat) == len(set(flat))  # no key computed twice
+            stats = batcher.stats()
+            assert stats["requests"] == 4
+            assert stats["dedup_saved"] == 2
+        finally:
+            batcher.close()
+
+    def test_overflow_sheds(self):
+        blocker = threading.Event()
+
+        def compute(keys):
+            blocker.wait(timeout=5.0)
+            return [0 for _ in keys]
+
+        batcher = MicroBatcher(compute, max_pending=2, max_wait_s=0.0)
+        try:
+            # Fill the queue while the flusher is blocked in compute.
+            batcher.submit(1)
+            time.sleep(0.05)  # let the flusher take the first batch
+            batcher.submit(2)
+            batcher.submit(3)
+            with pytest.raises(OverloadError):
+                batcher.submit(4)
+        finally:
+            blocker.set()
+            batcher.close()
+
+    def test_compute_failure_propagates(self):
+        def compute(keys):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(compute, max_wait_s=0.0)
+        try:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError):
+                future.result(timeout=5.0)
+        finally:
+            batcher.close()
+
+    def test_closed_batcher_rejects(self):
+        batcher = MicroBatcher(lambda keys: [0 for _ in keys])
+        batcher.close()
+        with pytest.raises(ServeError):
+            batcher.submit(1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ServeError):
+            MicroBatcher(lambda keys: [], max_batch=0)
+
+
+class TestServerEndToEnd:
+    def test_healthz(self, client, index):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["snapshot_hash"] == index.snapshot_hash
+
+    def test_locate_and_cache_hit(self, server, client, dataset):
+        address = int(dataset.addresses[0])
+        first = client.locate(address)
+        second = client.locate(address)
+        assert first == second
+        assert first["lat"] == pytest.approx(float(dataset.lats[0]))
+        assert server.cache.hits >= 1
+
+    def test_locate_many_endpoint(self, client, index, dataset):
+        addresses = [int(a) for a in dataset.addresses[:5]]
+        addresses.append(int(dataset.addresses.max()) + 1)
+        results = client.locate_many(addresses)
+        assert results == index.locate_many(addresses)
+        assert results[-1] is None
+
+    def test_locate_unknown_is_404(self, client, dataset):
+        with pytest.raises(QueryError) as err:
+            client.locate(int(dataset.addresses.max()) + 123)
+        assert err.value.status == 404
+
+    def test_as_endpoint(self, client, index, dataset):
+        asn = max(dataset.as_node_counts())
+        payload = client.as_info(asn)
+        assert payload["n_nodes"] == index.as_summary(asn).n_nodes
+        assert len(payload["sample_addresses"]) >= 1
+
+    def test_near_endpoint(self, client, index):
+        payload = client.near(40.0, -95.0, k=3)
+        assert payload["results"] == index.nearest(40.0, -95.0, k=3)
+
+    def test_radius_endpoint(self, client, index):
+        payload = client.within_radius(40.0, -95.0, 300.0)
+        assert payload["results"] == index.within_radius(40.0, -95.0, 300.0)
+
+    def test_preference_endpoint(self, client, index):
+        payload = client.distance_preference("US")
+        pref = index.distance_preference(region_by_name("US"))
+        assert payload["bin_miles"] == pref.bin_miles
+        assert payload["link_counts"] == pref.link_counts.tolist()
+        single = client.distance_preference("US", d=10.0)
+        assert single["f_hat"] == index.f_of_d(region_by_name("US"), 10.0)
+
+    def test_bad_params_are_400(self, client):
+        with pytest.raises(QueryError) as err:
+            client.get("locate", address="not-a-number")
+        assert err.value.status == 400
+        with pytest.raises(QueryError) as err:
+            client.get("near", lat="91", lon="0")
+        assert err.value.status == 400
+        with pytest.raises(QueryError) as err:
+            client.get("distance-preference")
+        assert err.value.status == 400
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(QueryError) as err:
+            client.get("no-such-endpoint")
+        assert err.value.status == 404
+
+    def test_stats_endpoint(self, client, dataset):
+        payload = client.stats()
+        assert payload["index"]["n_nodes"] == dataset.n_nodes
+        assert "cache" in payload and "batcher" in payload
+        # Request counters are recorded after the payload is rendered,
+        # so the first call's counter shows up in the second call.
+        payload = client.stats()
+        assert payload["metrics"]["counters"]["serve.requests.stats"] >= 1
+
+    def test_stats_report_is_schema_valid(self, server, client):
+        client.healthz()
+        report = server.stats_report()
+        assert validate_report(report.to_dict()) == []
+        assert report.config["service"] == "snapshot-query"
+
+
+class TestBackpressure:
+    def test_burst_sheds_while_healthz_answers(self, index, dataset):
+        # A deliberately tiny server: one admitted request at a time and
+        # a long batch window, so a concurrent burst must overflow.
+        server = SnapshotServer(
+            index,
+            port=0,
+            max_inflight=1,
+            max_pending=1,
+            batch_window_s=0.2,
+            cache_size=1,
+        )
+        with server:
+            client = SnapshotClient(server.url, max_retries=0)
+            addresses = [int(a) for a in dataset.addresses[:24]]
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def fire(address):
+                c = SnapshotClient(server.url, max_retries=0)
+                try:
+                    c.locate(address)
+                    result = "ok"
+                except OverloadError:
+                    result = "shed"
+                except QueryError:
+                    result = "other"
+                with lock:
+                    outcomes.append(result)
+
+            threads = [
+                threading.Thread(target=fire, args=(a,)) for a in addresses
+            ]
+            for t in threads:
+                t.start()
+            # While the burst is in flight, liveness must keep answering.
+            assert client.healthz()["status"] == "ok"
+            for t in threads:
+                t.join()
+            assert "shed" in outcomes  # some requests were 503ed
+            assert "ok" in outcomes  # ...but the service did real work
+            stats = client.stats()
+            assert stats["metrics"]["counters"]["serve.shed"] >= 1
+
+    def test_clean_shutdown_and_restartable_port(self, index):
+        server = SnapshotServer(index, port=0)
+        server.start()
+        port = server.port
+        SnapshotClient(server.url).healthz()
+        server.stop()
+        # The port is released: a new server can bind it immediately.
+        again = SnapshotServer(index, port=port)
+        with again:
+            assert SnapshotClient(again.url).healthz()["status"] == "ok"
+
+    def test_invalid_configuration(self, index):
+        with pytest.raises(ServeError):
+            SnapshotServer(index, max_inflight=0)
