@@ -1,0 +1,94 @@
+"""Throughput benchmark for the sweep engine.
+
+Measures campaign throughput (trials/min) serially (``workers=0``,
+in-process) versus on a four-worker process pool.  The asserted
+scenario uses sleep-dominated synthetic trials so the measured quantity
+is the *engine's* dispatch concurrency — pool workers overlap their
+sleeps regardless of core count, so the >= 3x acceptance holds even on
+the single-core CI runners where CPU-bound trials cannot speed up.  A
+tiny full-pipeline campaign is recorded alongside for context, without
+an assertion.
+
+Machine-readable results land in ``BENCH_sweep.json`` at the repo root
+(same pattern as ``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.sweep import ResultStore, SweepSpec, run_campaign
+
+#: Required pooled-over-serial speedup at 4 workers (synthetic trials).
+MIN_SPEEDUP = 3.0
+
+N_TRIALS = 16
+SLEEP_S = 0.4
+WORKERS = 4
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+
+def _spec(name: str, **kwargs) -> SweepSpec:
+    base = dict(
+        name=name,
+        seeds=tuple(range(N_TRIALS)),
+        synthetic=({"duration_s": SLEEP_S},),
+        trial_timeout_s=60.0,
+    )
+    base.update(kwargs)
+    return SweepSpec(**base)
+
+
+def _run(spec: SweepSpec, tmp_path: Path, workers: int) -> dict:
+    store = ResultStore(tmp_path / f"{spec.name}-w{workers}.db")
+    start = time.perf_counter()
+    summary = run_campaign(
+        spec, store, workers=workers,
+        start_method="fork" if workers else None,
+    )
+    wall_s = time.perf_counter() - start
+    assert summary.completed == len(spec.expand())
+    assert summary.failed == 0
+    return {
+        "workers": workers,
+        "trials": summary.completed,
+        "wall_s": round(wall_s, 3),
+        "trials_per_min": round(60.0 * summary.completed / wall_s, 1),
+    }
+
+
+def test_pool_speedup_synthetic(tmp_path):
+    """Four workers must clear 3x serial throughput on sleep trials."""
+    serial = _run(_spec("bench-serial"), tmp_path, workers=0)
+    pooled = _run(_spec("bench-pooled"), tmp_path, workers=WORKERS)
+    speedup = pooled["trials_per_min"] / serial["trials_per_min"]
+
+    pipeline_spec = SweepSpec(
+        name="bench-pipeline",
+        seeds=(1, 2, 3, 4),
+        pipeline=({"scale": "tiny"},),
+        trial_timeout_s=120.0,
+    )
+    pipeline = _run(pipeline_spec, tmp_path, workers=WORKERS)
+
+    payload = {
+        "synthetic": {
+            "sleep_s": SLEEP_S,
+            "serial": serial,
+            "pooled": pooled,
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+        },
+        "pipeline_tiny": pipeline,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nsweep engine: {json.dumps(payload, indent=2)}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"pooled throughput only {speedup:.2f}x serial "
+        f"({pooled['trials_per_min']} vs {serial['trials_per_min']} "
+        f"trials/min); need >= {MIN_SPEEDUP}x at {WORKERS} workers"
+    )

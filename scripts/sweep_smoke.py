@@ -1,0 +1,162 @@
+"""End-to-end smoke test of the sweep engine (CI gate).
+
+Drives the 20-trial demo campaign (``examples/sweep_demo.json`` — one
+injected worker crash, one injected flaky trial) through real
+subprocesses, exactly as a user would:
+
+1. ``repro sweep run`` starts the campaign on two workers; this script
+   polls the result store from *outside* the engine process (the
+   concurrent-reader contract of the WAL store) and sends SIGINT once
+   a few trials have completed;
+2. the interrupted process must exit nonzero and leave the campaign
+   resumable;
+3. ``repro sweep resume`` completes the grid, skipping finished work;
+4. the store must hold every trial exactly once, all ``done``, with the
+   crash-injected trial showing a second attempt;
+5. ``repro sweep report`` must emit bootstrap confidence intervals for
+   the paper's headline statistics (alpha exponent, Waxman decay scale,
+   intradomain share), and ``repro report diff`` of the report against
+   itself must be clean.
+
+Run from the repo root with ``PYTHONPATH=src python scripts/sweep_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sweep import ResultStore, load_spec  # noqa: E402
+
+SPEC_PATH = REPO_ROOT / "examples" / "sweep_demo.json"
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
+
+
+def _cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+    )
+
+
+def main() -> int:
+    spec = load_spec(SPEC_PATH)
+    expected = len(spec.expand())
+    tmp = Path(tempfile.mkdtemp(prefix="sweep_smoke_"))
+    db = tmp / "sweep.db"
+
+    # 1. start the campaign and interrupt it mid-flight.
+    print(f"starting campaign ({expected} trials, 2 workers)...")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "sweep", "run",
+            str(SPEC_PATH), "--db", str(db), "--workers", "2",
+            "--start-method", "fork",
+        ],
+        env=_cli_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    store = ResultStore(db)
+    interrupted = False
+    deadline = time.time() + 120
+    while time.time() < deadline and proc.poll() is None:
+        try:
+            done = store.counts(store.campaign_id(spec.name)).get("done", 0)
+        except Exception:
+            done = 0  # campaign row not created yet
+        if done >= 3:
+            print(f"  {done} trials done; sending SIGINT")
+            proc.send_signal(signal.SIGINT)
+            interrupted = True
+            break
+        time.sleep(0.05)
+    out, err = proc.communicate(timeout=120)
+    if interrupted:
+        assert proc.returncode != 0, (
+            f"interrupted run should exit nonzero, got {proc.returncode}\n{err}"
+        )
+        print("  interrupted run exited nonzero, as required")
+    else:
+        # The campaign can finish before three trials are visible on a
+        # fast machine; the resume step below then just verifies skips.
+        assert proc.returncode == 0, f"campaign failed:\n{err}"
+        print("  campaign finished before the interrupt window")
+
+    # 2. resume to completion.
+    result = _cli(
+        "sweep", "resume", spec.name, "--db", str(db),
+        "--workers", "2", "--start-method", "fork",
+    )
+    assert result.returncode == 0, f"resume failed:\n{result.stderr}"
+    print("resume completed the grid")
+
+    # 3. exactly-once trial rows; the crash-injected trial retried.
+    campaign_id = store.campaign_id(spec.name)
+    rows = list(store.trial_rows(campaign_id))
+    assert len(rows) == expected, f"expected {expected} rows, got {len(rows)}"
+    not_done = [r.key for r in rows if r.status != "done"]
+    assert not not_done, f"trials not done: {not_done}"
+    crash_key = spec.expand()[3].key
+    (crash_row,) = [r for r in rows if r.key == crash_key]
+    assert crash_row.attempts >= 2, (
+        f"crash-injected trial {crash_key} shows no retry "
+        f"(attempts={crash_row.attempts})"
+    )
+    print(
+        f"all {expected} trials done exactly once; crash trial took "
+        f"{crash_row.attempts} attempts"
+    )
+
+    # 4. the aggregate report carries the paper's headline CIs.
+    report_path = tmp / "report.json"
+    result = _cli(
+        "sweep", "report", spec.name, "--db", str(db),
+        "--out", str(report_path),
+    )
+    assert result.returncode == 0, f"sweep report failed:\n{result.stderr}"
+    payload = json.loads(report_path.read_text())
+    pipeline_cells = [
+        c for c in payload["cells"] if c["kind"] == "pipeline"
+    ]
+    assert pipeline_cells, "no pipeline cells in the report"
+    for cell in pipeline_cells:
+        for metric in ("alpha_exponent", "waxman_l_miles", "intradomain_share"):
+            summary = cell["metrics"].get(metric)
+            assert summary is not None, (
+                f"cell {cell['label']} is missing {metric}"
+            )
+            assert summary["lo"] <= summary["mean"] <= summary["hi"], (
+                f"{metric} interval does not bracket its mean: {summary}"
+            )
+    assert payload["generator_scores"], "generator ranking is empty"
+    print("report emits bootstrap CIs for the headline statistics")
+
+    # 5. the report diffs cleanly against itself.
+    result = _cli("report", "diff", str(report_path), str(report_path))
+    assert result.returncode == 0, f"self-diff not clean:\n{result.stdout}"
+    print("sweep smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

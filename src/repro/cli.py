@@ -10,7 +10,15 @@ Subcommands:
   :class:`~repro.obs.report.RunReport`.
 - ``repro report``: ``show`` pretty-prints a saved report; ``diff``
   compares two reports and exits nonzero on stage wall-time regressions
-  past ``--threshold`` or any counter/artifact drift.
+  past ``--threshold`` or any counter/artifact drift.  ``diff`` also
+  accepts two *sweep* reports (``repro sweep report --out``), where the
+  threshold is a multiple of the bootstrap CI half-width instead.
+- ``repro sweep``: fault-tolerant experiment campaigns.  ``run``
+  executes a declarative spec grid on a process pool, persisting every
+  trial into a SQLite result store; ``resume`` continues an interrupted
+  campaign, skipping completed trials; ``status`` shows live progress
+  from another terminal; ``report`` aggregates per-cell bootstrap
+  confidence intervals and the generator ranking.
 - ``repro snapshot``: build one mapped dataset and export it
   (``json``/``npz``/CSV pair) for sharing or serving.
 - ``repro serve``: load a snapshot (or build one in-process) and run
@@ -51,6 +59,11 @@ from repro.obs import (
 from repro.obs import span as obs_span
 from repro.obs.report import DEFAULT_MIN_WALL_S, DEFAULT_WALL_THRESHOLD
 from repro.runtime import Telemetry
+from repro.sweep.aggregate import (
+    SWEEP_REPORT_SCHEMA,
+    diff_sweep_reports,
+    load_sweep_report,
+)
 
 _EXPERIMENT_NAMES = (
     "table1",
@@ -267,33 +280,65 @@ def _report_main(argv: list[str]) -> int:
     diff.add_argument(
         "--threshold",
         type=float,
-        default=DEFAULT_WALL_THRESHOLD,
-        help="fractional stage slowdown to flag as a regression "
-        "(default %(default)s, i.e. one quarter slower)",
+        default=None,
+        help="regression threshold: fractional stage slowdown for run "
+        f"reports (default {DEFAULT_WALL_THRESHOLD}), or the multiple "
+        "of the bootstrap CI half-width a metric mean may shift for "
+        "sweep reports (default 1.0)",
     )
     diff.add_argument(
         "--min-wall-s",
         type=float,
         default=DEFAULT_MIN_WALL_S,
-        help="ignore slowdowns smaller than this many seconds "
-        "(default %(default)ss)",
+        help="run reports only: ignore slowdowns smaller than this many "
+        "seconds (default %(default)ss)",
     )
     args = parser.parse_args(argv)
     try:
         if args.command == "show":
             print(render_report(load_report(args.path)))
             return EXIT_OK
-        outcome = diff_reports(
-            load_report(args.old),
-            load_report(args.new),
-            wall_threshold=args.threshold,
-            min_wall_s=args.min_wall_s,
-        )
-    except ReportError as exc:
+        schemas = [_peek_schema(args.old), _peek_schema(args.new)]
+        if SWEEP_REPORT_SCHEMA in schemas:
+            if schemas[0] != schemas[1]:
+                print(
+                    "error: cannot diff a sweep report against a run report",
+                    file=sys.stderr,
+                )
+                return EXIT_INVALID
+            outcome = diff_sweep_reports(
+                load_sweep_report(args.old),
+                load_sweep_report(args.new),
+                threshold=args.threshold if args.threshold is not None else 1.0,
+            )
+        else:
+            outcome = diff_reports(
+                load_report(args.old),
+                load_report(args.new),
+                wall_threshold=(
+                    args.threshold
+                    if args.threshold is not None
+                    else DEFAULT_WALL_THRESHOLD
+                ),
+                min_wall_s=args.min_wall_s,
+            )
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INVALID
     print(render_diff(outcome))
     return EXIT_OK if outcome.clean else EXIT_DIFF
+
+
+def _peek_schema(path: str) -> str | None:
+    """The ``schema`` field of a report file, without full validation."""
+    import json as _json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload.get("schema") if isinstance(payload, dict) else None
 
 
 def _snapshot_common_args(parser: argparse.ArgumentParser) -> None:
@@ -543,10 +588,179 @@ def _query_main(argv: list[str]) -> int:
     return 0
 
 
+def _sweep_common_args(parser: argparse.ArgumentParser) -> None:
+    """Execution flags shared by ``sweep run`` and ``sweep resume``."""
+    parser.add_argument(
+        "--db",
+        default="sweep.db",
+        metavar="PATH",
+        help="result-store database file (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process-pool size; 0 runs trials in-process without "
+        "fault isolation (default %(default)s)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method (default: platform default)",
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop (as interrupted) after N completed trials — for "
+        "drills and tests of the resume path",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="structured JSON logs"
+    )
+
+
+def _sweep_execute(args: argparse.Namespace, spec, store) -> int:
+    """Drive one ``sweep run``/``sweep resume`` invocation to its exit code."""
+    from repro.sweep import run_campaign
+
+    setup_logging(args.verbose)
+
+    def on_trial(trial, status):
+        print(f"  [{status:>6}] {trial.key}", file=sys.stderr)
+
+    summary = run_campaign(
+        spec,
+        store,
+        workers=args.workers,
+        start_method=args.start_method,
+        stop_after=args.stop_after,
+        on_trial=on_trial,
+    )
+    print(
+        f"campaign {summary.name!r}: {summary.completed} completed, "
+        f"{summary.skipped} skipped, {summary.failed} failed, "
+        f"{summary.retried} retries, {summary.crash_recoveries} pool "
+        f"rebuilds in {summary.wall_s:.1f}s "
+        f"({summary.trials_per_min:.1f} trials/min)",
+        file=sys.stderr,
+    )
+    if summary.interrupted:
+        print(
+            f"interrupted; continue with: repro sweep resume "
+            f"{summary.name} --db {args.db}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _sweep_main(argv: list[str]) -> int:
+    """The ``repro sweep`` subcommand: experiment campaigns."""
+    from repro.sweep import (
+        ResultStore,
+        build_sweep_report,
+        load_spec,
+        render_sweep_report,
+        write_sweep_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Fault-tolerant multi-process experiment campaigns "
+        "(see README 'Sweeps' for the spec format)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    run = commands.add_parser("run", help="run a campaign from a spec file")
+    run.add_argument("spec", help="sweep spec JSON file")
+    _sweep_common_args(run)
+    resume = commands.add_parser(
+        "resume",
+        help="continue an interrupted campaign, skipping completed trials",
+    )
+    resume.add_argument("campaign", help="campaign name in the store")
+    _sweep_common_args(resume)
+    status = commands.add_parser(
+        "status",
+        help="show campaign progress (safe while a campaign is running)",
+    )
+    status.add_argument(
+        "--db", default="sweep.db", metavar="PATH", help="result-store file"
+    )
+    status.add_argument(
+        "campaign", nargs="?", default=None,
+        help="campaign name; omit to list all campaigns",
+    )
+    rep = commands.add_parser(
+        "report",
+        help="aggregate a campaign: bootstrap CIs per cell + generator "
+        "ranking",
+    )
+    rep.add_argument("campaign", help="campaign name in the store")
+    rep.add_argument(
+        "--db", default="sweep.db", metavar="PATH", help="result-store file"
+    )
+    rep.add_argument(
+        "--out",
+        default=None,
+        metavar="OUT.json",
+        help="also write the sweep report JSON (diffable with "
+        "'repro report diff')",
+    )
+    rep.add_argument(
+        "--bootstrap",
+        type=int,
+        default=400,
+        help="bootstrap resamples per interval (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            spec = load_spec(args.spec)
+            return _sweep_execute(args, spec, ResultStore(args.db))
+        if args.command == "resume":
+            store = ResultStore(args.db)
+            return _sweep_execute(args, store.load_spec(args.campaign), store)
+        if args.command == "status":
+            store = ResultStore(args.db)
+            if args.campaign is None:
+                for entry in store.list_campaigns():
+                    counts = ", ".join(
+                        f"{k}={v}" for k, v in sorted(entry["trials"].items())
+                    )
+                    print(
+                        f"{entry['name']:<24} {entry['status']:<12} "
+                        f"{counts or 'no trials'}"
+                    )
+                return EXIT_OK
+            counts = store.counts(store.campaign_id(args.campaign))
+            total = sum(counts.values())
+            done = counts.get("done", 0)
+            print(
+                f"{args.campaign}: {done}/{total} done "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+            return EXIT_OK
+        store = ResultStore(args.db)
+        payload = build_sweep_report(
+            store, args.campaign, n_boot=args.bootstrap
+        )
+        if args.out is not None:
+            write_sweep_report(payload, args.out)
+            print(f"sweep report written to {args.out}", file=sys.stderr)
+        print(render_sweep_report(payload))
+        return EXIT_OK
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
-    ``repro run|report|snapshot|serve|query ...`` dispatch to the
+    ``repro run|report|snapshot|serve|query|sweep ...`` dispatch to the
     subcommands; anything else is treated as ``run`` flags so existing
     ``python -m repro.cli --scale small ...`` invocations keep working.
     """
@@ -556,6 +770,7 @@ def main(argv: list[str] | None = None) -> int:
         "snapshot": _snapshot_main,
         "serve": _serve_main,
         "query": _query_main,
+        "sweep": _sweep_main,
     }
     if argv and argv[0] in subcommands:
         return subcommands[argv[0]](argv[1:])

@@ -268,6 +268,22 @@ def small_scenario(seed: int = 12) -> ScenarioConfig:
     )
 
 
+def tiny_scenario(seed: int = 12) -> ScenarioConfig:
+    """A minimal scenario for sweep campaigns: ~700 routers, sub-second.
+
+    Small enough that a campaign of dozens of trials stays interactive,
+    yet every Section IV-VI analysis still produces a finite estimate.
+    """
+    return ScenarioConfig(
+        seed=seed,
+        city_scale=0.12,
+        ground_truth=GroundTruthConfig(total_routers=700, n_ases=50,
+                                       tier1_count=4, tier2_count=10),
+        skitter=SkitterConfig(n_monitors=4, destinations_per_monitor=250),
+        mercator=MercatorConfig(n_targets=350, n_source_routed=150),
+    )
+
+
 def default_scenario(seed: int = 20020103) -> ScenarioConfig:
     """The benchmark scenario: ~30k routers, minutes of wall time."""
     return ScenarioConfig(seed=seed)

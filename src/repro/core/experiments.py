@@ -421,9 +421,15 @@ def experiment_x1(
 
 
 def dataset_from_graph(graph: GeneratedGraph) -> MappedDataset:
-    """Wrap a generated graph as a dataset so the analyses apply to it."""
+    """Wrap a generated graph as a dataset so the analyses apply to it.
+
+    When the graph records its generation seed the label carries it
+    (``"waxman#7"``), so datasets derived from different sweep trials
+    stay distinguishable in reports and artifact hashes.
+    """
+    label = graph.name if graph.seed is None else f"{graph.name}#{graph.seed}"
     return MappedDataset(
-        label=graph.name,
+        label=label,
         kind="generated",
         addresses=np.arange(graph.n_nodes, dtype=np.int64),
         lats=graph.lats,
@@ -443,12 +449,15 @@ class GeneratorComparison:
         decay_slope: semi-log slope of the small-d window (negative means
             distance-sensitive; near zero means geometry-blind).
         mean_degree: the generated graph's mean degree.
+        seed: the graph's generation seed when known, so a sweep cell
+            can re-create the exact comparison.
     """
 
     name: str
     preference: DistancePreference
     decay_slope: float
     mean_degree: float
+    seed: int | None = None
 
 
 def compare_generator(
@@ -481,4 +490,5 @@ def compare_generator(
         preference=pref,
         decay_slope=float(slope),
         mean_degree=graph.mean_degree(),
+        seed=graph.seed,
     )

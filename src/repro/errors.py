@@ -68,6 +68,10 @@ class ReportError(ReproError):
     """A run report is missing, malformed, or fails schema validation."""
 
 
+class SweepError(ReproError):
+    """A sweep campaign spec, store, or engine was misused."""
+
+
 class ServeError(ReproError):
     """The snapshot query service was misused or refused a request."""
 

@@ -13,13 +13,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.generators.base import GeneratedGraph, dedupe_edges, uniform_points_in_box
+from repro.generators.base import (
+    GeneratedGraph,
+    dedupe_edges,
+    resolve_rng,
+    uniform_points_in_box,
+)
 
 
 def barabasi_albert_graph(
     n: int,
     m: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     **box: float,
 ) -> GeneratedGraph:
     """Generate a BA graph of ``n`` nodes with ``m`` links per new node.
@@ -35,6 +40,7 @@ def barabasi_albert_graph(
         raise ConfigError(f"m must be >= 1, got {m}")
     if n <= m:
         raise ConfigError(f"need n > m, got n={n}, m={m}")
+    rng, seed = resolve_rng(rng)
     lats, lons = uniform_points_in_box(n, rng, **box)
     # Seed: a small clique of m + 1 nodes.
     edges: list[tuple[int, int]] = [
@@ -55,4 +61,5 @@ def barabasi_albert_graph(
         lons=lons,
         edges=dedupe_edges(edges),
         asns=np.full(n, -1, dtype=np.int64),
+        seed=seed,
     )

@@ -28,6 +28,10 @@ class GeneratedGraph:
         edges: (m, 2) integer array of node-index pairs.
         asns: optional AS label per node (-1 when the generator does not
             assign ASes).
+        seed: the RNG seed the graph was generated from, when known
+            (``None`` when the caller supplied a live generator object,
+            whose state cannot be recovered).  Sweep cells rely on this
+            to make generator comparisons reproducible trial-by-trial.
     """
 
     name: str
@@ -35,6 +39,7 @@ class GeneratedGraph:
     lons: np.ndarray
     edges: np.ndarray
     asns: np.ndarray
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         n = self.lats.shape[0]
@@ -76,6 +81,22 @@ class GeneratedGraph:
         if self.n_nodes == 0:
             return 0.0
         return 2.0 * self.n_edges / self.n_nodes
+
+
+def resolve_rng(
+    rng: np.random.Generator | int,
+) -> tuple[np.random.Generator, int | None]:
+    """Normalise a seed-or-generator argument to ``(generator, seed)``.
+
+    Every generator accepts either a live :class:`numpy.random.Generator`
+    (seed unknown, returned as ``None``) or an integer seed, which is
+    both used to build the generator and recorded on the produced
+    :class:`GeneratedGraph` for provenance.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng, None
+    seed = int(rng)
+    return np.random.default_rng(seed), seed
 
 
 def uniform_points_in_box(

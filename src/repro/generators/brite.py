@@ -14,7 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.generators.base import GeneratedGraph, dedupe_edges, uniform_points_in_box
+from repro.generators.base import (
+    GeneratedGraph,
+    dedupe_edges,
+    resolve_rng,
+    uniform_points_in_box,
+)
 from repro.geo.distance import haversine_miles
 
 #: Connection modes.
@@ -27,7 +32,7 @@ _MODES = (MODE_WAXMAN, MODE_PREFERENTIAL, MODE_HYBRID)
 def brite_graph(
     n: int,
     m: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     mode: str = MODE_HYBRID,
     waxman_alpha: float = 0.15,
     **box: float,
@@ -49,6 +54,7 @@ def brite_graph(
         raise ConfigError(f"unknown BRITE mode {mode!r}; use one of {_MODES}")
     if m < 1 or n <= m + 1:
         raise ConfigError(f"need n > m + 1 >= 2, got n={n}, m={m}")
+    rng, seed = resolve_rng(rng)
     lats, lons = uniform_points_in_box(n, rng, **box)
     south = box.get("south", 25.0)
     north = box.get("north", 50.0)
@@ -97,4 +103,5 @@ def brite_graph(
         lons=lons,
         edges=dedupe_edges(edges),
         asns=np.full(n, -1, dtype=np.int64),
+        seed=seed,
     )

@@ -12,13 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.generators.base import GeneratedGraph, uniform_points_in_box
+from repro.generators.base import GeneratedGraph, resolve_rng, uniform_points_in_box
 
 
 def erdos_renyi_graph(
     n: int,
     p: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     **box: float,
 ) -> GeneratedGraph:
     """Generate G(n, p) over uniformly placed nodes.
@@ -30,6 +30,7 @@ def erdos_renyi_graph(
         raise ConfigError(f"p must be in [0, 1], got {p}")
     if n > 20_000:
         raise ConfigError("erdos_renyi_graph evaluates O(n^2) pairs; n too large")
+    rng, seed = resolve_rng(rng)
     lats, lons = uniform_points_in_box(n, rng, **box)
     edges: list[tuple[int, int]] = []
     for i in range(n - 1):
@@ -44,11 +45,12 @@ def erdos_renyi_graph(
         lons=lons,
         edges=edge_array,
         asns=np.full(n, -1, dtype=np.int64),
+        seed=seed,
     )
 
 
 def erdos_renyi_for_mean_degree(
-    n: int, mean_degree: float, rng: np.random.Generator, **box: float
+    n: int, mean_degree: float, rng: np.random.Generator | int, **box: float
 ) -> GeneratedGraph:
     """G(n, p) with p chosen for a target mean degree.
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.generators.base import GeneratedGraph, dedupe_edges
+from repro.generators.base import GeneratedGraph, dedupe_edges, resolve_rng
 from repro.geo.distance import haversine_miles
 from repro.population.worldmodel import World
 
@@ -130,9 +130,10 @@ def _assign_ases(
 
 
 def geogen_graph(
-    world: World, config: GeoGenConfig, rng: np.random.Generator
+    world: World, config: GeoGenConfig, rng: np.random.Generator | int
 ) -> AnnotatedGraph:
     """Generate a geography-aware annotated router-level graph."""
+    rng, seed = resolve_rng(rng)
     lats, lons, cities = _place_nodes(world, config, rng)
     asns = _assign_ases(cities, config, rng)
     n = config.n_nodes
@@ -170,7 +171,8 @@ def geogen_graph(
         extra -= 1
 
     graph = GeneratedGraph(
-        name="geogen", lats=lats, lons=lons, edges=dedupe_edges(edges), asns=asns
+        name="geogen", lats=lats, lons=lons, edges=dedupe_edges(edges),
+        asns=asns, seed=seed,
     )
     latencies = graph.edge_lengths_miles() * LATENCY_MS_PER_MILE
     return AnnotatedGraph(graph=graph, latencies_ms=latencies)

@@ -12,7 +12,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.generators.base import GeneratedGraph, dedupe_edges, uniform_points_in_box
+from repro.generators.base import (
+    GeneratedGraph,
+    dedupe_edges,
+    resolve_rng,
+    uniform_points_in_box,
+)
 from repro.geo.distance import haversine_miles
 
 
@@ -21,7 +26,7 @@ def transit_stub_graph(
     transit_size: int,
     stubs_per_transit: int,
     stub_size: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     stub_spread_deg: float = 2.0,
     **box: float,
 ) -> GeneratedGraph:
@@ -36,6 +41,7 @@ def transit_stub_graph(
     """
     if min(n_transit_domains, transit_size, stubs_per_transit, stub_size) < 1:
         raise ConfigError("all structural parameters must be >= 1")
+    rng, seed = resolve_rng(rng)
     lats: list[float] = []
     lons: list[float] = []
     edges: list[tuple[int, int]] = []
@@ -84,4 +90,5 @@ def transit_stub_graph(
         lons=np.asarray(lons),
         edges=dedupe_edges(edges),
         asns=np.full(n, -1, dtype=np.int64),
+        seed=seed,
     )

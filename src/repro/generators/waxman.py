@@ -15,10 +15,12 @@ generator with the geography-aware one.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.generators.base import GeneratedGraph, uniform_points_in_box
+from repro.generators.base import GeneratedGraph, resolve_rng, uniform_points_in_box
 from repro.geo.distance import haversine_miles
 
 
@@ -26,7 +28,7 @@ def waxman_graph(
     n: int,
     alpha: float,
     beta: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     south: float = 25.0,
     north: float = 50.0,
     west: float = -125.0,
@@ -49,6 +51,7 @@ def waxman_graph(
         raise ConfigError(f"beta must be in (0, 1], got {beta}")
     if n > 20_000:
         raise ConfigError("waxman_graph evaluates O(n^2) pairs; n too large")
+    rng, seed = resolve_rng(rng)
     lats, lons = uniform_points_in_box(n, rng, south, north, west, east)
     edges: list[tuple[int, int]] = []
     # Maximum separation: box corner to corner.
@@ -69,6 +72,7 @@ def waxman_graph(
         lons=lons,
         edges=edge_array,
         asns=np.full(n, -1, dtype=np.int64),
+        seed=seed,
     )
 
 
@@ -76,7 +80,7 @@ def waxman_for_mean_degree(
     n: int,
     alpha: float,
     mean_degree: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     **box: float,
 ) -> GeneratedGraph:
     """Waxman graph with ``beta`` calibrated for a target mean degree.
@@ -89,6 +93,7 @@ def waxman_for_mean_degree(
     """
     if mean_degree <= 0:
         raise ConfigError("mean_degree must be positive")
+    rng, seed = resolve_rng(rng)
     lats, lons = uniform_points_in_box(n, rng, **box)
     south = box.get("south", 25.0)
     north = box.get("north", 50.0)
@@ -108,4 +113,5 @@ def waxman_for_mean_degree(
         raise ConfigError(
             f"mean degree {mean_degree} unreachable with alpha={alpha} at n={n}"
         )
-    return waxman_graph(n, alpha, max(wanted, 1e-9), rng, south, north, west, east)
+    graph = waxman_graph(n, alpha, max(wanted, 1e-9), rng, south, north, west, east)
+    return graph if seed is None else dataclasses.replace(graph, seed=seed)

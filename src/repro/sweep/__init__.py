@@ -1,0 +1,64 @@
+"""Fault-tolerant multi-process experiment campaigns.
+
+The sweep engine turns a declarative :class:`SweepSpec` — a grid over
+seeds x scenario scales x geolocation tools x generator configurations
+— into trials executed on a process pool with per-trial fault
+isolation, persisted incrementally into a SQLite
+:class:`ResultStore` so interrupted campaigns resume without re-running
+completed work, and aggregated into per-cell bootstrap confidence
+intervals plus a generator-scoring pass.
+
+See ``README.md`` ("Sweeps") for the spec format and CLI usage.
+"""
+
+from repro.sweep.aggregate import (
+    CellSummary,
+    MetricSummary,
+    aggregate_campaign,
+    bootstrap_ci,
+    build_sweep_report,
+    diff_sweep_reports,
+    load_sweep_report,
+    render_sweep_report,
+    score_generators,
+    validate_sweep_report,
+    write_sweep_report,
+)
+from repro.sweep.engine import CampaignSummary, run_campaign
+from repro.sweep.spec import (
+    INJECT_MODES,
+    SCALES,
+    SweepSpec,
+    TrialSpec,
+    build_scenario,
+    load_spec,
+)
+from repro.sweep.store import ResultStore, TrialRow
+from repro.sweep.worker import InjectedFailure, TrialTimeout, execute_trial
+
+__all__ = [
+    "CampaignSummary",
+    "CellSummary",
+    "INJECT_MODES",
+    "InjectedFailure",
+    "MetricSummary",
+    "ResultStore",
+    "SCALES",
+    "SweepSpec",
+    "TrialRow",
+    "TrialSpec",
+    "TrialTimeout",
+    "aggregate_campaign",
+    "bootstrap_ci",
+    "build_scenario",
+    "build_sweep_report",
+    "diff_sweep_reports",
+    "execute_trial",
+    "load_spec",
+    "load_sweep_report",
+    "render_sweep_report",
+    "run_campaign",
+    "score_generators",
+    "validate_sweep_report",
+    "write_sweep_report",
+]

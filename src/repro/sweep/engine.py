@@ -1,0 +1,424 @@
+"""Fault-tolerant campaign execution over a process pool.
+
+``run_campaign`` expands a :class:`~repro.sweep.spec.SweepSpec`,
+registers the trials in the :class:`~repro.sweep.store.ResultStore`,
+skips anything already ``done`` (resume), and drives the rest through a
+``ProcessPoolExecutor`` with per-trial fault isolation:
+
+- an attempt that **raises** (including an in-worker
+  :class:`~repro.sweep.worker.TrialTimeout`) is retried after an
+  exponential backoff until the spec's retry limit, then recorded as
+  ``failed`` — the campaign keeps going;
+- a **crashing** worker breaks the pool; the engine rebuilds it,
+  charges every in-flight trial one failed attempt (the executor
+  cannot say which one died), and re-queues them;
+- a trial that blows past its **hard deadline** (the in-worker alarm
+  plus a grace period) also forces a pool rebuild, since a worker stuck
+  in C code can only be reclaimed by replacing its process;
+- ``KeyboardInterrupt`` (SIGINT) shuts the pool down, marks the
+  campaign ``interrupted``, and leaves the store in a state ``sweep
+  resume`` picks up exactly where it stopped — completed trials are
+  never re-run, so resumed aggregates match an uninterrupted campaign.
+
+Results stream into the store as they arrive, one short transaction
+per trial, so a concurrent ``sweep status`` always sees live progress.
+Engine-side counters (completed/failed/retried/crash recoveries) go
+through :mod:`repro.obs` and are reported in the returned summary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import SweepError
+from repro.obs import get_logger, incr, observe
+from repro.sweep.spec import SweepSpec, TrialSpec
+from repro.sweep.store import (
+    CAMPAIGN_DONE,
+    CAMPAIGN_INTERRUPTED,
+    CAMPAIGN_RUNNING,
+    TRIAL_DONE,
+    ResultStore,
+)
+from repro.sweep.worker import execute_trial
+
+_log = get_logger("sweep.engine")
+
+#: Extra seconds past the in-worker alarm before the engine declares a
+#: worker lost and rebuilds the pool.
+HARD_DEADLINE_GRACE_S = 10.0
+
+#: Poll interval of the dispatch loop.
+_WAIT_S = 0.05
+
+
+@dataclass
+class CampaignSummary:
+    """What one ``run_campaign`` invocation did.
+
+    Attributes:
+        name: campaign name.
+        total: trials in the expanded grid.
+        completed: trials that finished during *this* invocation.
+        skipped: trials already done before it started (resume).
+        failed: trials recorded as failed (attempts exhausted).
+        retried: failed attempts that were re-queued.
+        crash_recoveries: process-pool rebuilds (worker death/hang).
+        interrupted: True when stopped by SIGINT or a stop condition.
+        wall_s: wall seconds spent in the dispatch loop.
+    """
+
+    name: str
+    total: int = 0
+    completed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    retried: int = 0
+    crash_recoveries: int = 0
+    interrupted: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def trials_per_min(self) -> float:
+        """Completed-trial throughput of this invocation."""
+        if self.wall_s <= 0:
+            return 0.0
+        return 60.0 * self.completed / self.wall_s
+
+
+@dataclass
+class _InFlight:
+    trial: TrialSpec
+    attempt: int
+    deadline: float | None
+
+
+@dataclass
+class _Queues:
+    ready: deque = field(default_factory=deque)  # (trial, attempt)
+    retry: list = field(default_factory=list)  # (eligible_monotonic, trial, attempt)
+
+
+def _payload(spec: SweepSpec, trial: TrialSpec, attempt: int) -> dict[str, Any]:
+    payload = trial.payload(attempt, spec.trial_timeout_s)
+    payload["cache_dir"] = spec.cache_dir
+    return payload
+
+
+class _Pool:
+    """A rebuildable ProcessPoolExecutor wrapper."""
+
+    def __init__(self, workers: int, start_method: str | None) -> None:
+        self.workers = workers
+        self.context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else None
+        )
+        self.executor = self._make()
+
+    def _make(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self.context
+        )
+
+    def submit(self, payload: dict[str, Any]) -> Future:
+        return self.executor.submit(execute_trial, payload)
+
+    def rebuild(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        self.executor = self._make()
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_campaign(
+    spec: SweepSpec,
+    store: ResultStore | str | Path,
+    *,
+    workers: int = 1,
+    start_method: str | None = None,
+    stop_after: int | None = None,
+    on_trial: Callable[[TrialSpec, str], None] | None = None,
+) -> CampaignSummary:
+    """Run (or resume) a campaign until its grid is exhausted.
+
+    Args:
+        spec: the campaign description.
+        store: a :class:`ResultStore` or a database path.
+        workers: process-pool size; ``0`` runs trials in-process (no
+            fault isolation — debugging only).
+        start_method: multiprocessing start method (``"fork"`` /
+            ``"spawn"`` / ``"forkserver"``); ``None`` uses the platform
+            default.
+        stop_after: stop (as interrupted) once this many trials have
+            completed in this invocation — the programmatic stand-in
+            for SIGINT used by tests and the smoke script.
+        on_trial: progress hook called with ``(trial, status)`` after
+            every terminal trial state; exceptions it raises (including
+            ``KeyboardInterrupt``) interrupt the campaign cleanly.
+
+    Returns:
+        A :class:`CampaignSummary`; ``interrupted`` is True when the
+        grid is not exhausted.
+
+    Raises:
+        SweepError: for an invalid spec/store combination (e.g. the
+            campaign exists with a different spec).
+    """
+    if workers < 0:
+        raise SweepError("workers must be >= 0")
+    if isinstance(store, (str, Path)):
+        store = ResultStore(store)
+    campaign_id = store.ensure_campaign(spec)
+    trials = spec.expand()
+    store.register_trials(campaign_id, trials)
+    store.reset_incomplete(campaign_id)
+    statuses = store.statuses(campaign_id)
+
+    summary = CampaignSummary(name=spec.name, total=len(trials))
+    queues = _Queues()
+    for trial in trials:
+        if statuses.get(trial.key) == TRIAL_DONE:
+            summary.skipped += 1
+        else:
+            queues.ready.append((trial, 0))
+    if not queues.ready:
+        store.set_campaign_status(campaign_id, CAMPAIGN_DONE)
+        return summary
+
+    store.set_campaign_status(campaign_id, CAMPAIGN_RUNNING)
+    start = time.perf_counter()
+    try:
+        if workers == 0:
+            _run_inline(spec, store, campaign_id, queues, summary, stop_after,
+                        on_trial)
+        else:
+            _run_pooled(spec, store, campaign_id, queues, summary, workers,
+                        start_method, stop_after, on_trial)
+    except KeyboardInterrupt:
+        summary.interrupted = True
+    summary.wall_s = time.perf_counter() - start
+    store.set_campaign_status(
+        campaign_id,
+        CAMPAIGN_INTERRUPTED if summary.interrupted else CAMPAIGN_DONE,
+    )
+    return summary
+
+
+def _finish(
+    summary: CampaignSummary,
+    store: ResultStore,
+    campaign_id: int,
+    trial: TrialSpec,
+    result: dict[str, Any] | None,
+    error: str | None,
+    on_trial: Callable[[TrialSpec, str], None] | None,
+) -> None:
+    """Record one terminal trial state and fire the progress hook."""
+    import json
+
+    if result is not None:
+        store.record_success(
+            campaign_id,
+            trial.key,
+            metrics=result["metrics"],
+            wall_s=result["wall_s"],
+            report_json=json.dumps(result["report"]),
+        )
+        summary.completed += 1
+        incr("sweep.trials.completed")
+        observe("sweep.trial.wall_s", result["wall_s"])
+        status = "done"
+    else:
+        store.record_failure(campaign_id, trial.key, error or "unknown error")
+        summary.failed += 1
+        incr("sweep.trials.failed")
+        status = "failed"
+        _log.warning(
+            "trial failed permanently",
+            extra={"key": trial.key, "error": (error or "")[:200]},
+        )
+    if on_trial is not None:
+        on_trial(trial, status)
+
+
+def _retry_or_fail(
+    spec: SweepSpec,
+    store: ResultStore,
+    campaign_id: int,
+    queues: _Queues,
+    summary: CampaignSummary,
+    trial: TrialSpec,
+    attempt: int,
+    error: str,
+    on_trial: Callable[[TrialSpec, str], None] | None,
+) -> None:
+    """Back off and re-queue a failed attempt, or record final failure."""
+    if attempt < spec.max_retries:
+        delay = spec.retry_backoff_s * (2.0**attempt)
+        queues.retry.append((time.monotonic() + delay, trial, attempt + 1))
+        summary.retried += 1
+        incr("sweep.trials.retried")
+        _log.info(
+            "trial attempt failed; retrying",
+            extra={"key": trial.key, "attempt": attempt, "error": error[:200]},
+        )
+    else:
+        _finish(summary, store, campaign_id, trial, None, error, on_trial)
+
+
+def _promote_retries(queues: _Queues) -> float | None:
+    """Move eligible retries to the ready queue; return next wake time."""
+    now = time.monotonic()
+    still: list = []
+    soonest: float | None = None
+    for eligible, trial, attempt in queues.retry:
+        if eligible <= now:
+            queues.ready.append((trial, attempt))
+        else:
+            still.append((eligible, trial, attempt))
+            soonest = eligible if soonest is None else min(soonest, eligible)
+    queues.retry = still
+    return soonest
+
+
+def _run_inline(
+    spec: SweepSpec,
+    store: ResultStore,
+    campaign_id: int,
+    queues: _Queues,
+    summary: CampaignSummary,
+    stop_after: int | None,
+    on_trial: Callable[[TrialSpec, str], None] | None,
+) -> None:
+    """workers=0: run every trial in this process (debugging mode)."""
+    while queues.ready or queues.retry:
+        if stop_after is not None and summary.completed >= stop_after:
+            summary.interrupted = True
+            return
+        soonest = _promote_retries(queues)
+        if not queues.ready:
+            time.sleep(max(0.0, (soonest or time.monotonic()) - time.monotonic()))
+            continue
+        trial, attempt = queues.ready.popleft()
+        store.mark_running(campaign_id, trial.key, attempt)
+        try:
+            result = execute_trial(_payload(spec, trial, attempt))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            _retry_or_fail(spec, store, campaign_id, queues, summary, trial,
+                           attempt, f"{type(exc).__name__}: {exc}", on_trial)
+            continue
+        _finish(summary, store, campaign_id, trial, result, None, on_trial)
+
+
+def _run_pooled(
+    spec: SweepSpec,
+    store: ResultStore,
+    campaign_id: int,
+    queues: _Queues,
+    summary: CampaignSummary,
+    workers: int,
+    start_method: str | None,
+    stop_after: int | None,
+    on_trial: Callable[[TrialSpec, str], None] | None,
+) -> None:
+    """The process-pool dispatch loop with crash/hang recovery."""
+    pool = _Pool(workers, start_method)
+    in_flight: dict[Future, _InFlight] = {}
+
+    def requeue_in_flight(charge_attempt: bool) -> None:
+        for state in in_flight.values():
+            if charge_attempt:
+                _retry_or_fail(
+                    spec, store, campaign_id, queues, summary, state.trial,
+                    state.attempt, "worker process died (pool broken)", on_trial,
+                )
+            else:
+                queues.ready.append((state.trial, state.attempt))
+        in_flight.clear()
+
+    try:
+        while queues.ready or queues.retry or in_flight:
+            if stop_after is not None and summary.completed >= stop_after:
+                summary.interrupted = True
+                return
+            _promote_retries(queues)
+            while queues.ready and len(in_flight) < workers:
+                trial, attempt = queues.ready.popleft()
+                store.mark_running(campaign_id, trial.key, attempt)
+                deadline = (
+                    time.monotonic() + spec.trial_timeout_s + HARD_DEADLINE_GRACE_S
+                    if spec.trial_timeout_s is not None
+                    else None
+                )
+                future = pool.submit(_payload(spec, trial, attempt))
+                in_flight[future] = _InFlight(trial, attempt, deadline)
+            if not in_flight:
+                time.sleep(_WAIT_S)
+                continue
+            done, _ = wait(
+                set(in_flight), timeout=_WAIT_S, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                state = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    # The dying worker poisons every in-flight future;
+                    # charge them all one attempt and rebuild.
+                    _retry_or_fail(
+                        spec, store, campaign_id, queues, summary, state.trial,
+                        state.attempt, "worker process died (pool broken)",
+                        on_trial,
+                    )
+                    broken = True
+                except Exception as exc:
+                    _retry_or_fail(
+                        spec, store, campaign_id, queues, summary, state.trial,
+                        state.attempt, f"{type(exc).__name__}: {exc}", on_trial,
+                    )
+                else:
+                    _finish(summary, store, campaign_id, state.trial, result,
+                            None, on_trial)
+            if broken:
+                requeue_in_flight(charge_attempt=True)
+                pool.rebuild()
+                summary.crash_recoveries += 1
+                incr("sweep.pool.rebuilds")
+                continue
+            now = time.monotonic()
+            overdue = [
+                future
+                for future, state in in_flight.items()
+                if state.deadline is not None and now > state.deadline
+            ]
+            if overdue:
+                # A worker is stuck past the in-worker alarm: only a
+                # pool replacement reclaims its process.  Non-overdue
+                # in-flight trials are re-queued without a charged
+                # attempt — they did nothing wrong.
+                for future in overdue:
+                    state = in_flight.pop(future)
+                    _retry_or_fail(
+                        spec, store, campaign_id, queues, summary, state.trial,
+                        state.attempt, "worker unresponsive past hard deadline",
+                        on_trial,
+                    )
+                requeue_in_flight(charge_attempt=False)
+                pool.rebuild()
+                summary.crash_recoveries += 1
+                incr("sweep.pool.rebuilds")
+    finally:
+        pool.shutdown()

@@ -1,0 +1,342 @@
+"""Declarative sweep specifications and their expansion into trials.
+
+A :class:`SweepSpec` describes a *campaign*: a parameter grid over seeds
+x scenario scales x geolocation tools x generator configurations, plus
+execution policy (per-trial timeout, retry limit, backoff).  The grid
+has three trial kinds:
+
+- ``pipeline`` cells run the full reproduction pipeline under a scenario
+  built from a named scale plus dotted config overrides, and estimate
+  the paper's headline statistics (alpha exponent, Waxman decay scale,
+  distance-sensitive link fraction, intradomain link share);
+- ``generator`` cells build one synthetic topology (Waxman / BA / ER /
+  BRITE / GeoGen) and characterise its distance preference, feeding the
+  generator-scoring pass of the aggregation layer;
+- ``synthetic`` cells sleep for a fixed duration and return trivial
+  metrics — the engine-throughput benchmark workload.
+
+Every cell is crossed with the seed axis; optional random sampling
+(``sample`` / ``sample_seed``) and a hard ``max_trials`` budget bound
+the campaign.  Expansion is deterministic: the same spec always yields
+the same trials with the same keys, which is what makes ``sweep
+resume`` able to skip completed work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.config import (
+    ScenarioConfig,
+    default_scenario,
+    small_scenario,
+    tiny_scenario,
+)
+from repro.errors import SweepError
+
+#: Named scenario scales a pipeline cell may request.
+SCALES = ("tiny", "small", "default")
+
+_SCALE_BUILDERS = {
+    "tiny": tiny_scenario,
+    "small": small_scenario,
+    "default": default_scenario,
+}
+
+#: Fault-injection modes a trial may carry (tests, smoke, demos).
+INJECT_MODES = ("raise", "flaky", "hang", "crash", "crash_once")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for keys and digests."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One expanded trial of a campaign.
+
+    Attributes:
+        key: stable unique identifier within the campaign (kind, seed,
+            and a digest of the cell parameters).
+        kind: ``"pipeline"``, ``"generator"``, or ``"synthetic"``.
+        seed: the trial's RNG seed.
+        params: the cell parameters (seed excluded).
+        inject: optional fault-injection mode (see :data:`INJECT_MODES`).
+    """
+
+    key: str
+    kind: str
+    seed: int
+    params: dict[str, Any]
+    inject: str | None = None
+
+    @property
+    def cell(self) -> dict[str, Any]:
+        """The trial's aggregation cell: kind + params, seed excluded."""
+        return {"kind": self.kind, **self.params}
+
+    def payload(self, attempt: int, timeout_s: float | None) -> dict[str, Any]:
+        """The picklable work order shipped to a worker process."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "inject": self.inject,
+            "attempt": attempt,
+            "timeout_s": timeout_s,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep campaign.
+
+    Attributes:
+        name: campaign name (the primary key in the result store).
+        seeds: the seed axis every cell is crossed with.
+        pipeline: pipeline cells; each a mapping with optional keys
+            ``scale`` (one of :data:`SCALES`), ``mapper``,
+            ``measurement``, ``region``, and ``overrides`` (dotted
+            config paths -> values).
+        generators: generator cells; each a mapping with ``generator``
+            (``waxman`` / ``ba`` / ``er`` / ``brite`` / ``geogen``) plus
+            generator-specific parameters.
+        synthetic: synthetic cells; each a mapping with ``duration_s``.
+        sample: when set, keep only this many trials, drawn without
+            replacement using ``sample_seed``.
+        sample_seed: RNG seed of the sampling draw.
+        max_trials: hard budget; expansion truncates past it.
+        trial_timeout_s: per-trial wall-clock limit enforced inside the
+            worker (``None`` disables it).
+        max_retries: attempts beyond the first before a trial is
+            recorded as failed.
+        retry_backoff_s: base of the exponential retry backoff.
+        cache_dir: optional artifact-cache directory shared by pipeline
+            trials (the cache is process-safe: atomic temp-file renames).
+        inject: expanded-trial index -> fault-injection mode, applied
+            after sampling/truncation; used by tests and the smoke
+            campaign to plant failures.
+    """
+
+    name: str
+    seeds: tuple[int, ...]
+    pipeline: tuple[dict[str, Any], ...] = ()
+    generators: tuple[dict[str, Any], ...] = ()
+    synthetic: tuple[dict[str, Any], ...] = ()
+    sample: int | None = None
+    sample_seed: int = 0
+    max_trials: int | None = None
+    trial_timeout_s: float | None = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.25
+    cache_dir: str | None = None
+    inject: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepError("a sweep spec needs a non-empty name")
+        if not self.seeds:
+            raise SweepError("a sweep spec needs at least one seed")
+        if not (self.pipeline or self.generators or self.synthetic):
+            raise SweepError("a sweep spec needs at least one cell")
+        if self.sample is not None and self.sample < 1:
+            raise SweepError("sample must be >= 1 when set")
+        if self.max_trials is not None and self.max_trials < 1:
+            raise SweepError("max_trials must be >= 1 when set")
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise SweepError("trial_timeout_s must be positive when set")
+        if self.max_retries < 0:
+            raise SweepError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise SweepError("retry_backoff_s must be >= 0")
+        for cell in self.pipeline:
+            scale = cell.get("scale", "tiny")
+            if scale not in SCALES:
+                raise SweepError(f"unknown scale {scale!r}; use one of {SCALES}")
+        for mode in self.inject.values():
+            if mode not in INJECT_MODES:
+                raise SweepError(
+                    f"unknown inject mode {mode!r}; use one of {INJECT_MODES}"
+                )
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON layout (also what the result store persists)."""
+        payload = dataclasses.asdict(self)
+        payload["seeds"] = list(self.seeds)
+        payload["pipeline"] = [dict(c) for c in self.pipeline]
+        payload["generators"] = [dict(c) for c in self.generators]
+        payload["synthetic"] = [dict(c) for c in self.synthetic]
+        payload["inject"] = {str(k): v for k, v in self.inject.items()}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Parse a spec payload.
+
+        Raises:
+            SweepError: on missing/invalid fields.
+        """
+        if not isinstance(payload, Mapping):
+            raise SweepError("sweep spec must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SweepError(f"unknown sweep spec fields: {', '.join(unknown)}")
+        try:
+            return cls(
+                name=str(payload["name"]),
+                seeds=tuple(int(s) for s in payload["seeds"]),
+                pipeline=tuple(dict(c) for c in payload.get("pipeline", ())),
+                generators=tuple(dict(c) for c in payload.get("generators", ())),
+                synthetic=tuple(dict(c) for c in payload.get("synthetic", ())),
+                sample=(
+                    None if payload.get("sample") is None
+                    else int(payload["sample"])
+                ),
+                sample_seed=int(payload.get("sample_seed", 0)),
+                max_trials=(
+                    None if payload.get("max_trials") is None
+                    else int(payload["max_trials"])
+                ),
+                trial_timeout_s=(
+                    None if payload.get("trial_timeout_s") is None
+                    else float(payload["trial_timeout_s"])
+                ),
+                max_retries=int(payload.get("max_retries", 2)),
+                retry_backoff_s=float(payload.get("retry_backoff_s", 0.25)),
+                cache_dir=(
+                    None if payload.get("cache_dir") is None
+                    else str(payload["cache_dir"])
+                ),
+                inject={
+                    int(k): str(v)
+                    for k, v in dict(payload.get("inject", {})).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SweepError(f"invalid sweep spec: {exc}")
+
+    def digest(self) -> str:
+        """Content hash of the spec; resume refuses a mismatched spec."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("utf-8")
+        ).hexdigest()
+
+    # -- expansion ------------------------------------------------------------
+
+    def expand(self) -> list[TrialSpec]:
+        """Deterministically expand the grid into trials.
+
+        Cells are enumerated in declaration order (pipeline, then
+        generator, then synthetic), each crossed with the seed axis;
+        sampling and the trial budget are applied afterwards, then
+        fault-injection modes are attached by final index.
+        """
+        trials: list[TrialSpec] = []
+        groups = (
+            ("pipeline", self.pipeline),
+            ("generator", self.generators),
+            ("synthetic", self.synthetic),
+        )
+        for kind, cells in groups:
+            for cell in cells:
+                params = dict(cell)
+                digest = hashlib.sha256(
+                    canonical_json({"kind": kind, **params}).encode("utf-8")
+                ).hexdigest()[:10]
+                for seed in self.seeds:
+                    trials.append(
+                        TrialSpec(
+                            key=f"{kind}:{digest}:s{seed}",
+                            kind=kind,
+                            seed=int(seed),
+                            params=params,
+                        )
+                    )
+        keys = [t.key for t in trials]
+        if len(set(keys)) != len(keys):
+            raise SweepError("duplicate trials in sweep spec (repeated cell/seed)")
+        if self.sample is not None and self.sample < len(trials):
+            rng = np.random.default_rng(self.sample_seed)
+            picked = sorted(
+                rng.choice(len(trials), size=self.sample, replace=False).tolist()
+            )
+            trials = [trials[i] for i in picked]
+        if self.max_trials is not None:
+            trials = trials[: self.max_trials]
+        for index, mode in self.inject.items():
+            if 0 <= index < len(trials):
+                trials[index] = dataclasses.replace(trials[index], inject=mode)
+        return trials
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Read a sweep spec JSON file.
+
+    Raises:
+        SweepError: on unreadable files, bad JSON, or invalid specs.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepError(f"cannot read sweep spec {path}: {exc}")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SweepError(f"sweep spec {path} is not valid JSON: {exc}")
+    return SweepSpec.from_dict(payload)
+
+
+# -- scenario construction ----------------------------------------------------
+
+
+def _replace_dotted(config: Any, dotted: str, value: Any) -> Any:
+    """Return a copy of a nested frozen dataclass with one field replaced."""
+    head, _, rest = dotted.partition(".")
+    if not dataclasses.is_dataclass(config) or not any(
+        f.name == head for f in dataclasses.fields(config)
+    ):
+        raise SweepError(
+            f"unknown config override path {dotted!r} "
+            f"on {type(config).__name__}"
+        )
+    current = getattr(config, head)
+    new = _replace_dotted(current, rest, value) if rest else value
+    return dataclasses.replace(config, **{head: new})
+
+
+def build_scenario(
+    seed: int,
+    scale: str = "tiny",
+    overrides: Mapping[str, Any] | None = None,
+) -> ScenarioConfig:
+    """Build one pipeline trial's scenario from a cell's parameters.
+
+    Args:
+        seed: the trial seed.
+        scale: a named base scenario (:data:`SCALES`).
+        overrides: dotted config paths -> values, e.g.
+            ``{"city_scale": 0.2, "ground_truth.total_routers": 900}``.
+
+    Raises:
+        SweepError: for an unknown scale or override path.
+    """
+    try:
+        builder = _SCALE_BUILDERS[scale]
+    except KeyError:
+        raise SweepError(f"unknown scale {scale!r}; use one of {SCALES}") from None
+    config = builder(seed)
+    for dotted, value in (overrides or {}).items():
+        config = _replace_dotted(config, dotted, value)
+    return config

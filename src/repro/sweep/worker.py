@@ -1,0 +1,320 @@
+"""The per-trial worker: a picklable, spawn-safe process entrypoint.
+
+:func:`execute_trial` is the only function the engine ships across the
+process boundary.  It is deliberately a plain module-level function
+taking one JSON-safe dict and returning one JSON-safe dict, so it
+pickles under both the ``fork`` and ``spawn`` start methods; under
+``spawn`` the child re-imports this module from scratch, which also
+re-runs the pipeline's codec registration (idempotent by design — the
+codec registry is a plain dict keyed by name).
+
+Observability across the process boundary: the contextvar-propagated
+tracer/metrics of :mod:`repro.obs` do **not** survive into workers.
+Under ``spawn`` the child inherits nothing; under ``fork`` it inherits
+a *copy* whose spans and counters would never drain back to the
+parent.  Each trial therefore installs a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.trace.Tracer` for its own run and ships the
+collected data home inside a RunReport-compatible record in its result
+dict; the engine persists that record in the result store.
+
+Per-trial timeouts are enforced *inside* the worker with
+``signal.setitimer`` (workers run trials on their main thread, so
+``SIGALRM`` delivery is safe): a hanging trial raises
+:class:`TrialTimeout` and frees its pool slot without the engine having
+to tear the pool down.  A hard engine-side deadline remains as the
+backstop for code that blocks in C and never returns to the
+interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.asgeo import link_domain_row
+from repro.core.density import patch_regression
+from repro.core.distance import (
+    preference_function,
+    sensitivity_limit,
+    waxman_fit,
+)
+from repro.core.experiments import compare_generator, dataset_from_graph
+from repro.datasets.pipeline import run_pipeline
+from repro.errors import AnalysisError, ReproError, SweepError
+from repro.generators import (
+    GeoGenConfig,
+    barabasi_albert_graph,
+    brite_graph,
+    erdos_renyi_graph,
+    geogen_graph,
+    waxman_graph,
+)
+from repro.geo.regions import EUROPE, JAPAN, US, WORLD
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    dataset_digest,
+    use_metrics,
+    use_tracer,
+)
+from repro.obs import span as obs_span
+from repro.population.worldmodel import build_world
+from repro.sweep.spec import build_scenario
+
+_REGIONS = {"US": US, "Europe": EUROPE, "Japan": JAPAN, "World": WORLD}
+
+#: Bin width (miles) for f(d) estimates per analysis region.
+_BIN_MILES = {"US": 35.0, "Europe": 15.0, "Japan": 11.0, "World": 35.0}
+
+
+class TrialTimeout(ReproError):
+    """A trial exceeded its per-trial wall-clock budget."""
+
+
+class InjectedFailure(ReproError):
+    """A deliberately planted trial failure (tests / smoke campaigns)."""
+
+
+def _apply_injection(inject: str | None, attempt: int) -> None:
+    """Fault injection: raise, hang, or kill the worker outright."""
+    if inject is None:
+        return
+    if inject == "raise":
+        raise InjectedFailure("injected failure (every attempt)")
+    if inject == "flaky" and attempt == 0:
+        raise InjectedFailure("injected failure (first attempt only)")
+    if inject == "hang":
+        time.sleep(3600.0)
+    if inject == "crash":
+        os._exit(13)
+    if inject == "crash_once" and attempt == 0:
+        os._exit(13)
+
+
+class _trial_alarm:
+    """SIGALRM-based wall-clock guard around one trial."""
+
+    def __init__(self, timeout_s: float | None) -> None:
+        self.timeout_s = timeout_s
+        self._previous: Any = None
+
+    def __enter__(self) -> "_trial_alarm":
+        if self.timeout_s is not None and hasattr(signal, "setitimer"):
+            def on_alarm(signum, frame):
+                raise TrialTimeout(
+                    f"trial exceeded its {self.timeout_s:g}s budget"
+                )
+
+            self._previous = signal.signal(signal.SIGALRM, on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._previous is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+def _maybe(fn, *args: Any, **kwargs: Any) -> float:
+    """Run one estimator; an unusable-data failure yields NaN (recorded
+    as a missing metric), so a sparse trial never fails the campaign."""
+    try:
+        return float(fn(*args, **kwargs))
+    except AnalysisError:
+        return float("nan")
+
+
+def _pipeline_metrics(payload: dict[str, Any]) -> tuple[dict[str, float], dict[str, str]]:
+    """Run the full pipeline and estimate the paper's headline numbers."""
+    params = payload["params"]
+    config = build_scenario(
+        payload["seed"],
+        scale=params.get("scale", "tiny"),
+        overrides=params.get("overrides"),
+    )
+    result = run_pipeline(config, cache_dir=payload.get("cache_dir"))
+    mapper = params.get("mapper", "IxMapper")
+    measurement = params.get("measurement", "Skitter")
+    region = _REGIONS[params.get("region", "US")]
+    dataset = result.dataset(mapper, measurement)
+
+    metrics: dict[str, float] = {
+        "n_nodes": float(dataset.n_nodes),
+        "n_links": float(dataset.n_links),
+    }
+    metrics["alpha_exponent"] = _maybe(
+        lambda: patch_regression(dataset, result.world.field, region).fit.slope
+    )
+    try:
+        pref = preference_function(
+            dataset, region, _BIN_MILES[region.name]
+        )
+    except AnalysisError:
+        pref = None
+    if pref is not None:
+        metrics["waxman_l_miles"] = _maybe(lambda: waxman_fit(pref).l_miles)
+        metrics["sensitive_fraction"] = _maybe(
+            lambda: sensitivity_limit(pref).fraction_below
+        )
+    metrics["intradomain_share"] = _maybe(
+        lambda: link_domain_row(dataset, "World").intradomain_fraction
+    )
+    artifacts = {dataset.label: dataset_digest(dataset)}
+    return metrics, artifacts
+
+
+def _make_generator_graph(params: dict[str, Any], seed: int):
+    """Build one generator cell's graph from its parameters."""
+    name = params.get("generator")
+    n = int(params.get("n", 700))
+    if name == "waxman":
+        return waxman_graph(
+            n, float(params.get("alpha", 0.1)), float(params.get("beta", 0.05)),
+            seed,
+        )
+    if name == "ba":
+        return barabasi_albert_graph(n, int(params.get("m", 2)), seed)
+    if name == "er":
+        return erdos_renyi_graph(n, float(params.get("p", 0.004)), seed)
+    if name == "brite":
+        return brite_graph(
+            n, int(params.get("m", 2)), seed, mode=params.get("mode", "hybrid")
+        )
+    if name == "geogen":
+        world = build_world(
+            np.random.default_rng(seed),
+            city_scale=float(params.get("city_scale", 0.12)),
+        )
+        config = GeoGenConfig(
+            n_nodes=n,
+            n_ases=int(params.get("n_ases", 40)),
+            alpha=float(params.get("alpha", 1.4)),
+            waxman_l_miles=float(params.get("waxman_l_miles", 120.0)),
+            long_range_fraction=float(params.get("long_range_fraction", 0.1)),
+            mean_degree=float(params.get("mean_degree", 2.6)),
+        )
+        return geogen_graph(world, config, seed), world
+    raise SweepError(f"unknown generator {name!r} in sweep cell")
+
+
+def _generator_metrics(payload: dict[str, Any]) -> tuple[dict[str, float], dict[str, str]]:
+    """Characterise one generated topology against the paper's tests."""
+    params = payload["params"]
+    seed = payload["seed"]
+    built = _make_generator_graph(params, seed)
+    world = None
+    if isinstance(built, tuple):
+        annotated, world = built
+        graph = annotated.graph
+    else:
+        graph = built
+    region = _REGIONS[params.get("region", "US")]
+    comparison = compare_generator(graph, region, _BIN_MILES[region.name])
+    metrics: dict[str, float] = {
+        "n_nodes": float(graph.n_nodes),
+        "n_links": float(graph.n_edges),
+        "mean_degree": comparison.mean_degree,
+        "decay_slope": comparison.decay_slope,
+    }
+    slope = comparison.decay_slope
+    if math.isfinite(slope) and slope < 0:
+        metrics["waxman_l_miles"] = -1.0 / slope
+    if world is None and params.get("generator") != "geogen":
+        # Uniform-placement generators are still scored against the
+        # population field so their (near-zero) alpha is on record.
+        world = build_world(
+            np.random.default_rng(seed),
+            city_scale=float(params.get("city_scale", 0.12)),
+        )
+    if world is not None:
+        metrics["alpha_exponent"] = _maybe(
+            lambda: patch_regression(
+                dataset_from_graph(graph), world.field, region
+            ).fit.slope
+        )
+    dataset = dataset_from_graph(graph)
+    return metrics, {dataset.label: dataset_digest(dataset)}
+
+
+def _synthetic_metrics(payload: dict[str, Any]) -> tuple[dict[str, float], dict[str, str]]:
+    """The benchmark workload: sleep, then report trivial metrics."""
+    duration = float(payload["params"].get("duration_s", 0.1))
+    time.sleep(duration)
+    return {"duration_s": duration, "value": float(payload["seed"])}, {}
+
+
+_KINDS = {
+    "pipeline": _pipeline_metrics,
+    "generator": _generator_metrics,
+    "synthetic": _synthetic_metrics,
+}
+
+
+def execute_trial(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one trial to completion inside the current process.
+
+    Args:
+        payload: a :meth:`TrialSpec.payload` work order.
+
+    Returns:
+        A dict with ``key``, ``metrics`` (finite values only),
+        ``wall_s``, and ``report`` (a RunReport-compatible record
+        carrying the trial's spans, metrics snapshot, and dataset
+        content hashes).
+
+    Raises:
+        TrialTimeout: when the trial exceeds ``payload["timeout_s"]``.
+        SweepError: for malformed payloads.
+        Exception: whatever the trial's own code raises; the engine
+            counts any exception as a failed attempt.
+    """
+    kind = payload.get("kind")
+    try:
+        runner = _KINDS[kind]
+    except KeyError:
+        raise SweepError(f"unknown trial kind {kind!r}") from None
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    start = time.perf_counter()
+    with _trial_alarm(payload.get("timeout_s")):
+        _apply_injection(payload.get("inject"), int(payload.get("attempt", 0)))
+        with use_metrics(registry), use_tracer(tracer):
+            with obs_span(
+                "sweep:trial",
+                key=payload["key"],
+                kind=kind,
+                seed=payload["seed"],
+                attempt=int(payload.get("attempt", 0)),
+            ):
+                metrics, artifacts = runner(payload)
+    wall_s = time.perf_counter() - start
+    report = RunReport(
+        seed=int(payload["seed"]),
+        config={
+            "kind": kind,
+            "key": payload["key"],
+            "params": payload["params"],
+        },
+        spans=tracer.to_dicts(),
+        metrics=registry.snapshot(),
+        artifacts=artifacts,
+        argv=[],
+        created_unix=time.time(),
+    )
+    return {
+        "key": payload["key"],
+        "metrics": {
+            name: value
+            for name, value in metrics.items()
+            if math.isfinite(value)
+        },
+        "wall_s": wall_s,
+        "report": report.to_dict(),
+    }

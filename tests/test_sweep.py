@@ -1,0 +1,527 @@
+"""Tests for the sweep engine: spec, store, worker, engine, aggregate.
+
+The fault-injection suite exercises the failure modes the engine must
+survive: a trial that raises every time, a flaky trial, a hanging trial
+under a timeout, a worker that dies mid-trial (broken pool), and a
+campaign interrupted mid-flight then resumed — asserting exactly-once
+trial rows and aggregates identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.experiments import compare_generator, dataset_from_graph
+from repro.errors import SweepError
+from repro.generators import waxman_graph
+from repro.obs import validate_report
+from repro.sweep import (
+    InjectedFailure,
+    ResultStore,
+    SweepSpec,
+    TrialTimeout,
+    aggregate_campaign,
+    bootstrap_ci,
+    build_scenario,
+    build_sweep_report,
+    diff_sweep_reports,
+    execute_trial,
+    load_spec,
+    render_sweep_report,
+    run_campaign,
+    score_generators,
+    validate_sweep_report,
+    write_sweep_report,
+)
+
+SYNTH = {"duration_s": 0.01}
+FAST = dict(trial_timeout_s=30.0, retry_backoff_s=0.01)
+
+
+def synth_spec(name, seeds=(1, 2, 3), **kwargs):
+    merged = {**FAST, **kwargs}
+    return SweepSpec(name=name, seeds=tuple(seeds), synthetic=(SYNTH,), **merged)
+
+
+# -- spec ---------------------------------------------------------------------
+
+
+class TestSpec:
+    def test_expansion_is_deterministic(self):
+        spec = SweepSpec(
+            name="x",
+            seeds=(1, 2),
+            pipeline=({"scale": "tiny"},),
+            generators=({"generator": "waxman", "n": 100},),
+        )
+        first = spec.expand()
+        second = spec.expand()
+        assert [t.key for t in first] == [t.key for t in second]
+        assert len(first) == 4
+        assert len({t.key for t in first}) == 4
+
+    def test_cell_excludes_seed(self):
+        spec = SweepSpec(name="x", seeds=(1, 2), synthetic=(SYNTH,))
+        cells = {json.dumps(t.cell, sort_keys=True) for t in spec.expand()}
+        assert len(cells) == 1
+
+    def test_sampling_and_budget(self):
+        spec = SweepSpec(
+            name="x", seeds=tuple(range(20)), synthetic=(SYNTH,), sample=7
+        )
+        trials = spec.expand()
+        assert len(trials) == 7
+        assert [t.key for t in trials] == [t.key for t in spec.expand()]
+        capped = SweepSpec(
+            name="x", seeds=tuple(range(20)), synthetic=(SYNTH,), max_trials=5
+        )
+        assert len(capped.expand()) == 5
+
+    def test_injection_lands_on_final_index(self):
+        spec = SweepSpec(
+            name="x", seeds=(1, 2, 3), synthetic=(SYNTH,), inject={1: "raise"}
+        )
+        trials = spec.expand()
+        assert trials[1].inject == "raise"
+        assert trials[0].inject is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", seeds=(1,), synthetic=(SYNTH,)),
+            dict(name="x", seeds=(), synthetic=(SYNTH,)),
+            dict(name="x", seeds=(1,)),
+            dict(name="x", seeds=(1,), synthetic=(SYNTH,), sample=0),
+            dict(name="x", seeds=(1,), synthetic=(SYNTH,), trial_timeout_s=-1),
+            dict(name="x", seeds=(1,), pipeline=({"scale": "galactic"},)),
+            dict(name="x", seeds=(1,), synthetic=(SYNTH,), inject={0: "nope"}),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(SweepError):
+            SweepSpec(**kwargs)
+
+    def test_round_trip_and_digest(self, tmp_path):
+        spec = SweepSpec(
+            name="x", seeds=(1, 2), synthetic=(SYNTH,), inject={0: "flaky"}
+        )
+        clone = SweepSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+        other = SweepSpec(name="x", seeds=(1, 3), synthetic=(SYNTH,))
+        assert other.digest() != spec.digest()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert load_spec(path) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SweepError, match="unknown sweep spec fields"):
+            SweepSpec.from_dict({"name": "x", "seeds": [1], "bogus": 1})
+
+    def test_build_scenario_overrides(self):
+        config = build_scenario(
+            5, scale="tiny", overrides={"ground_truth.total_routers": 999}
+        )
+        assert config.seed == 5
+        assert config.ground_truth.total_routers == 999
+        with pytest.raises(SweepError, match="unknown config override"):
+            build_scenario(5, overrides={"no.such.path": 1})
+
+
+# -- store --------------------------------------------------------------------
+
+
+class TestStore:
+    def test_register_is_idempotent(self, tmp_path):
+        spec = synth_spec("idem")
+        store = ResultStore(tmp_path / "s.db")
+        cid = store.ensure_campaign(spec)
+        trials = spec.expand()
+        store.register_trials(cid, trials)
+        store.register_trials(cid, trials)
+        assert len(list(store.trial_rows(cid))) == len(trials)
+
+    def test_resume_refuses_changed_spec(self, tmp_path):
+        store = ResultStore(tmp_path / "s.db")
+        store.ensure_campaign(synth_spec("c"))
+        with pytest.raises(SweepError, match="different"):
+            store.ensure_campaign(synth_spec("c", seeds=(9,)))
+
+    def test_success_replaces_metrics(self, tmp_path):
+        spec = synth_spec("m", seeds=(1,))
+        store = ResultStore(tmp_path / "s.db")
+        cid = store.ensure_campaign(spec)
+        (trial,) = spec.expand()
+        store.register_trials(cid, [trial])
+        store.record_success(cid, trial.key, metrics={"a": 1.0}, wall_s=0.1)
+        store.record_success(cid, trial.key, metrics={"b": 2.0}, wall_s=0.1)
+        (row,) = store.trial_rows(cid)
+        assert row.metrics == {"b": 2.0}
+        assert row.status == "done"
+
+    def test_reset_incomplete(self, tmp_path):
+        spec = synth_spec("r", seeds=(1,))
+        store = ResultStore(tmp_path / "s.db")
+        cid = store.ensure_campaign(spec)
+        (trial,) = spec.expand()
+        store.register_trials(cid, [trial])
+        store.mark_running(cid, trial.key, 0)
+        assert store.reset_incomplete(cid) == 1
+        assert store.statuses(cid)[trial.key] == "pending"
+
+
+# -- worker -------------------------------------------------------------------
+
+
+def payload_for(spec, index=0, attempt=0):
+    trial = spec.expand()[index]
+    payload = trial.payload(attempt, spec.trial_timeout_s)
+    payload["cache_dir"] = spec.cache_dir
+    return payload
+
+
+class TestWorker:
+    def test_synthetic_trial_returns_report(self):
+        spec = synth_spec("w", seeds=(4,))
+        result = execute_trial(payload_for(spec))
+        assert result["metrics"]["duration_s"] == pytest.approx(0.01)
+        report = result["report"]
+        assert validate_report(report) == []
+        assert report["seed"] == 4
+        assert any(s["name"] == "sweep:trial" for s in report["spans"])
+
+    def test_generator_trial_metrics(self):
+        spec = SweepSpec(
+            name="w",
+            seeds=(3,),
+            generators=({"generator": "waxman", "n": 150, "alpha": 0.1,
+                         "beta": 0.05},),
+            **FAST,
+        )
+        result = execute_trial(payload_for(spec))
+        metrics = result["metrics"]
+        assert metrics["n_nodes"] == 150
+        assert "decay_slope" in metrics
+        assert execute_trial(payload_for(spec))["metrics"] == metrics
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SweepError, match="unknown trial kind"):
+            execute_trial({"kind": "nope", "key": "k", "seed": 1, "params": {}})
+
+    def test_injected_raise(self):
+        spec = synth_spec("w", seeds=(1,), inject={0: "raise"})
+        with pytest.raises(InjectedFailure):
+            execute_trial(payload_for(spec))
+
+    def test_flaky_fails_only_first_attempt(self):
+        spec = synth_spec("w", seeds=(1,), inject={0: "flaky"})
+        with pytest.raises(InjectedFailure):
+            execute_trial(payload_for(spec, attempt=0))
+        assert execute_trial(payload_for(spec, attempt=1))["metrics"]
+
+    def test_hang_hits_timeout(self):
+        spec = synth_spec(
+            "w", seeds=(1,), inject={0: "hang"}, trial_timeout_s=0.2
+        )
+        with pytest.raises(TrialTimeout):
+            execute_trial(payload_for(spec))
+
+
+# -- engine -------------------------------------------------------------------
+
+
+class TestEngineInline:
+    def test_completes_and_retries_flaky(self, tmp_path):
+        spec = synth_spec("e", inject={0: "flaky"})
+        store = ResultStore(tmp_path / "e.db")
+        summary = run_campaign(spec, store, workers=0)
+        assert summary.completed == 3
+        assert summary.retried == 1
+        assert summary.failed == 0
+        assert not summary.interrupted
+
+    def test_permanent_failure_does_not_kill_campaign(self, tmp_path):
+        spec = synth_spec("e", inject={1: "raise"}, max_retries=1)
+        store = ResultStore(tmp_path / "e.db")
+        summary = run_campaign(spec, store, workers=0)
+        assert summary.completed == 2
+        assert summary.failed == 1
+        cid = store.campaign_id("e")
+        failed = [r for r in store.trial_rows(cid) if r.status == "failed"]
+        assert len(failed) == 1
+        assert "InjectedFailure" in failed[0].error
+        assert failed[0].attempts == 2
+
+    def test_rerun_of_done_campaign_skips_everything(self, tmp_path):
+        spec = synth_spec("e")
+        store = ResultStore(tmp_path / "e.db")
+        run_campaign(spec, store, workers=0)
+        again = run_campaign(spec, store, workers=0)
+        assert again.skipped == 3
+        assert again.completed == 0
+
+    def test_negative_workers_rejected(self, tmp_path):
+        with pytest.raises(SweepError):
+            run_campaign(synth_spec("e"), ResultStore(tmp_path / "e.db"),
+                         workers=-1)
+
+
+class TestEnginePool:
+    def test_crash_recovery(self, tmp_path):
+        spec = synth_spec("crash", inject={0: "crash_once"})
+        store = ResultStore(tmp_path / "c.db")
+        summary = run_campaign(
+            spec, store, workers=1, start_method="fork"
+        )
+        assert summary.completed == 3
+        assert summary.failed == 0
+        assert summary.crash_recoveries >= 1
+
+    def test_hang_recorded_failed(self, tmp_path):
+        spec = synth_spec(
+            "hang", seeds=(1, 2), inject={0: "hang"},
+            trial_timeout_s=0.3, max_retries=0,
+        )
+        store = ResultStore(tmp_path / "h.db")
+        summary = run_campaign(spec, store, workers=1, start_method="fork")
+        assert summary.completed == 1
+        assert summary.failed == 1
+        cid = store.campaign_id("hang")
+        failed = [r for r in store.trial_rows(cid) if r.status == "failed"]
+        assert "TrialTimeout" in failed[0].error
+
+    def test_interrupt_and_resume_exactly_once(self, tmp_path):
+        spec = synth_spec("resume", seeds=(1, 2, 3, 4, 5))
+
+        interrupted_store = ResultStore(tmp_path / "a.db")
+        first = run_campaign(
+            spec, interrupted_store, workers=2, start_method="fork",
+            stop_after=2,
+        )
+        assert first.interrupted
+        assert first.completed >= 2
+        second = run_campaign(
+            spec, interrupted_store, workers=2, start_method="fork"
+        )
+        assert not second.interrupted
+        assert second.skipped == first.completed
+        cid = interrupted_store.campaign_id("resume")
+        rows = list(interrupted_store.trial_rows(cid))
+        assert len(rows) == 5
+        assert all(r.status == "done" for r in rows)
+
+        control_store = ResultStore(tmp_path / "b.db")
+        run_campaign(spec, control_store, workers=2, start_method="fork")
+
+        def stable(store):
+            report = build_sweep_report(store, "resume")
+            report.pop("created_unix")
+            for cell in report["cells"]:
+                cell["metrics"].pop("wall_s", None)
+            return report
+
+        assert stable(interrupted_store) == stable(control_store)
+
+    def test_keyboard_interrupt_via_hook(self, tmp_path):
+        spec = synth_spec("sigint", seeds=(1, 2, 3, 4))
+        store = ResultStore(tmp_path / "k.db")
+        seen = []
+
+        def hook(trial, status):
+            seen.append(status)
+            if len(seen) == 1:
+                raise KeyboardInterrupt
+
+        summary = run_campaign(
+            spec, store, workers=1, start_method="fork", on_trial=hook
+        )
+        assert summary.interrupted
+        resumed = run_campaign(spec, store, workers=1, start_method="fork")
+        assert not resumed.interrupted
+        cid = store.campaign_id("sigint")
+        assert all(r.status == "done" for r in store.trial_rows(cid))
+
+    def test_spawn_start_method(self, tmp_path):
+        spec = synth_spec("spawn", seeds=(1, 2))
+        store = ResultStore(tmp_path / "s.db")
+        summary = run_campaign(spec, store, workers=2, start_method="spawn")
+        assert summary.completed == 2
+        assert summary.failed == 0
+
+
+# -- aggregate ----------------------------------------------------------------
+
+
+class TestAggregate:
+    def test_bootstrap_ci_deterministic_and_ordered(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = bootstrap_ci(values, seed=3)
+        assert (lo, hi) == bootstrap_ci(values, seed=3)
+        assert lo <= 3.0 <= hi
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+        with pytest.raises(SweepError):
+            bootstrap_ci([])
+        with pytest.raises(SweepError):
+            bootstrap_ci(values, alpha=1.5)
+
+    def test_aggregation_groups_by_cell(self, tmp_path):
+        spec = SweepSpec(
+            name="agg", seeds=(1, 2, 3),
+            synthetic=({"duration_s": 0.01}, {"duration_s": 0.02}),
+            **FAST,
+        )
+        store = ResultStore(tmp_path / "a.db")
+        run_campaign(spec, store, workers=0)
+        cells = aggregate_campaign(store, "agg")
+        assert len(cells) == 2
+        for cell in cells:
+            assert cell.n_done == 3
+            assert cell.metrics["duration_s"].n == 3
+
+    def test_generator_scoring_prefers_closer_config(self, tmp_path):
+        spec = SweepSpec(
+            name="score", seeds=(1, 2),
+            pipeline=({"scale": "tiny"},),
+            generators=(
+                {"generator": "geogen", "n": 400, "n_ases": 30},
+                {"generator": "er", "n": 400, "p": 0.004},
+            ),
+            **FAST,
+        )
+        store = ResultStore(tmp_path / "g.db")
+        summary = run_campaign(spec, store, workers=0)
+        assert summary.failed == 0
+        scores = score_generators(aggregate_campaign(store, "score"))
+        assert [entry["rank"] for entry in scores] == [1, 2]
+        by_name = {
+            entry["cell"]["generator"]: entry["score"] for entry in scores
+        }
+        # GeoGen places nodes by population and wires distance-sensitive
+        # links; ER does neither, so GeoGen must score closer to the
+        # empirical pipeline cells.
+        assert by_name["geogen"] < by_name["er"]
+
+    def test_report_round_trip_and_diff(self, tmp_path):
+        spec = synth_spec("rep", seeds=(1, 2, 3))
+        store = ResultStore(tmp_path / "r.db")
+        run_campaign(spec, store, workers=0)
+        payload = build_sweep_report(store, "rep")
+        validate_sweep_report(payload)
+        assert "campaign rep" in render_sweep_report(payload)
+        path = write_sweep_report(payload, tmp_path / "rep.json")
+        clean = diff_sweep_reports(payload, json.loads(path.read_text()))
+        assert clean.clean
+
+        shifted = json.loads(json.dumps(payload))
+        cell = shifted["cells"][0]
+        metric = cell["metrics"]["value"]
+        metric["mean"] += 100 * max(metric["hi"] - metric["lo"], 1e-6)
+        outcome = diff_sweep_reports(payload, shifted)
+        assert not outcome.clean
+        assert any("shifted" in line for line in outcome.regressions)
+
+        missing = json.loads(json.dumps(payload))
+        missing["cells"] = []
+        drifted = diff_sweep_reports(payload, missing)
+        assert any("disappeared" in line for line in drifted.drifts)
+        with pytest.raises(SweepError):
+            diff_sweep_reports(payload, payload, threshold=0)
+
+    def test_validate_rejects_foreign_payloads(self):
+        with pytest.raises(SweepError):
+            validate_sweep_report({"schema": "repro-run-report"})
+        with pytest.raises(SweepError):
+            validate_sweep_report([])
+
+
+# -- seed propagation (generators -> comparison) ------------------------------
+
+
+class TestSeedPropagation:
+    def test_generated_graph_records_seed(self):
+        graph = waxman_graph(80, 0.1, 0.1, 7)
+        assert graph.seed == 7
+
+    def test_comparison_and_dataset_carry_seed(self):
+        graph = waxman_graph(80, 0.1, 0.1, 7)
+        dataset = dataset_from_graph(graph)
+        assert dataset.label.endswith("#7")
+        from repro.geo.regions import US
+
+        comparison = compare_generator(graph, US, 35.0)
+        assert comparison.seed == 7
+
+    def test_explicit_generator_keeps_seed_none(self):
+        import numpy as np
+
+        graph = waxman_graph(80, 0.1, 0.1, np.random.default_rng(7))
+        assert graph.seed is None
+        assert "#" not in dataset_from_graph(graph).label
+
+
+# -- cli ----------------------------------------------------------------------
+
+
+class TestSweepCli:
+    def test_run_status_report_diff_flow(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(
+            synth_spec("cli", seeds=(1, 2), inject={0: "flaky"}).to_dict()
+        ))
+        db = tmp_path / "sweep.db"
+        code = cli_main([
+            "sweep", "run", str(spec_path), "--db", str(db), "--workers", "0",
+        ])
+        assert code == 0
+        code = cli_main(["sweep", "status", "--db", str(db), "cli"])
+        assert code == 0
+        assert "2/2 done" in capsys.readouterr().out
+        out = tmp_path / "rep.json"
+        code = cli_main([
+            "sweep", "report", "cli", "--db", str(db), "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert cli_main(["report", "diff", str(out), str(out)]) == 0
+
+    def test_interrupted_run_exits_nonzero_then_resume(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(
+            synth_spec("cli2", seeds=(1, 2, 3)).to_dict()
+        ))
+        db = tmp_path / "sweep.db"
+        code = cli_main([
+            "sweep", "run", str(spec_path), "--db", str(db),
+            "--workers", "0", "--stop-after", "1",
+        ])
+        assert code == 1
+        code = cli_main([
+            "sweep", "resume", "cli2", "--db", str(db), "--workers", "0",
+        ])
+        assert code == 0
+
+    def test_diff_rejects_mixed_schemas(self, tmp_path):
+        sweep_path = tmp_path / "sweep.json"
+        spec = synth_spec("mix", seeds=(1,))
+        store = ResultStore(tmp_path / "m.db")
+        run_campaign(spec, store, workers=0)
+        write_sweep_report(build_sweep_report(store, "mix"), sweep_path)
+        run_path = tmp_path / "run.json"
+        run_path.write_text(json.dumps({"schema": "repro-run-report"}))
+        code = cli_main(["report", "diff", str(sweep_path), str(run_path)])
+        assert code == 2
+
+    def test_status_without_campaign_lists_all(self, tmp_path, capsys):
+        db = tmp_path / "sweep.db"
+        store = ResultStore(db)
+        run_campaign(synth_spec("lst", seeds=(1,)), store, workers=0)
+        assert cli_main(["sweep", "status", "--db", str(db)]) == 0
+        assert "lst" in capsys.readouterr().out
+
+    def test_unknown_campaign_is_invalid(self, tmp_path):
+        db = tmp_path / "sweep.db"
+        ResultStore(db)
+        assert cli_main(["sweep", "report", "ghost", "--db", str(db)]) == 2
