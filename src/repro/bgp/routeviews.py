@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.bgp.table import BgpTable, RibEntry
 from repro.config import BgpConfig
-from repro.net.ip import Prefix, is_private
+from repro.net.ip import Prefix, is_private_many
 from repro.net.topology import Topology
 from repro.net.addressing import AddressPlan
 
@@ -62,16 +62,17 @@ def snapshot_from_topology(
     router's AS at ``block_length`` granularity, then the same
     announcement distortions are applied.
     """
-    blocks: dict[int, int] = {}
     step = 32 - block_length
-    for address, iface in topology.interfaces.items():
-        if is_private(address):
-            continue
-        base = (address >> step) << step
-        blocks.setdefault(base, topology.routers[iface.router_id].asn)
+    addresses = topology.interface_addresses()
+    owners = topology.router_asns()[topology.interface_routers()]
+    public = ~is_private_many(addresses)
+    bases = (addresses[public] >> step) << step
+    # np.unique's first-occurrence index replicates dict.setdefault's
+    # first-wins attribution, and its output is already base-sorted.
+    unique_bases, first_seen = np.unique(bases, return_index=True)
+    owner_of_base = owners[public][first_seen]
     table = BgpTable()
-    for base in sorted(blocks):
-        asn = blocks[base]
+    for base, asn in zip(unique_bases.tolist(), owner_of_base.tolist()):
         prefix = Prefix(base, block_length)
         if rng.random() < config.unannounced_rate:
             continue

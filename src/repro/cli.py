@@ -38,7 +38,7 @@ import sys
 import time
 from contextlib import ExitStack
 
-from repro.config import default_scenario, small_scenario
+from repro.config import default_scenario, large_scenario, small_scenario
 from repro.core import experiments, report
 from repro.datasets.pipeline import PipelineResult
 from repro.errors import ReportError, ReproError
@@ -122,9 +122,9 @@ def _run_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=("small", "default"),
+        choices=("small", "default", "large"),
         default="small",
-        help="scenario size (small: seconds; default: minutes)",
+        help="scenario size (small: seconds; default: minutes; large: ~100k routers)",
     )
     parser.add_argument("--seed", type=int, default=None, help="override RNG seed")
     parser.add_argument(
@@ -177,12 +177,12 @@ def _run_main(argv: list[str]) -> int:
     setup_logging(args.verbose)
     log = get_logger("cli")
 
-    if args.scale == "small":
-        config = small_scenario() if args.seed is None else small_scenario(args.seed)
-    else:
-        config = (
-            default_scenario() if args.seed is None else default_scenario(args.seed)
-        )
+    factory = {
+        "small": small_scenario,
+        "default": default_scenario,
+        "large": large_scenario,
+    }[args.scale]
+    config = factory() if args.seed is None else factory(args.seed)
 
     wanted = (
         list(_EXPERIMENT_NAMES)
@@ -345,7 +345,7 @@ def _snapshot_common_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by ``snapshot`` and ``serve`` for in-process builds."""
     parser.add_argument(
         "--scale",
-        choices=("small", "default"),
+        choices=("small", "default", "large"),
         default="small",
         help="scenario size to build when no snapshot file is given",
     )
@@ -377,12 +377,12 @@ def _build_dataset(args: argparse.Namespace):
     """Run the pipeline and pick the requested (mapper, measurement) row."""
     from repro.core.experiments import prepare_result
 
-    if args.scale == "small":
-        config = small_scenario() if args.seed is None else small_scenario(args.seed)
-    else:
-        config = (
-            default_scenario() if args.seed is None else default_scenario(args.seed)
-        )
+    factory = {
+        "small": small_scenario,
+        "default": default_scenario,
+        "large": large_scenario,
+    }[args.scale]
+    config = factory() if args.seed is None else factory(args.seed)
     print(
         f"building snapshot (scale={args.scale}, seed={config.seed})...",
         file=sys.stderr,

@@ -351,6 +351,40 @@ def _load_snapshot(path: Path) -> tuple[MappedDataset, ProcessingReport]:
 register_codec("snapshot-json", ".json", _dump_snapshot, _load_snapshot)
 
 
+# --- Ground-truth cache codec ------------------------------------------------
+#
+# The ground-truth artifact is (Topology, AddressPlan, GenerationReport).
+# The topology's column arrays go straight into a compressed-free ``.npz``
+# archive — no per-object pickling — with the plan and report attached as
+# a JSON sidecar string inside the same file.
+
+
+def _dump_ground_truth(
+    value: tuple[Topology, AddressPlan, GenerationReport], path: Path
+) -> None:
+    topology, plan, report = value
+    meta = {"plan": plan.to_dict(), "report": dataclasses.asdict(report)}
+    topology.to_npz(path, extra={"meta_json": json.dumps(meta)})
+
+
+def _load_ground_truth(
+    path: Path,
+) -> tuple[Topology, AddressPlan, GenerationReport]:
+    topology = Topology.from_npz(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta_json"]))
+    plan = AddressPlan.from_dict(meta["plan"])
+    report_fields = dict(meta["report"])
+    report_fields["as_sizes"] = {
+        int(asn): count for asn, count in report_fields["as_sizes"].items()
+    }
+    report = GenerationReport(**report_fields)
+    return topology, plan, report
+
+
+register_codec("ground-truth-npz", ".npz", _dump_ground_truth, _load_ground_truth)
+
+
 def build_pipeline_graph() -> StageGraph:
     """The reproduction's stage DAG.
 
@@ -365,6 +399,7 @@ def build_pipeline_graph() -> StageGraph:
             name=STAGE_GROUND_TRUTH,
             fn=_stage_ground_truth,
             inputs=(STAGE_WORLD,),
+            codec="ground-truth-npz",
         )
     )
     graph.add(Stage(name=STAGE_BGP, fn=_stage_bgp, inputs=(STAGE_GROUND_TRUTH,)))

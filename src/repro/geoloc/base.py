@@ -84,10 +84,10 @@ def build_context(
     city_locations = {city.code: city.location for city in world.cities}
     whois = WhoisRegistry.from_plan(plan, topology.asns)
     loc_records = build_loc_records(topology, config.ixmapper_dnsloc_rate, rng)
-    as_of_address = {
-        address: topology.routers[iface.router_id].asn
-        for address, iface in topology.interfaces.items()
-    }
+    owner_asns = topology.router_asns()[topology.interface_routers()]
+    as_of_address = dict(
+        zip(topology.interface_addresses().tolist(), owner_asns.tolist())
+    )
     return GeoContext(
         city_locations=city_locations,
         hostnames=dict(topology.hostnames),

@@ -23,9 +23,19 @@ def build_loc_records(
         interface address -> exact router location.
     """
     records: dict[int, GeoPoint] = {}
-    if rate <= 0:
+    if rate <= 0 or topology.n_interfaces == 0:
         return records
-    for address, iface in topology.interfaces.items():
-        if rng.random() < rate:
-            records[address] = topology.routers[iface.router_id].location
+    # One uniform draw per interface in insertion order: the same stream
+    # the scalar per-interface loop consumed.
+    draws = rng.random(topology.n_interfaces)
+    selected = np.flatnonzero(draws < rate)
+    if selected.size == 0:
+        return records
+    addresses = topology.interface_addresses()[selected]
+    routers = topology.interface_routers()[selected]
+    lats, lons = topology.router_coordinates()
+    for address, lat, lon in zip(
+        addresses.tolist(), lats[routers].tolist(), lons[routers].tolist()
+    ):
+        records[address] = GeoPoint(lat=lat, lon=lon)
     return records

@@ -50,38 +50,73 @@ class EdgeScape:
         self._failure_rate = failure_rate
         # Which ASes share location feeds: one draw per AS, fixed for the
         # lifetime of the tool (a contract either exists or does not).
+        asn_list = list(topology.asns)
+        coverage_draws = rng.random(len(asn_list))
         self._covered_asns = {
-            asn for asn in topology.asns if rng.random() < isp_coverage
+            asn
+            for asn, draw in zip(asn_list, coverage_draws.tolist())
+            if draw < isp_coverage
         }
         # The ISP feed reports each interface's city: the hosting PoP's
         # city when known, else the town nearest the true position (the
         # real service returns city/postal centroids, never exact
         # machine coordinates).
         self._isp_locations: dict[int, GeoPoint] = {}
+        self._build_isp_locations(context, topology)
+
+    def _build_isp_locations(
+        self, context: GeoContext, topology: Topology
+    ) -> None:
+        """Resolve the feed's per-interface city centroids, batched."""
+        if not self._covered_asns or topology.n_interfaces == 0:
+            return
         city_by_code = context.city_locations
         city_points = list(city_by_code.values())
         city_lats = np.array([p.lat for p in city_points])
         city_lons = np.array([p.lon for p in city_points])
-        for address, iface in topology.interfaces.items():
-            router = topology.routers[iface.router_id]
-            if router.asn not in self._covered_asns:
-                continue
-            city = city_by_code.get(router.city_code) if router.city_code else None
-            if city is None and city_lats.size:
-                nearest = int(
-                    np.argmin(
-                        haversine_miles(
-                            router.location.lat,
-                            router.location.lon,
-                            city_lats,
-                            city_lons,
-                        )
-                    )
-                )
-                city = city_points[nearest]
-            self._isp_locations[address] = (
-                city if city is not None else router.location
+        interface_routers = topology.interface_routers()
+        owner_asns = topology.router_asns()[interface_routers]
+        covered = np.isin(
+            owner_asns,
+            np.fromiter(
+                self._covered_asns, dtype=np.int64, count=len(self._covered_asns)
+            ),
+        )
+        selected = np.flatnonzero(covered)
+        if selected.size == 0:
+            return
+        # One location per distinct covered router, shared by all of its
+        # interfaces; nearest-city searches run in vectorised chunks.
+        lats, lons = topology.router_coordinates()
+        city_codes = topology.router_city_codes()
+        resolved: dict[int, GeoPoint] = {}
+        need_nearest: list[int] = []
+        for rid in np.unique(interface_routers[selected]).tolist():
+            code = city_codes[rid]
+            city = city_by_code.get(code) if code else None
+            if city is not None:
+                resolved[rid] = city
+            elif city_lats.size:
+                need_nearest.append(rid)
+            else:
+                resolved[rid] = GeoPoint(lat=float(lats[rid]), lon=float(lons[rid]))
+        for start in range(0, len(need_nearest), 1024):
+            chunk = np.asarray(need_nearest[start : start + 1024], dtype=np.intp)
+            distances = haversine_miles(
+                lats[chunk][:, None],
+                lons[chunk][:, None],
+                city_lats[None, :],
+                city_lons[None, :],
             )
+            for rid, index in zip(
+                chunk.tolist(), np.argmin(distances, axis=1).tolist()
+            ):
+                resolved[rid] = city_points[index]
+        addresses = topology.interface_addresses()
+        for position in selected.tolist():
+            self._isp_locations[int(addresses[position])] = resolved[
+                int(interface_routers[position])
+            ]
 
     @property
     def name(self) -> str:

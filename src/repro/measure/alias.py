@@ -40,17 +40,24 @@ def resolve_aliases(
     if not (0.0 < success_rate <= 1.0):
         raise MeasurementError("success_rate must be in (0, 1]")
     answers = rng.random(topology.n_routers) < success_rate
-    mapping: dict[int, int] = {}
-    for address in interface_addresses:
-        iface = topology.interfaces.get(address)
-        if iface is None:
-            raise MeasurementError(f"unknown interface address {address}")
-        router = topology.routers[iface.router_id]
-        if answers[iface.router_id]:
-            mapping[address] = router.loopback
-        else:
-            mapping[address] = address
-    return mapping
+    if not interface_addresses:
+        return {}
+    addresses = np.sort(
+        np.fromiter(
+            interface_addresses, dtype=np.int64, count=len(interface_addresses)
+        )
+    )
+    positions = topology.interface_positions(addresses)
+    unknown = positions < 0
+    if np.any(unknown):
+        raise MeasurementError(
+            f"unknown interface address {int(addresses[unknown][0])}"
+        )
+    routers = topology.interface_routers()[positions]
+    canonical = np.where(
+        answers[routers], topology.router_loopbacks()[routers], addresses
+    )
+    return dict(zip(addresses.tolist(), canonical.tolist()))
 
 
 def merge_members(mapping: dict[int, int]) -> dict[int, list[int]]:

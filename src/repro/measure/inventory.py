@@ -12,6 +12,9 @@ made explicit in the type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
 
 from repro.errors import MeasurementError
 
@@ -66,6 +69,37 @@ class RawInventory:
                     f"link endpoint {addr} was never recorded as a node"
                 )
         self.links.add(pair)
+
+    def add_nodes(self, addresses: Iterable[int]) -> None:
+        """Record many observed nodes at once (idempotent)."""
+        fresh = set(addresses) - self.nodes
+        self.nodes |= fresh
+        for address in fresh:
+            self.aliases.setdefault(address, [address])
+
+    def add_link_pairs(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Record many observed adjacencies between already-seen nodes.
+
+        Raises:
+            MeasurementError: on self-links or unknown endpoints.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.size == 0:
+            return
+        selfish = a == b
+        if np.any(selfish):
+            raise MeasurementError(
+                f"self-link on address {int(a[selfish][0])}"
+            )
+        low = np.minimum(a, b)
+        high = np.maximum(a, b)
+        missing = (set(low.tolist()) | set(high.tolist())) - self.nodes
+        if missing:
+            raise MeasurementError(
+                f"link endpoint {min(missing)} was never recorded as a node"
+            )
+        self.links.update(zip(low.tolist(), high.tolist()))
 
     @property
     def n_nodes(self) -> int:

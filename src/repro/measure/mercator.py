@@ -20,9 +20,13 @@ from repro.measure.inventory import RawInventory
 from repro.net.topology import Topology
 from repro.routing.forwarding import source_routed_path
 from repro.routing.shortest_path import (
+    PredecessorTree,
+    ancestor_closure,
+    ancestors_at_depth,
     largest_component,
     shortest_path_tree,
     shortest_path_trees,
+    tree_depths,
 )
 
 #: Number of distinct via-routers used for loose-source-routed probes.
@@ -55,25 +59,24 @@ def run_mercator(
     observed_interfaces: set[int] = set()
     n_targets = min(config.n_targets, component.size)
     targets = rng.choice(component, size=n_targets, replace=False)
-    for target in targets:
-        target = int(target)
-        if target == source or not source_tree.reachable(target):
-            continue
-        path = source_tree.path_to(target)[: config.max_hops + 1]
-        _record_interface_path(
-            topology, path, responds, observed_interfaces, interface_links
-        )
+    _record_tree_probes(
+        topology,
+        source_tree,
+        np.asarray(targets, dtype=np.intp),
+        responds,
+        config.max_hops,
+        observed_interfaces,
+        interface_links,
+    )
 
     # Stage 2: loose source routing through a pool of discovered routers.
     if config.n_source_routed > 0:
-        discovered = sorted(
-            {topology.interfaces[a].router_id for a in observed_interfaces}
-        )
-        if discovered:
-            n_via = min(_N_VIA_ROUTERS, len(discovered))
+        discovered = _routers_of_interfaces(topology, observed_interfaces)
+        if discovered.size:
+            n_via = min(_N_VIA_ROUTERS, discovered.size)
             via_ids = [
                 int(discovered[i])
-                for i in rng.choice(len(discovered), size=n_via, replace=False)
+                for i in rng.choice(discovered.size, size=n_via, replace=False)
             ]
             via_trees = {
                 t.source: t for t in shortest_path_trees(graph, via_ids)
@@ -107,6 +110,64 @@ def run_mercator(
         inventory.add_link(ca, cb)
     inventory.validate()
     return inventory
+
+
+def _routers_of_interfaces(
+    topology: Topology, addresses: set[int]
+) -> np.ndarray:
+    """Distinct owning router ids for a set of interface addresses, sorted."""
+    if not addresses:
+        return np.empty(0, dtype=np.intp)
+    addrs = np.fromiter(addresses, dtype=np.int64, count=len(addresses))
+    positions = topology.interface_positions(addrs)
+    return np.unique(topology.interface_routers()[positions]).astype(np.intp)
+
+
+def _record_tree_probes(
+    topology: Topology,
+    tree: PredecessorTree,
+    targets: np.ndarray,
+    responds: np.ndarray,
+    max_hops: int,
+    observed_interfaces: set[int],
+    interface_links: set[tuple[int, int]],
+) -> None:
+    """Union of the direct-probe observations along one source tree.
+
+    Equivalent to running :func:`_record_interface_path` over every
+    target's (hop-limited) tree path: the observed routers are the
+    ancestor closure of the probe endpoints — the target itself when it
+    is within ``max_hops``, its depth-``max_hops`` ancestor otherwise —
+    and every responding one reports its inbound interface.  Links join
+    consecutively responding hops only.
+    """
+    depths = tree_depths(tree)
+    live = targets[depths[targets] > 0]  # drop the source + unreachable
+    if live.size == 0:
+        return
+    pred = tree.predecessors
+    reached_mask = depths[live] <= max_hops
+    starts = [live[reached_mask]]
+    truncated = live[~reached_mask]
+    if truncated.size:
+        starts.append(ancestors_at_depth(tree, depths, truncated, max_hops))
+    observed = np.flatnonzero(ancestor_closure(tree, np.concatenate(starts)))
+    if observed.size == 0:
+        return
+    inbound = np.full(topology.n_routers, -1, dtype=np.int64)
+    inbound[observed] = topology.link_interfaces_toward(
+        pred[observed].astype(np.intp), observed
+    )
+    responding = observed[responds[observed]]
+    observed_interfaces.update(inbound[responding].tolist())
+    deep = responding[depths[responding] >= 2]
+    parents = pred[deep].astype(np.intp)
+    keep = responds[parents]
+    pair_a = inbound[parents[keep]]
+    pair_b = inbound[deep[keep]]
+    low = np.minimum(pair_a, pair_b)
+    high = np.maximum(pair_a, pair_b)
+    interface_links.update(zip(low.tolist(), high.tolist()))
 
 
 def _record_interface_path(

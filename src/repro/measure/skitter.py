@@ -27,7 +27,13 @@ from repro.config import SkitterConfig
 from repro.errors import MeasurementError
 from repro.measure.inventory import RawInventory
 from repro.net.topology import Topology
-from repro.routing.shortest_path import largest_component, shortest_path_trees
+from repro.routing.shortest_path import (
+    ancestor_closure,
+    ancestors_at_depth,
+    largest_component,
+    shortest_path_trees,
+    tree_depths,
+)
 
 
 @dataclass(frozen=True)
@@ -51,22 +57,23 @@ def choose_monitors(
     Raises:
         MeasurementError: if the topology cannot host that many monitors.
     """
-    component = set(largest_component(topology.routing_graph()).tolist())
-    candidates = [r.router_id for r in topology.routers if r.router_id in component]
+    candidates = largest_component(topology.routing_graph()).tolist()
     if len(candidates) < n_monitors:
         raise MeasurementError(
             f"cannot place {n_monitors} monitors in a component of "
             f"{len(candidates)} routers"
         )
+    asns = topology.router_asns()
     order = rng.permutation(len(candidates))
     monitors: list[int] = []
     seen_asns: set[int] = set()
     for idx in order:
-        router = topology.routers[candidates[int(idx)]]
-        if router.asn in seen_asns:
+        rid = candidates[int(idx)]
+        asn = int(asns[rid])
+        if asn in seen_asns:
             continue
-        seen_asns.add(router.asn)
-        monitors.append(router.router_id)
+        seen_asns.add(asn)
+        monitors.append(rid)
         if len(monitors) == n_monitors:
             return monitors
     # Fewer ASes than monitors: relax the distinct-AS constraint.
@@ -112,49 +119,65 @@ def run_skitter(
     inventory = RawInventory(kind="skitter")
     graph = topology.routing_graph()
     trees = shortest_path_trees(graph, campaign.monitors)
+    loopbacks = topology.router_loopbacks()
     for tree, destinations in zip(trees, campaign.destination_lists):
-        for dest in destinations:
-            dest = int(dest)
-            inventory.destinations.add(topology.routers[dest].loopback)
-            if dest == tree.source or not tree.reachable(dest):
-                continue
-            path = tree.path_to(dest)[: config.max_hops + 1]
-            _record_path(topology, inventory, path, responds,
-                         reached_destination=(path[-1] == dest))
+        dests = np.asarray(destinations, dtype=np.intp)
+        inventory.destinations.update(loopbacks[dests].tolist())
+        _record_tree_probes(
+            topology, inventory, tree, dests, responds, config.max_hops, loopbacks
+        )
     inventory.validate()
     return inventory
 
 
-def _record_path(
+def _record_tree_probes(
     topology: Topology,
     inventory: RawInventory,
-    path: list[int],
+    tree,
+    dests: np.ndarray,
     responds: np.ndarray,
-    reached_destination: bool,
+    max_hops: int,
+    loopbacks: np.ndarray,
 ) -> None:
-    """Record one probe's observations into the inventory.
+    """Record the union of one monitor's probe observations.
 
-    ``path[0]`` is the monitor (never observed).  Each responding later
-    router contributes its inbound interface; the final router, when it
-    is the probed destination, answers with the probed (loopback)
-    address instead.  Links are recorded only between consecutively
-    responding hops.
+    Every probe from a monitor follows the monitor's tree, so the union
+    of observed hops is the ancestor closure of the probe endpoints: the
+    destination's predecessor for reached probes, the depth-``max_hops``
+    ancestor for truncated ones.  The monitor itself is never observed;
+    each responding interior router contributes its inbound interface; a
+    reached destination answers with the probed (loopback) address
+    instead.  Links are recorded only between consecutively responding
+    hops — no adjacency is inferred across a silent router.
     """
-    previous_observed: int | None = None  # address of the previous hop
-    previous_router: int | None = None
-    for i in range(1, len(path)):
-        router = path[i]
-        if not responds[router]:
-            previous_observed = None
-            previous_router = None
-            continue
-        is_final_destination = reached_destination and i == len(path) - 1
-        if is_final_destination:
-            address = topology.routers[router].loopback
-        else:
-            address = topology.link_interface_toward(path[i - 1], router)
-        inventory.add_node(address)
-        if previous_observed is not None and previous_router == path[i - 1]:
-            inventory.add_link(previous_observed, address)
-        previous_observed = address
-        previous_router = router
+    depths = tree_depths(tree)
+    live = dests[depths[dests] > 0]  # drop the monitor itself + unreachable
+    if live.size == 0:
+        return
+    pred = tree.predecessors
+    reached = np.unique(live[depths[live] <= max_hops])
+    truncated = live[depths[live] > max_hops]
+    starts = [pred[reached].astype(np.intp)]
+    if truncated.size:
+        starts.append(ancestors_at_depth(tree, depths, truncated, max_hops))
+    interior = np.flatnonzero(ancestor_closure(tree, np.concatenate(starts)))
+    inbound = np.full(topology.n_routers, -1, dtype=np.int64)
+    if interior.size:
+        inbound[interior] = topology.link_interfaces_toward(
+            pred[interior].astype(np.intp), interior
+        )
+    observed = interior[responds[interior]]
+    inventory.add_nodes(inbound[observed].tolist())
+    final = reached[responds[reached]]
+    inventory.add_nodes(loopbacks[final].tolist())
+    # Interior-to-interior adjacencies: both ends responding, and the
+    # parent not the monitor (a probe never observes its own source).
+    deep = observed[depths[observed] >= 2]
+    parents = pred[deep].astype(np.intp)
+    keep = responds[parents]
+    inventory.add_link_pairs(inbound[parents[keep]], inbound[deep[keep]])
+    # Last-hop adjacencies onto reached destinations.
+    deep_final = final[depths[final] >= 2]
+    parents = pred[deep_final].astype(np.intp)
+    keep = responds[parents]
+    inventory.add_link_pairs(inbound[parents[keep]], loopbacks[deep_final[keep]])

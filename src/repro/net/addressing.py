@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import AllocationError
 from repro.net.ip import ADDRESS_BITS, Prefix
 
@@ -89,6 +91,65 @@ class AddressPlan:
                 return block.take()
         self.grant_block(asn)
         return self._blocks[asn][-1].take()
+
+    def allocate_many(self, asn: int, count: int) -> np.ndarray:
+        """Allocate ``count`` host addresses for the AS, in order.
+
+        Equivalent to ``count`` calls to :meth:`allocate` (same addresses,
+        same block grants) but filled a contiguous run at a time.
+        """
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        blocks = self._blocks.setdefault(asn, [])
+        cursor = 0
+        while filled < count:
+            while cursor < len(blocks) and blocks[cursor].remaining() <= 0:
+                cursor += 1
+            if cursor >= len(blocks):
+                self.grant_block(asn)
+                blocks = self._blocks[asn]
+                continue
+            block = blocks[cursor]
+            take = min(block.remaining(), count - filled)
+            start = block.prefix.base + block.next_offset
+            out[filled:filled + take] = np.arange(
+                start, start + take, dtype=np.int64
+            )
+            block.next_offset += take
+            filled += take
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of the allocator state."""
+        return {
+            "pool": [self.pool.base, self.pool.length],
+            "block_length": self.block_length,
+            "next_block": self._next_block,
+            "blocks": {
+                str(asn): [
+                    [b.prefix.base, b.prefix.length, b.next_offset]
+                    for b in blocks
+                ]
+                for asn, blocks in self._blocks.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AddressPlan":
+        """Rebuild an allocator from :meth:`to_dict` output."""
+        plan = cls(
+            pool=Prefix(int(payload["pool"][0]), int(payload["pool"][1])),
+            block_length=int(payload["block_length"]),
+        )
+        plan._next_block = int(payload["next_block"])
+        plan._blocks = {
+            int(asn): [
+                AsBlock(Prefix(int(base), int(length)), int(offset))
+                for base, length, offset in blocks
+            ]
+            for asn, blocks in payload["blocks"].items()
+        }
+        return plan
 
     def prefixes_of(self, asn: int) -> list[Prefix]:
         """All blocks granted to the AS so far."""

@@ -62,20 +62,25 @@ def annotate_links(topology: Topology) -> LinkAnnotations:
     lengths = topology.link_lengths()
     latencies = lengths * PROPAGATION_MS_PER_MILE + PER_HOP_MS
 
-    bandwidths = np.empty(topology.n_links)
-    for i, link in enumerate(topology.links):
-        tier_a = topology.asns[topology.routers[link.router_a].asn].tier
-        tier_b = topology.asns[topology.routers[link.router_b].asn].tier
-        backbone = min(tier_a, tier_b) == 1 or link.length_miles > 500.0
-        regional = min(tier_a, tier_b) == 2 or link.interdomain
-        if backbone:
-            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[0]
-        elif regional:
-            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[1]
-        elif link.length_miles > 50.0:
-            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[2]
-        else:
-            bandwidths[i] = BANDWIDTH_CLASSES_MBPS[3]
+    router_asns = topology.router_asns()
+    unique_asns, inverse = np.unique(router_asns, return_inverse=True)
+    tier_of_asn = np.array(
+        [topology.asns[int(asn)].tier for asn in unique_asns], dtype=np.int64
+    )
+    router_tier = tier_of_asn[inverse]
+    endpoint_a, endpoint_b = topology.link_endpoints()
+    min_tier = np.minimum(router_tier[endpoint_a], router_tier[endpoint_b])
+    backbone = (min_tier == 1) | (lengths > 500.0)
+    regional = (min_tier == 2) | topology.link_interdomain()
+    bandwidths = np.select(
+        [backbone, regional, lengths > 50.0],
+        [
+            BANDWIDTH_CLASSES_MBPS[0],
+            BANDWIDTH_CLASSES_MBPS[1],
+            BANDWIDTH_CLASSES_MBPS[2],
+        ],
+        default=BANDWIDTH_CLASSES_MBPS[3],
+    )
     return LinkAnnotations(latencies_ms=latencies, bandwidths_mbps=bandwidths)
 
 

@@ -31,11 +31,10 @@ import numpy as np
 
 from repro.config import GroundTruthConfig
 from repro.errors import ConfigError, TopologyError
-from repro.geo.coords import GeoPoint
 from repro.geo.distance import haversine_miles
 from repro.net.addressing import AddressPlan
 from repro.net.elements import AutonomousSystem
-from repro.net.hostnames import make_hostname
+from repro.net.hostnames import make_hostname_batch
 from repro.net.ip import Prefix
 from repro.net.topology import Topology
 from repro.population.worldmodel import World
@@ -137,6 +136,19 @@ class GroundTruthGenerator:
             self._private_next += 1
             return address
         return self.plan.allocate(asn)
+
+    def _allocate_addresses(self, asn: int, count: int) -> np.ndarray:
+        """Batch form of :meth:`_allocate_address` (one private draw each)."""
+        private = self.rng.random(count) < 0.005
+        out = np.empty(count, dtype=np.int64)
+        n_private = int(private.sum())
+        if n_private:
+            start = _PRIVATE_POOL.base + self._private_next
+            out[private] = np.arange(start, start + n_private, dtype=np.int64)
+            self._private_next += n_private
+        if n_private < count:
+            out[~private] = self.plan.allocate_many(asn, count - n_private)
+        return out
 
     # -- stage 1: budgets and city router counts ----------------------------
 
@@ -334,36 +346,27 @@ class GroundTruthGenerator:
         return incumbents
 
     def _place_routers_in_city(self, spec: _AsSpec, city: int, count: int) -> None:
+        # Heavy-tailed metro sprawl: most routers sit near the city
+        # core, a minority in exurban facilities.  (A Gaussian kernel
+        # leaves a scale gap between city spacing and city size that
+        # depresses the box-counting dimension far below the ~1.5 the
+        # paper confirms for real router placement.)
         jitter = self.config.pop_jitter_deg
         code = self.world.cities[city].code
-        for _ in range(count):
-            # Heavy-tailed metro sprawl: most routers sit near the city
-            # core, a minority in exurban facilities.  (A Gaussian kernel
-            # leaves a scale gap between city spacing and city size that
-            # depresses the box-counting dimension far below the ~1.5 the
-            # paper confirms for real router placement.)
-            radius = jitter * float(self.rng.pareto(1.2) + 0.3)
-            radius = min(radius, 1.5)
-            angle = float(self.rng.uniform(0.0, 2.0 * np.pi))
-            lat = float(
-                np.clip(
-                    self._city_lat[city] + radius * np.sin(angle), -89.9, 89.9
-                )
-            )
-            lon = float(
-                np.clip(
-                    self._city_lon[city] + radius * np.cos(angle), -179.9, 179.9
-                )
-            )
-            router = self.topology.add_router(
-                asn=spec.asn,
-                location=GeoPoint(lat, lon),
-                city_code=code,
-                loopback=self._allocate_address(spec.asn),
-            )
-            spec.router_ids.append(router.router_id)
-            spec.routers_by_city.setdefault(city, []).append(router.router_id)
-            self._router_zone.append(int(self._city_zone[city]))
+        radius = np.minimum(jitter * (self.rng.pareto(1.2, size=count) + 0.3), 1.5)
+        angle = self.rng.uniform(0.0, 2.0 * np.pi, size=count)
+        lats = np.clip(
+            self._city_lat[city] + radius * np.sin(angle), -89.9, 89.9
+        )
+        lons = np.clip(
+            self._city_lon[city] + radius * np.cos(angle), -179.9, 179.9
+        )
+        ids = self.topology.add_routers(
+            spec.asn, lats, lons, code, self._allocate_addresses(spec.asn, count)
+        ).tolist()
+        spec.router_ids.extend(ids)
+        spec.routers_by_city.setdefault(city, []).extend(ids)
+        self._router_zone.extend([int(self._city_zone[city])] * count)
 
     def _create_rural_routers(self, specs: list[_AsSpec]) -> None:
         """Place the rural fraction at population points, owned by incumbents."""
@@ -374,22 +377,29 @@ class GroundTruthGenerator:
         weights = field_.weights / field_.weights.sum()
         idx = self.rng.choice(field_.lats.size, size=n_rural, p=weights)
         incumbents = self._zone_incumbents(specs)
-        for point in idx:
-            zone = int(field_.zone_index[point])
-            spec = specs[incumbents[zone]]
-            lat = float(np.clip(field_.lats[point] + self.rng.normal(0, 0.05), -89.9, 89.9))
-            lon = float(np.clip(field_.lons[point] + self.rng.normal(0, 0.05), -179.9, 179.9))
-            router = self.topology.add_router(
-                asn=spec.asn,
-                location=GeoPoint(lat, lon),
-                city_code="",
-                loopback=self._allocate_address(spec.asn),
-            )
-            spec.router_ids.append(router.router_id)
-            spec.routers_by_city.setdefault(-1 - int(point), []).append(
-                router.router_id
-            )
-            self._router_zone.append(zone)
+        lats = np.clip(
+            field_.lats[idx] + self.rng.normal(0.0, 0.05, size=n_rural),
+            -89.9, 89.9,
+        )
+        lons = np.clip(
+            field_.lons[idx] + self.rng.normal(0.0, 0.05, size=n_rural),
+            -179.9, 179.9,
+        )
+        zones = field_.zone_index[idx].astype(np.intp)
+        # One batch per owning AS; router creation order is grouped by
+        # zone rather than point order, which only permutes ids.
+        for zone in np.unique(zones).tolist():
+            sel = zones == zone
+            spec = specs[incumbents[int(zone)]]
+            count = int(sel.sum())
+            ids = self.topology.add_routers(
+                spec.asn, lats[sel], lons[sel], "",
+                self._allocate_addresses(spec.asn, count),
+            ).tolist()
+            spec.router_ids.extend(ids)
+            for point, rid in zip(idx[sel].tolist(), ids):
+                spec.routers_by_city.setdefault(-1 - int(point), []).append(rid)
+            self._router_zone.extend([int(zone)] * count)
 
     # -- stage 4: links --------------------------------------------------------
 
@@ -397,56 +407,107 @@ class GroundTruthGenerator:
         """Add a link with fresh interface addresses; False on duplicates."""
         if ra == rb or self.topology.has_link(ra, rb):
             return False
-        asn_a = self.topology.routers[ra].asn
-        asn_b = self.topology.routers[rb].asn
+        asn_a = int(self.topology.router_asns()[ra])
+        asn_b = int(self.topology.router_asns()[rb])
         self.topology.add_link(
             ra, rb, self._allocate_address(asn_a), self._allocate_address(asn_b)
         )
         return True
 
+    def _add_links_batch(self, pairs_a: list[int], pairs_b: list[int]) -> int:
+        """Batch :meth:`_add_link_checked`: silently drops duplicates.
+
+        Returns the number of links actually added.  Interface addresses
+        are allocated grouped per AS (ascending ASN), a different draw
+        order from the scalar path but the same allocator state.
+        """
+        if not pairs_a:
+            return 0
+        ra = np.asarray(pairs_a, dtype=np.intp)
+        rb = np.asarray(pairs_b, dtype=np.intp)
+        keep = ra != rb
+        ra, rb = ra[keep], rb[keep]
+        a = np.minimum(ra, rb)
+        b = np.maximum(ra, rb)
+        seen: set[tuple[int, int]] = set()
+        selected: list[int] = []
+        has_link = self.topology.has_link
+        for i, pair in enumerate(zip(a.tolist(), b.tolist())):
+            if pair in seen or has_link(*pair):
+                continue
+            seen.add(pair)
+            selected.append(i)
+        if not selected:
+            return 0
+        a = a[selected]
+        b = b[selected]
+        count = a.shape[0]
+        r_asn = self.topology.router_asns()
+        owner_asn = np.empty(2 * count, dtype=np.int64)
+        owner_asn[0::2] = r_asn[a]
+        owner_asn[1::2] = r_asn[b]
+        addresses = np.empty(2 * count, dtype=np.int64)
+        for asn in np.unique(owner_asn).tolist():
+            sel = owner_asn == asn
+            addresses[sel] = self._allocate_addresses(int(asn), int(sel.sum()))
+        self.topology.add_links(a, b, addresses[0::2], addresses[1::2])
+        return count
+
     def _intra_pop_links(self, spec: _AsSpec) -> None:
+        pairs_a: list[int] = []
+        pairs_b: list[int] = []
         for routers in spec.routers_by_city.values():
-            for i in range(1, len(routers)):
-                self._add_link_checked(routers[i - 1], routers[i])
+            pairs_a.extend(routers[:-1])
+            pairs_b.extend(routers[1:])
             # A few redundant metro links in big PoPs.
             extra = len(routers) // 4
             for _ in range(extra):
                 pair = self.rng.choice(len(routers), size=2, replace=False)
-                self._add_link_checked(routers[int(pair[0])], routers[int(pair[1])])
+                pairs_a.append(routers[int(pair[0])])
+                pairs_b.append(routers[int(pair[1])])
+        self._add_links_batch(pairs_a, pairs_b)
 
     def _backbone_links(self, spec: _AsSpec) -> None:
-        """Greedy nearest-neighbour tree over the AS's PoP gateways."""
-        gateways = [routers[0] for routers in spec.routers_by_city.values()]
-        if len(gateways) <= 1:
+        """Nearest-neighbour (Prim) tree over the AS's PoP gateways."""
+        gateways = np.asarray(
+            [routers[0] for routers in spec.routers_by_city.values()],
+            dtype=np.intp,
+        )
+        k = gateways.shape[0]
+        if k <= 1:
             return
-        lats = np.array([self.topology.routers[g].location.lat for g in gateways])
-        lons = np.array([self.topology.routers[g].location.lon for g in gateways])
-        connected = [0]
-        remaining = list(range(1, len(gateways)))
-        for _ in range(len(remaining)):
-            best_pair: tuple[int, int] | None = None
-            best_dist = np.inf
-            sub = np.array(connected)
-            for r in remaining:
-                dists = haversine_miles(lats[r], lons[r], lats[sub], lons[sub])
-                j = int(np.argmin(dists))
-                if dists[j] < best_dist:
-                    best_dist = float(dists[j])
-                    best_pair = (r, int(sub[j]))
-            if best_pair is None:
-                break
-            r, c = best_pair
-            self._add_link_checked(gateways[r], gateways[c])
-            connected.append(r)
-            remaining.remove(r)
+        all_lats, all_lons = self.topology.router_coordinates()
+        lats = all_lats[gateways]
+        lons = all_lons[gateways]
+        # Vectorised Prim: track the distance from each outside gateway
+        # to its closest in-tree gateway, O(k) work per added edge.
+        min_dist = haversine_miles(lats[0], lons[0], lats, lons)
+        min_dist[0] = np.inf
+        closest = np.zeros(k, dtype=np.intp)
+        in_tree = np.zeros(k, dtype=bool)
+        in_tree[0] = True
+        pairs_a: list[int] = []
+        pairs_b: list[int] = []
+        for _ in range(k - 1):
+            j = int(np.argmin(min_dist))
+            pairs_a.append(int(gateways[j]))
+            pairs_b.append(int(gateways[closest[j]]))
+            in_tree[j] = True
+            min_dist[j] = np.inf
+            dists = haversine_miles(lats[j], lons[j], lats, lons)
+            update = ~in_tree & (dists < min_dist)
+            min_dist[update] = dists[update]
+            closest[update] = j
+        self._add_links_batch(pairs_a, pairs_b)
 
     def _waxman_extra_links(self, spec: _AsSpec, n_extra: int) -> None:
         """Distance-sampled (or occasionally long-range) intra-AS links."""
         members = np.array(spec.router_ids)
         if members.size < 3 or n_extra <= 0:
             return
-        lats = np.array([self.topology.routers[r].location.lat for r in members])
-        lons = np.array([self.topology.routers[r].location.lon for r in members])
+        all_lats, all_lons = self.topology.router_coordinates()
+        lats = all_lats[members]
+        lons = all_lons[members]
         zones = [self._zone_names[self._router_zone[r]] for r in members]
         added = 0
         attempts = 0
@@ -572,76 +633,90 @@ class GroundTruthGenerator:
 
     def _attach_isolated(self, specs: list[_AsSpec]) -> None:
         """Connect any degree-0 router to its AS's nearest other router."""
+        degrees = self.topology.degrees()
+        all_lats, all_lons = self.topology.router_coordinates()
         for spec in specs:
-            members = spec.router_ids
-            if len(members) < 2:
+            members = np.asarray(spec.router_ids, dtype=np.intp)
+            if members.size < 2:
                 continue
-            lats = np.array(
-                [self.topology.routers[r].location.lat for r in members]
-            )
-            lons = np.array(
-                [self.topology.routers[r].location.lon for r in members]
-            )
-            for i, rid in enumerate(members):
-                if self.topology.degree(rid) > 0:
+            if not np.any(degrees[members] == 0):
+                continue
+            lats = all_lats[members]
+            lons = all_lons[members]
+            for i, rid in enumerate(members.tolist()):
+                if degrees[rid] > 0:
                     continue
                 dists = haversine_miles(lats[i], lons[i], lats, lons)
                 dists[i] = np.inf
                 order = np.argsort(dists)
                 for j in order[:5]:
-                    if self._add_link_checked(rid, members[int(j)]):
+                    other = int(members[int(j)])
+                    if self._add_link_checked(rid, other):
+                        degrees[rid] += 1
+                        degrees[other] += 1
                         break
 
     def _connect_as_components(self, specs: list[_AsSpec]) -> None:
         """Ensure each AS's members form one connected component."""
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import connected_components
+
         for spec in specs:
-            members = spec.router_ids
-            if len(members) < 2:
+            members = np.asarray(spec.router_ids, dtype=np.intp)
+            if members.size < 2:
                 continue
-            member_set = set(members)
-            seen: set[int] = set()
-            components: list[list[int]] = []
-            for rid in members:
-                if rid in seen:
-                    continue
-                stack = [rid]
-                comp = []
-                seen.add(rid)
-                while stack:
-                    cur = stack.pop()
-                    comp.append(cur)
-                    for nb in self.topology.neighbors(cur):
-                        if nb in member_set and nb not in seen:
-                            seen.add(nb)
-                            stack.append(nb)
-                components.append(comp)
-            for i in range(1, len(components)):
-                self._add_link_checked(components[0][0], components[i][0])
+            # Induced intra-AS subgraph from the link columns.
+            a, b = self.topology.link_endpoints()
+            r_asn = self.topology.router_asns()
+            sel = (r_asn[a] == spec.asn) & (r_asn[b] == spec.asn)
+            sorted_members = np.sort(members)
+            la = np.searchsorted(sorted_members, a[sel])
+            lb = np.searchsorted(sorted_members, b[sel])
+            graph = csr_matrix(
+                (np.ones(la.shape[0], dtype=np.int8), (la, lb)),
+                shape=(members.size, members.size),
+            )
+            n_components, labels = connected_components(graph, directed=False)
+            if n_components <= 1:
+                continue
+            # First member (in creation order) of each component acts as
+            # its representative, matching the old DFS discovery order.
+            labels_in_order = labels[np.searchsorted(sorted_members, members)]
+            representatives: dict[int, int] = {}
+            for rid, label in zip(members.tolist(), labels_in_order.tolist()):
+                representatives.setdefault(int(label), rid)
+            base_label = int(labels_in_order[0])
+            base = int(members[0])
+            for label, rid in representatives.items():
+                if label != base_label:
+                    self._add_link_checked(base, rid)
 
     def _assign_hostnames(self, specs: list[_AsSpec]) -> None:
-        by_asn = {spec.asn: spec for spec in specs}
         # Naming discipline is a per-router property: an ISP either names
         # a router with its location code or it does not, consistently
         # across that router's interfaces.  (Per-interface draws would
         # make Mercator's majority-location vote tie far more often than
         # the paper's observed 2.5-2.9%.)
-        embed_by_router: dict[int, bool] = {}
-        for address, iface in self.topology.interfaces.items():
-            router = self.topology.routers[iface.router_id]
-            spec = by_asn[router.asn]
-            asys = self.topology.asns[router.asn]
-            embed = embed_by_router.get(router.router_id)
-            if embed is None:
-                embed = bool(self.rng.random() < spec.adherence)
-                embed_by_router[router.router_id] = embed
-            hostname = make_hostname(
-                router_id=router.router_id,
-                city_code=router.city_code,
-                domain=asys.domain,
-                rng=self.rng,
-                embed_location=embed,
-            )
-            self.topology.set_hostname(address, hostname)
+        topology = self.topology
+        adherence_by_asn = {spec.asn: spec.adherence for spec in specs}
+        r_asn = topology.router_asns()
+        adherence = np.array(
+            [adherence_by_asn[asn] for asn in r_asn.tolist()], dtype=np.float64
+        )
+        embed_by_router = self.rng.random(topology.n_routers) < adherence
+        domain_by_asn = {asn: asys.domain for asn, asys in topology.asns.items()}
+        city_by_router = topology.router_city_codes()
+        i_addr = topology.interface_addresses()
+        i_router = topology.interface_routers()
+        owner_list = i_router.tolist()
+        hostnames = make_hostname_batch(
+            router_ids=i_router,
+            city_codes=[city_by_router[r] for r in owner_list],
+            domains=[domain_by_asn[a] for a in r_asn[i_router].tolist()],
+            rng=self.rng,
+            embed_location=embed_by_router[i_router],
+        )
+        topology.hostnames.update(zip(i_addr.tolist(), hostnames))
 
     # -- driver ------------------------------------------------------------------
 
@@ -674,7 +749,7 @@ class GroundTruthGenerator:
         self.topology.validate()
         if self.topology.n_links == 0:
             raise TopologyError("generation produced no links")
-        inter = sum(1 for link in self.topology.links if link.interdomain)
+        inter = int(self.topology.link_interdomain().sum())
         self.report = GenerationReport(
             zone_router_budgets={
                 z.name: int(b)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import AddressError
 
 #: Number of bits in an IPv4 address.
@@ -77,6 +79,19 @@ def is_private(address: int) -> bool:
         if (address & mask) == base:
             return True
     return False
+
+
+def is_private_many(addresses: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`is_private` over an integer address array."""
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size and (addresses.min() < 0 or addresses.max() >= (1 << ADDRESS_BITS)):
+        bad = addresses[(addresses < 0) | (addresses >= (1 << ADDRESS_BITS))][0]
+        raise AddressError(f"address {int(bad)!r} outside IPv4 range")
+    private = np.zeros(addresses.shape, dtype=bool)
+    for base, length in _PRIVATE_BLOCKS:
+        mask = prefix_mask(length)
+        private |= (addresses & mask) == base
+    return private
 
 
 def prefix_mask(length: int) -> int:

@@ -1,21 +1,34 @@
-"""The ground-truth topology container.
+"""The ground-truth topology container, stored as structure-of-arrays.
 
 A :class:`Topology` holds the planted Internet — ASes, routers, links,
 interfaces, hostnames — with consistency checks on every mutation and
 array/CSR views for the routing and measurement stages.  It deliberately
 knows nothing about how it was generated or how it will be measured.
+
+Storage is column-oriented: router latitude/longitude/ASN/loopback
+arrays, link endpoint/interface arrays, and interface address/owner
+arrays, all growable numpy columns.  Scalar access goes through
+lightweight view sequences (``topology.routers[i]``,
+``topology.links[i]``, ``topology.interfaces[addr]``) that materialise
+the familiar :mod:`repro.net.elements` value objects on demand, so call
+sites keep reading naturally while bulk consumers index the columns
+directly.  Derived structures — link lengths, interdomain flags, the
+CSR adjacency, the per-router interface CSR, the sorted-address lookup,
+and the directed-edge inbound-interface table — are built lazily, cached
+until the next mutation, and shared by routing, measurement, and alias
+resolution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 from scipy import sparse
 
 from repro.errors import TopologyError
 from repro.geo.coords import GeoPoint
-from repro.geo.distance import great_circle_miles
+from repro.geo.distance import link_lengths_miles
 from repro.net.elements import AutonomousSystem, Interface, Link, Router
 
 #: Extra routing cost per hop, in mile-equivalents; makes shortest paths
@@ -23,29 +36,374 @@ from repro.net.elements import AutonomousSystem, Interface, Link, Router
 #: metrics do.
 HOP_COST_MILES = 50.0
 
+#: Initial capacity of a growable column.
+_MIN_CAPACITY = 16
 
-@dataclass
+
+def _grown(array: np.ndarray, size: int, extra: int) -> np.ndarray:
+    """Return ``array`` with capacity for ``size + extra`` elements."""
+    need = size + extra
+    capacity = array.shape[0]
+    if need <= capacity:
+        return array
+    new_capacity = max(need, 2 * capacity, _MIN_CAPACITY)
+    out = np.empty(new_capacity, dtype=array.dtype)
+    out[:size] = array[:size]
+    return out
+
+
+def _readonly(array: np.ndarray, size: int) -> np.ndarray:
+    """A read-only view of the first ``size`` elements of a column."""
+    view = array[:size]
+    view.setflags(write=False)
+    return view
+
+
+class _RouterSeq:
+    """Sequence view over the router columns, yielding :class:`Router`."""
+
+    __slots__ = ("_t",)
+
+    def __init__(self, topology: "Topology") -> None:
+        self._t = topology
+
+    def __len__(self) -> int:
+        return self._t._n_routers
+
+    def _make(self, i: int) -> Router:
+        t = self._t
+        return Router(
+            router_id=i,
+            asn=int(t._r_asn[i]),
+            location=GeoPoint(float(t._r_lat[i]), float(t._r_lon[i])),
+            city_code=t._r_city[i],
+            loopback=int(t._r_loopback[i]),
+        )
+
+    def __getitem__(self, index):
+        n = self._t._n_routers
+        if isinstance(index, slice):
+            return [self._make(i) for i in range(*index.indices(n))]
+        i = int(index)
+        if i < 0:
+            i += n
+        if i < 0 or i >= n:
+            raise IndexError("router index out of range")
+        return self._make(i)
+
+    def __iter__(self) -> Iterator[Router]:
+        for i in range(self._t._n_routers):
+            yield self._make(i)
+
+
+class _LinkSeq:
+    """Sequence view over the link columns, yielding :class:`Link`."""
+
+    __slots__ = ("_t",)
+
+    def __init__(self, topology: "Topology") -> None:
+        self._t = topology
+
+    def __len__(self) -> int:
+        return self._t._n_links
+
+    def _make(self, i: int) -> Link:
+        t = self._t
+        a = int(t._l_a[i])
+        b = int(t._l_b[i])
+        # Use the cached length column when built; otherwise compute the
+        # single length so scalar access never forces an O(n_links) build.
+        lengths = t._derived.get("lengths")
+        if lengths is not None:
+            length = float(lengths[i])
+        else:
+            length = float(
+                link_lengths_miles(
+                    t._r_lat[: t._n_routers],
+                    t._r_lon[: t._n_routers],
+                    np.array([a], dtype=np.intp),
+                    np.array([b], dtype=np.intp),
+                )[0]
+            )
+        return Link(
+            link_id=i,
+            router_a=a,
+            router_b=b,
+            interface_a=int(t._l_ia[i]),
+            interface_b=int(t._l_ib[i]),
+            length_miles=length,
+            interdomain=bool(t._r_asn[a] != t._r_asn[b]),
+        )
+
+    def __getitem__(self, index):
+        n = self._t._n_links
+        if isinstance(index, slice):
+            return [self._make(i) for i in range(*index.indices(n))]
+        i = int(index)
+        if i < 0:
+            i += n
+        if i < 0 or i >= n:
+            raise IndexError("link index out of range")
+        return self._make(i)
+
+    def __iter__(self) -> Iterator[Link]:
+        for i in range(self._t._n_links):
+            yield self._make(i)
+
+
+class _InterfaceMap:
+    """Mapping view over the interface columns, keyed by address.
+
+    Point lookups binary-search the sorted-address cache; assignment
+    writes through to the columns (used by tests to simulate corruption,
+    and kept for dict compatibility).
+    """
+
+    __slots__ = ("_t",)
+
+    def __init__(self, topology: "Topology") -> None:
+        self._t = topology
+
+    def __len__(self) -> int:
+        return self._t._n_interfaces
+
+    def __contains__(self, address: object) -> bool:
+        return address in self._t._addr_set
+
+    def _make(self, i: int) -> Interface:
+        t = self._t
+        return Interface(
+            address=int(t._i_addr[i]),
+            router_id=int(t._i_router[i]),
+            link_id=int(t._i_link[i]),
+        )
+
+    def __getitem__(self, address: int) -> Interface:
+        i = self._t._interface_position(address)
+        if i < 0:
+            raise KeyError(address)
+        return self._make(i)
+
+    def get(self, address: int, default=None):
+        i = self._t._interface_position(address)
+        if i < 0:
+            return default
+        return self._make(i)
+
+    def __setitem__(self, address: int, iface: Interface) -> None:
+        t = self._t
+        i = t._interface_position(address)
+        if i >= 0:
+            t._i_router[i] = iface.router_id
+            t._i_link[i] = iface.link_id
+        else:
+            t._append_interface(address, iface.router_id, iface.link_id)
+        t._invalidate()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._t.interface_addresses().tolist())
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def values(self) -> Iterator[Interface]:
+        for i in range(self._t._n_interfaces):
+            yield self._make(i)
+
+    def items(self) -> Iterator[tuple[int, Interface]]:
+        t = self._t
+        for i in range(t._n_interfaces):
+            yield int(t._i_addr[i]), self._make(i)
+
+
 class Topology:
-    """Mutable ground-truth topology under construction, then frozen views.
+    """Mutable ground-truth topology: column storage plus lazy views.
 
     Attributes:
-        asns: AS number -> :class:`AutonomousSystem`.
-        routers: dense list, ``routers[i].router_id == i``.
-        links: dense list, ``links[i].link_id == i``.
-        interfaces: interface address -> :class:`Interface`.
+        asns: AS number -> :class:`AutonomousSystem` (insertion-ordered).
+        routers: dense sequence view, ``routers[i].router_id == i``.
+        links: dense sequence view, ``links[i].link_id == i``.
+        interfaces: mapping view, interface address -> :class:`Interface`.
         hostnames: interface address -> DNS hostname.
     """
 
-    asns: dict[int, AutonomousSystem] = field(default_factory=dict)
-    routers: list[Router] = field(default_factory=list)
-    links: list[Link] = field(default_factory=list)
-    interfaces: dict[int, Interface] = field(default_factory=dict)
-    hostnames: dict[int, str] = field(default_factory=dict)
-    _adjacency: dict[int, list[int]] = field(default_factory=dict, repr=False)
-    _link_by_pair: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
-    _links_of: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    def __init__(self) -> None:
+        self.asns: dict[int, AutonomousSystem] = {}
+        self.hostnames: dict[int, str] = {}
+        # Router columns.
+        self._n_routers = 0
+        self._r_lat = np.empty(0, dtype=np.float64)
+        self._r_lon = np.empty(0, dtype=np.float64)
+        self._r_asn = np.empty(0, dtype=np.int64)
+        self._r_loopback = np.empty(0, dtype=np.int64)
+        self._r_city: list[str] = []
+        # Link columns.
+        self._n_links = 0
+        self._l_a = np.empty(0, dtype=np.intp)
+        self._l_b = np.empty(0, dtype=np.intp)
+        self._l_ia = np.empty(0, dtype=np.int64)
+        self._l_ib = np.empty(0, dtype=np.int64)
+        # Interface columns, in insertion order.
+        self._n_interfaces = 0
+        self._i_addr = np.empty(0, dtype=np.int64)
+        self._i_router = np.empty(0, dtype=np.intp)
+        self._i_link = np.empty(0, dtype=np.int64)
+        # Constant-time membership/pair indices maintained eagerly.
+        self._addr_set: set[int] = set()
+        self._pair_to_link: dict[tuple[int, int], int] = {}
+        # Lazily-built derived structures, cleared on mutation.
+        self._derived: dict[str, object] = {}
+        # Ergonomic views.
+        self.routers = _RouterSeq(self)
+        self.links = _LinkSeq(self)
+        self.interfaces = _InterfaceMap(self)
+
+    # ---- pickling --------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "asns": self.asns,
+            "hostnames": self.hostnames,
+            "r_lat": self._r_lat[: self._n_routers].copy(),
+            "r_lon": self._r_lon[: self._n_routers].copy(),
+            "r_asn": self._r_asn[: self._n_routers].copy(),
+            "r_loopback": self._r_loopback[: self._n_routers].copy(),
+            "r_city": list(self._r_city),
+            "l_a": self._l_a[: self._n_links].copy(),
+            "l_b": self._l_b[: self._n_links].copy(),
+            "l_ia": self._l_ia[: self._n_links].copy(),
+            "l_ib": self._l_ib[: self._n_links].copy(),
+            "i_addr": self._i_addr[: self._n_interfaces].copy(),
+            "i_router": self._i_router[: self._n_interfaces].copy(),
+            "i_link": self._i_link[: self._n_interfaces].copy(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self.asns = state["asns"]
+        self.hostnames = state["hostnames"]
+        self._set_columns(
+            state["r_lat"], state["r_lon"], state["r_asn"],
+            state["r_loopback"], state["r_city"],
+            state["l_a"], state["l_b"], state["l_ia"], state["l_ib"],
+            state["i_addr"], state["i_router"], state["i_link"],
+        )
+
+    def _set_columns(
+        self, r_lat, r_lon, r_asn, r_loopback, r_city,
+        l_a, l_b, l_ia, l_ib, i_addr, i_router, i_link,
+    ) -> None:
+        """Adopt whole columns at once (deserialisation fast path)."""
+        self._n_routers = int(r_lat.shape[0])
+        self._r_lat = np.ascontiguousarray(r_lat, dtype=np.float64)
+        self._r_lon = np.ascontiguousarray(r_lon, dtype=np.float64)
+        self._r_asn = np.ascontiguousarray(r_asn, dtype=np.int64)
+        self._r_loopback = np.ascontiguousarray(r_loopback, dtype=np.int64)
+        self._r_city = list(r_city)
+        self._n_links = int(l_a.shape[0])
+        self._l_a = np.ascontiguousarray(l_a, dtype=np.intp)
+        self._l_b = np.ascontiguousarray(l_b, dtype=np.intp)
+        self._l_ia = np.ascontiguousarray(l_ia, dtype=np.int64)
+        self._l_ib = np.ascontiguousarray(l_ib, dtype=np.int64)
+        self._n_interfaces = int(i_addr.shape[0])
+        self._i_addr = np.ascontiguousarray(i_addr, dtype=np.int64)
+        self._i_router = np.ascontiguousarray(i_router, dtype=np.intp)
+        self._i_link = np.ascontiguousarray(i_link, dtype=np.int64)
+        self._addr_set = set(self._i_addr.tolist())
+        self._pair_to_link = {
+            (int(a), int(b)): i
+            for i, (a, b) in enumerate(zip(self._l_a.tolist(), self._l_b.tolist()))
+        }
+        self._derived = {}
+
+    # ---- serialisation ---------------------------------------------------
+
+    def to_npz(self, path, extra: dict[str, str] | None = None) -> None:
+        """Write the topology to an ``.npz`` archive.
+
+        ``extra`` attaches additional JSON strings (stored as 0-d arrays);
+        the runtime cache uses this to bundle the address plan and the
+        generation report with the topology in a single artifact.
+        """
+        hostname_addrs = np.fromiter(
+            self.hostnames.keys(), dtype=np.int64, count=len(self.hostnames)
+        )
+        hostname_values = np.array(list(self.hostnames.values()), dtype=np.str_)
+        as_list = list(self.asns.values())
+        payload = {
+            "r_lat": self._r_lat[: self._n_routers],
+            "r_lon": self._r_lon[: self._n_routers],
+            "r_asn": self._r_asn[: self._n_routers],
+            "r_loopback": self._r_loopback[: self._n_routers],
+            "r_city": np.array(self._r_city, dtype=np.str_),
+            "l_a": self._l_a[: self._n_links],
+            "l_b": self._l_b[: self._n_links],
+            "l_ia": self._l_ia[: self._n_links],
+            "l_ib": self._l_ib[: self._n_links],
+            "i_addr": self._i_addr[: self._n_interfaces],
+            "i_router": self._i_router[: self._n_interfaces],
+            "i_link": self._i_link[: self._n_interfaces],
+            "hostname_addrs": hostname_addrs,
+            "hostname_values": hostname_values,
+            "as_asn": np.array([a.asn for a in as_list], dtype=np.int64),
+            "as_name": np.array([a.name for a in as_list], dtype=np.str_),
+            "as_lat": np.array([a.headquarters.lat for a in as_list], dtype=np.float64),
+            "as_lon": np.array([a.headquarters.lon for a in as_list], dtype=np.float64),
+            "as_adherence": np.array(
+                [a.hostname_adherence for a in as_list], dtype=np.float64
+            ),
+            "as_tier": np.array([a.tier for a in as_list], dtype=np.int64),
+        }
+        for key, text in (extra or {}).items():
+            if key in payload:
+                raise TopologyError(f"extra key {key!r} collides with a column")
+            payload[key] = np.array(text, dtype=np.str_)
+        # Write through a handle so the exact filename is kept (np.savez
+        # appends ".npz" to bare paths, breaking atomic temp-file renames).
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+
+    @classmethod
+    def from_npz(cls, path) -> "Topology":
+        """Rebuild a topology written by :meth:`to_npz`."""
+        with np.load(path, allow_pickle=False) as data:
+            topology = cls()
+            for asn, name, lat, lon, adherence, tier in zip(
+                data["as_asn"].tolist(), data["as_name"].tolist(),
+                data["as_lat"].tolist(), data["as_lon"].tolist(),
+                data["as_adherence"].tolist(), data["as_tier"].tolist(),
+            ):
+                topology.asns[asn] = AutonomousSystem(
+                    asn=asn, name=name, headquarters=GeoPoint(lat, lon),
+                    hostname_adherence=adherence, tier=tier,
+                )
+            topology._set_columns(
+                data["r_lat"], data["r_lon"], data["r_asn"],
+                data["r_loopback"], data["r_city"].tolist(),
+                data["l_a"], data["l_b"], data["l_ia"], data["l_ib"],
+                data["i_addr"], data["i_router"], data["i_link"],
+            )
+            topology.hostnames = dict(
+                zip(data["hostname_addrs"].tolist(),
+                    data["hostname_values"].tolist())
+            )
+        return topology
 
     # ---- construction ----------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._derived.clear()
+
+    def _append_interface(self, address: int, router_id: int, link_id: int) -> None:
+        n = self._n_interfaces
+        self._i_addr = _grown(self._i_addr, n, 1)
+        self._i_router = _grown(self._i_router, n, 1)
+        self._i_link = _grown(self._i_link, n, 1)
+        self._i_addr[n] = address
+        self._i_router[n] = router_id
+        self._i_link[n] = link_id
+        self._n_interfaces = n + 1
+        self._addr_set.add(address)
 
     def add_as(self, asys: AutonomousSystem) -> None:
         """Register an AS.
@@ -68,22 +426,84 @@ class Topology:
         """
         if asn not in self.asns:
             raise TopologyError(f"unknown ASN {asn}")
-        if loopback in self.interfaces:
+        if loopback in self._addr_set:
             raise TopologyError(f"duplicate interface address {loopback}")
-        router = Router(
-            router_id=len(self.routers),
-            asn=asn,
-            location=location,
-            city_code=city_code,
-            loopback=loopback,
-        )
-        self.routers.append(router)
-        self.interfaces[loopback] = Interface(
-            address=loopback, router_id=router.router_id, link_id=-1
-        )
-        self._adjacency[router.router_id] = []
-        self._links_of[router.router_id] = []
-        return router
+        i = self._n_routers
+        self._r_lat = _grown(self._r_lat, i, 1)
+        self._r_lon = _grown(self._r_lon, i, 1)
+        self._r_asn = _grown(self._r_asn, i, 1)
+        self._r_loopback = _grown(self._r_loopback, i, 1)
+        self._r_lat[i] = location.lat
+        self._r_lon[i] = location.lon
+        self._r_asn[i] = asn
+        self._r_loopback[i] = loopback
+        self._r_city.append(city_code)
+        self._n_routers = i + 1
+        self._append_interface(loopback, i, -1)
+        self._invalidate()
+        return self.routers[i]
+
+    def add_routers(
+        self,
+        asn: int,
+        lats: np.ndarray,
+        lons: np.ndarray,
+        city_code: str,
+        loopbacks: np.ndarray,
+    ) -> np.ndarray:
+        """Register a batch of routers sharing one AS and city code.
+
+        Returns the assigned router ids (consecutive).  Loopback
+        interfaces are registered in router order, matching a sequence of
+        scalar :meth:`add_router` calls.
+
+        Raises:
+            TopologyError: if the AS is unknown or any loopback address is
+                already taken (or repeated within the batch).
+        """
+        if asn not in self.asns:
+            raise TopologyError(f"unknown ASN {asn}")
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        loopbacks = np.asarray(loopbacks, dtype=np.int64)
+        count = lats.shape[0]
+        if lons.shape[0] != count or loopbacks.shape[0] != count:
+            raise TopologyError("router batch columns must have equal length")
+        batch = loopbacks.tolist()
+        batch_set = set(batch)
+        if len(batch_set) != count:
+            seen: set[int] = set()
+            for addr in batch:
+                if addr in seen:
+                    raise TopologyError(f"duplicate interface address {addr}")
+                seen.add(addr)
+        clash = batch_set & self._addr_set
+        if clash:
+            raise TopologyError(f"duplicate interface address {min(clash)}")
+        start = self._n_routers
+        self._r_lat = _grown(self._r_lat, start, count)
+        self._r_lon = _grown(self._r_lon, start, count)
+        self._r_asn = _grown(self._r_asn, start, count)
+        self._r_loopback = _grown(self._r_loopback, start, count)
+        end = start + count
+        self._r_lat[start:end] = lats
+        self._r_lon[start:end] = lons
+        self._r_asn[start:end] = asn
+        self._r_loopback[start:end] = loopbacks
+        self._r_city.extend([city_code] * count)
+        self._n_routers = end
+        ids = np.arange(start, end, dtype=np.intp)
+        ni = self._n_interfaces
+        self._i_addr = _grown(self._i_addr, ni, count)
+        self._i_router = _grown(self._i_router, ni, count)
+        self._i_link = _grown(self._i_link, ni, count)
+        self._i_addr[ni:ni + count] = loopbacks
+        self._i_router[ni:ni + count] = ids
+        self._i_link[ni:ni + count] = -1
+        self._n_interfaces = ni + count
+        self._addr_set |= batch_set
+        self._invalidate()
+        return ids
 
     def add_link(
         self, router_a: int, router_b: int, interface_a: int, interface_b: int
@@ -100,38 +520,127 @@ class Topology:
         if router_a == router_b:
             raise TopologyError("refusing to add a self-loop")
         for rid in (router_a, router_b):
-            if rid < 0 or rid >= len(self.routers):
+            if rid < 0 or rid >= self._n_routers:
                 raise TopologyError(f"unknown router {rid}")
         if router_a > router_b:
             router_a, router_b = router_b, router_a
             interface_a, interface_b = interface_b, interface_a
-        if router_b in self._adjacency[router_a]:
+        if (router_a, router_b) in self._pair_to_link:
             raise TopologyError(
                 f"link between routers {router_a} and {router_b} already exists"
             )
         for addr in (interface_a, interface_b):
-            if addr in self.interfaces:
+            if addr in self._addr_set:
                 raise TopologyError(f"duplicate interface address {addr}")
-        ra = self.routers[router_a]
-        rb = self.routers[router_b]
-        link = Link(
-            link_id=len(self.links),
-            router_a=router_a,
-            router_b=router_b,
-            interface_a=interface_a,
-            interface_b=interface_b,
-            length_miles=great_circle_miles(ra.location, rb.location),
-            interdomain=ra.asn != rb.asn,
-        )
-        self.links.append(link)
-        self.interfaces[interface_a] = Interface(interface_a, router_a, link.link_id)
-        self.interfaces[interface_b] = Interface(interface_b, router_b, link.link_id)
-        self._adjacency[router_a].append(router_b)
-        self._adjacency[router_b].append(router_a)
-        self._link_by_pair[(router_a, router_b)] = link.link_id
-        self._links_of[router_a].append(link.link_id)
-        self._links_of[router_b].append(link.link_id)
-        return link
+        i = self._n_links
+        self._l_a = _grown(self._l_a, i, 1)
+        self._l_b = _grown(self._l_b, i, 1)
+        self._l_ia = _grown(self._l_ia, i, 1)
+        self._l_ib = _grown(self._l_ib, i, 1)
+        self._l_a[i] = router_a
+        self._l_b[i] = router_b
+        self._l_ia[i] = interface_a
+        self._l_ib[i] = interface_b
+        self._n_links = i + 1
+        self._append_interface(interface_a, router_a, i)
+        self._append_interface(interface_b, router_b, i)
+        self._pair_to_link[(router_a, router_b)] = i
+        self._invalidate()
+        return self.links[i]
+
+    def add_links(
+        self,
+        router_a: np.ndarray,
+        router_b: np.ndarray,
+        interface_a: np.ndarray,
+        interface_b: np.ndarray,
+    ) -> np.ndarray:
+        """Register a batch of links; returns the assigned link ids.
+
+        Endpoints are normalised per link so ``router_a < router_b``.
+        Interfaces are registered in ``(a, b)`` order per link, in batch
+        order, matching a sequence of scalar :meth:`add_link` calls.
+
+        Raises:
+            TopologyError: on self-loops, unknown routers, duplicate
+                pairs (within the batch or against existing links), or
+                duplicate interface addresses.
+        """
+        a = np.asarray(router_a, dtype=np.intp).copy()
+        b = np.asarray(router_b, dtype=np.intp).copy()
+        ia = np.asarray(interface_a, dtype=np.int64).copy()
+        ib = np.asarray(interface_b, dtype=np.int64).copy()
+        count = a.shape[0]
+        if b.shape[0] != count or ia.shape[0] != count or ib.shape[0] != count:
+            raise TopologyError("link batch columns must have equal length")
+        if count == 0:
+            return np.empty(0, dtype=np.intp)
+        if np.any(a == b):
+            raise TopologyError("refusing to add a self-loop")
+        bad = (a < 0) | (a >= self._n_routers) | (b < 0) | (b >= self._n_routers)
+        if np.any(bad):
+            which = a[bad][0] if a[bad][0] < 0 or a[bad][0] >= self._n_routers else b[bad][0]
+            raise TopologyError(f"unknown router {int(which)}")
+        flip = a > b
+        a[flip], b[flip] = b[flip], a[flip]
+        ia[flip], ib[flip] = ib[flip], ia[flip]
+        pairs = list(zip(a.tolist(), b.tolist()))
+        if len(set(pairs)) != count:
+            seen_pairs: set[tuple[int, int]] = set()
+            for pair in pairs:
+                if pair in seen_pairs:
+                    raise TopologyError(
+                        f"link between routers {pair[0]} and {pair[1]} already exists"
+                    )
+                seen_pairs.add(pair)
+        for pair in pairs:
+            if pair in self._pair_to_link:
+                raise TopologyError(
+                    f"link between routers {pair[0]} and {pair[1]} already exists"
+                )
+        addrs = np.empty(2 * count, dtype=np.int64)
+        addrs[0::2] = ia
+        addrs[1::2] = ib
+        addr_list = addrs.tolist()
+        addr_batch = set(addr_list)
+        if len(addr_batch) != 2 * count:
+            seen_addrs: set[int] = set()
+            for addr in addr_list:
+                if addr in seen_addrs:
+                    raise TopologyError(f"duplicate interface address {addr}")
+                seen_addrs.add(addr)
+        clash = addr_batch & self._addr_set
+        if clash:
+            raise TopologyError(f"duplicate interface address {min(clash)}")
+        start = self._n_links
+        self._l_a = _grown(self._l_a, start, count)
+        self._l_b = _grown(self._l_b, start, count)
+        self._l_ia = _grown(self._l_ia, start, count)
+        self._l_ib = _grown(self._l_ib, start, count)
+        end = start + count
+        self._l_a[start:end] = a
+        self._l_b[start:end] = b
+        self._l_ia[start:end] = ia
+        self._l_ib[start:end] = ib
+        self._n_links = end
+        ids = np.arange(start, end, dtype=np.intp)
+        ni = self._n_interfaces
+        self._i_addr = _grown(self._i_addr, ni, 2 * count)
+        self._i_router = _grown(self._i_router, ni, 2 * count)
+        self._i_link = _grown(self._i_link, ni, 2 * count)
+        self._i_addr[ni:ni + 2 * count] = addrs
+        owners = np.empty(2 * count, dtype=np.intp)
+        owners[0::2] = a
+        owners[1::2] = b
+        self._i_router[ni:ni + 2 * count] = owners
+        link_of = np.repeat(ids, 2)
+        self._i_link[ni:ni + 2 * count] = link_of
+        self._n_interfaces = ni + 2 * count
+        self._addr_set |= addr_batch
+        for pair, link_id in zip(pairs, ids.tolist()):
+            self._pair_to_link[pair] = link_id
+        self._invalidate()
+        return ids
 
     def set_hostname(self, address: int, hostname: str) -> None:
         """Attach a DNS hostname to an interface address.
@@ -139,73 +648,195 @@ class Topology:
         Raises:
             TopologyError: if the interface does not exist.
         """
-        if address not in self.interfaces:
+        if address not in self._addr_set:
             raise TopologyError(f"unknown interface address {address}")
         self.hostnames[address] = hostname
 
-    # ---- queries -----------------------------------------------------------
+    # ---- derived structures ---------------------------------------------
+
+    def _derive(self, key: str, build):
+        value = self._derived.get(key)
+        if value is None:
+            value = build()
+            self._derived[key] = value
+        return value
+
+    def _build_lengths(self) -> np.ndarray:
+        lengths = link_lengths_miles(
+            self._r_lat[: self._n_routers],
+            self._r_lon[: self._n_routers],
+            self._l_a[: self._n_links],
+            self._l_b[: self._n_links],
+        )
+        lengths.setflags(write=False)
+        return lengths
+
+    def _build_interdomain(self) -> np.ndarray:
+        asn = self._r_asn[: self._n_routers]
+        flags = asn[self._l_a[: self._n_links]] != asn[self._l_b[: self._n_links]]
+        flags.setflags(write=False)
+        return flags
+
+    def _build_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        a = self._l_a[: self._n_links]
+        b = self._l_b[: self._n_links]
+        ids = np.arange(self._n_links, dtype=np.intp)
+        heads = np.concatenate([a, b])
+        tails = np.concatenate([b, a])
+        link_ids = np.concatenate([ids, ids])
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        counts = np.bincount(heads, minlength=self._n_routers)
+        indptr = np.zeros(self._n_routers + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, tails[order], link_ids[order]
+
+    def _build_interface_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        owners = self._i_router[: self._n_interfaces]
+        order = np.argsort(owners, kind="stable")
+        counts = np.bincount(owners, minlength=self._n_routers)
+        indptr = np.zeros(self._n_routers + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, order
+
+    def _build_address_index(self) -> tuple[np.ndarray, np.ndarray]:
+        addrs = self._i_addr[: self._n_interfaces]
+        order = np.argsort(addrs)
+        return addrs[order], order
+
+    def _build_edge_table(self) -> tuple[np.ndarray, np.ndarray]:
+        a = self._l_a[: self._n_links].astype(np.int64)
+        b = self._l_b[: self._n_links].astype(np.int64)
+        origin = np.concatenate([a, b])
+        target = np.concatenate([b, a])
+        inbound = np.concatenate(
+            [self._l_ib[: self._n_links], self._l_ia[: self._n_links]]
+        )
+        keys = origin * np.int64(self._n_routers) + target
+        order = np.argsort(keys)
+        return keys[order], inbound[order]
+
+    def _interface_position(self, address) -> int:
+        """Column index of an interface address, or -1 when absent."""
+        if address not in self._addr_set:
+            return -1
+        sorted_addrs, order = self._derive("addr", self._build_address_index)
+        pos = int(np.searchsorted(sorted_addrs, address))
+        return int(order[pos])
+
+    def interface_positions(self, addresses: np.ndarray) -> np.ndarray:
+        """Column indices of interface addresses; -1 where unknown."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        sorted_addrs, order = self._derive("addr", self._build_address_index)
+        if sorted_addrs.shape[0] == 0:
+            return np.full(addresses.shape, -1, dtype=np.intp)
+        pos = np.searchsorted(sorted_addrs, addresses)
+        pos = np.minimum(pos, sorted_addrs.shape[0] - 1)
+        found = sorted_addrs[pos] == addresses
+        return np.where(found, order[pos], -1)
+
+    # ---- queries ---------------------------------------------------------
 
     @property
     def n_routers(self) -> int:
         """Number of routers."""
-        return len(self.routers)
+        return self._n_routers
 
     @property
     def n_links(self) -> int:
         """Number of links."""
-        return len(self.links)
+        return self._n_links
 
     @property
     def n_interfaces(self) -> int:
         """Number of interfaces, loopbacks included."""
-        return len(self.interfaces)
+        return self._n_interfaces
 
     def neighbors(self, router_id: int) -> list[int]:
-        """Router ids adjacent to ``router_id``.
+        """Router ids adjacent to ``router_id``, in ascending order.
 
         Raises:
             TopologyError: on unknown router.
         """
-        if router_id not in self._adjacency:
+        if router_id < 0 or router_id >= self._n_routers:
             raise TopologyError(f"unknown router {router_id}")
-        return list(self._adjacency[router_id])
+        indptr, nbrs, _ = self._derive("adj", self._build_adjacency)
+        return nbrs[indptr[router_id]:indptr[router_id + 1]].tolist()
 
     def has_link(self, router_a: int, router_b: int) -> bool:
         """True when the two routers are directly connected."""
-        return router_b in self._adjacency.get(router_a, ())
+        key = (router_a, router_b) if router_a < router_b else (router_b, router_a)
+        return key in self._pair_to_link
 
     def degree(self, router_id: int) -> int:
         """Number of links incident to the router."""
-        return len(self.neighbors(router_id))
+        if router_id < 0 or router_id >= self._n_routers:
+            raise TopologyError(f"unknown router {router_id}")
+        indptr, _, _ = self._derive("adj", self._build_adjacency)
+        return int(indptr[router_id + 1] - indptr[router_id])
+
+    def degrees(self) -> np.ndarray:
+        """Link count per router, indexed by router id."""
+        counts = np.bincount(
+            self._l_a[: self._n_links], minlength=self._n_routers
+        )
+        counts += np.bincount(
+            self._l_b[: self._n_links], minlength=self._n_routers
+        )
+        return counts
 
     def router_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(lats, lons)`` arrays indexed by router id."""
-        lats = np.fromiter(
-            (r.location.lat for r in self.routers), dtype=float, count=self.n_routers
+        """``(lats, lons)`` read-only arrays indexed by router id."""
+        return (
+            _readonly(self._r_lat, self._n_routers),
+            _readonly(self._r_lon, self._n_routers),
         )
-        lons = np.fromiter(
-            (r.location.lon for r in self.routers), dtype=float, count=self.n_routers
-        )
-        return lats, lons
 
     def router_asns(self) -> np.ndarray:
-        """ASN per router, indexed by router id."""
-        return np.fromiter((r.asn for r in self.routers), dtype=np.int64,
-                           count=self.n_routers)
+        """ASN per router, indexed by router id (read-only)."""
+        return _readonly(self._r_asn, self._n_routers)
+
+    def router_loopbacks(self) -> np.ndarray:
+        """Loopback interface address per router (read-only)."""
+        return _readonly(self._r_loopback, self._n_routers)
+
+    def router_city_codes(self) -> list[str]:
+        """Airport-style city code per router ('' for rural routers)."""
+        return list(self._r_city)
 
     def link_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
-        """Parallel arrays of router-id endpoints per link."""
-        a = np.fromiter((link.router_a for link in self.links), dtype=np.intp,
-                        count=self.n_links)
-        b = np.fromiter((link.router_b for link in self.links), dtype=np.intp,
-                        count=self.n_links)
-        return a, b
+        """Parallel read-only arrays of router-id endpoints per link."""
+        return (
+            _readonly(self._l_a, self._n_links),
+            _readonly(self._l_b, self._n_links),
+        )
+
+    def link_interfaces(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel read-only arrays of interface addresses per link."""
+        return (
+            _readonly(self._l_ia, self._n_links),
+            _readonly(self._l_ib, self._n_links),
+        )
 
     def link_lengths(self) -> np.ndarray:
-        """Length in miles per link."""
-        return np.fromiter(
-            (link.length_miles for link in self.links), dtype=float, count=self.n_links
-        )
+        """Length in miles per link (read-only, computed lazily)."""
+        return self._derive("lengths", self._build_lengths)
+
+    def link_interdomain(self) -> np.ndarray:
+        """Boolean interdomain flag per link (read-only, lazily derived)."""
+        return self._derive("interdomain", self._build_interdomain)
+
+    def interface_addresses(self) -> np.ndarray:
+        """Interface addresses in insertion order (read-only)."""
+        return _readonly(self._i_addr, self._n_interfaces)
+
+    def interface_routers(self) -> np.ndarray:
+        """Owning router id per interface, insertion order (read-only)."""
+        return _readonly(self._i_router, self._n_interfaces)
+
+    def interface_links(self) -> np.ndarray:
+        """Link id per interface (-1 for loopbacks), insertion order."""
+        return _readonly(self._i_link, self._n_interfaces)
 
     def routing_graph(self, hop_cost: float = HOP_COST_MILES) -> sparse.csr_matrix:
         """Symmetric CSR weight matrix for shortest-path routing.
@@ -213,15 +844,16 @@ class Topology:
         Edge weight is geographic length plus a per-hop cost, a standard
         latency-flavoured IGP metric.
         """
-        if self.n_routers == 0:
+        if self._n_routers == 0:
             raise TopologyError("cannot build a routing graph with no routers")
-        a, b = self.link_endpoints()
+        a = self._l_a[: self._n_links]
+        b = self._l_b[: self._n_links]
         w = self.link_lengths() + hop_cost
         rows = np.concatenate([a, b])
         cols = np.concatenate([b, a])
         data = np.concatenate([w, w])
         return sparse.csr_matrix(
-            (data, (rows, cols)), shape=(self.n_routers, self.n_routers)
+            (data, (rows, cols)), shape=(self._n_routers, self._n_routers)
         )
 
     def link_between(self, router_a: int, router_b: int) -> Link:
@@ -231,7 +863,7 @@ class Topology:
             TopologyError: when they are not directly connected.
         """
         key = (router_a, router_b) if router_a < router_b else (router_b, router_a)
-        link_id = self._link_by_pair.get(key)
+        link_id = self._pair_to_link.get(key)
         if link_id is None:
             raise TopologyError(
                 f"no link between routers {router_a} and {router_b}"
@@ -244,13 +876,25 @@ class Topology:
         Raises:
             TopologyError: on unknown router.
         """
-        if router_id not in self._links_of:
+        if router_id < 0 or router_id >= self._n_routers:
             raise TopologyError(f"unknown router {router_id}")
-        return list(self._links_of[router_id])
+        indptr, _, link_ids = self._derive("adj", self._build_adjacency)
+        return link_ids[indptr[router_id]:indptr[router_id + 1]].tolist()
 
     def interfaces_of_router(self, router_id: int) -> list[Interface]:
-        """All interfaces (loopback included) on a router."""
-        return [i for i in self.interfaces.values() if i.router_id == router_id]
+        """All interfaces (loopback included) on a router.
+
+        Served from the per-router interface CSR: O(degree), not
+        O(n_interfaces).
+        """
+        if router_id < 0 or router_id >= self._n_routers:
+            return []
+        indptr, order = self._derive("iface_csr", self._build_interface_csr)
+        make = self.interfaces._make
+        return [
+            make(int(i))
+            for i in order[indptr[router_id]:indptr[router_id + 1]]
+        ]
 
     def link_interface_toward(self, from_router: int, to_router: int) -> int:
         """Interface address on ``to_router``'s side of the shared link.
@@ -261,12 +905,46 @@ class Topology:
         Raises:
             TopologyError: when the routers are not adjacent.
         """
-        link = self.link_between(from_router, to_router)
-        if link.router_a == to_router:
-            return link.interface_a
-        return link.interface_b
+        key = (
+            (from_router, to_router)
+            if from_router < to_router
+            else (to_router, from_router)
+        )
+        link_id = self._pair_to_link.get(key)
+        if link_id is None:
+            raise TopologyError(
+                f"no link between routers {from_router} and {to_router}"
+            )
+        if self._l_a[link_id] == to_router:
+            return int(self._l_ia[link_id])
+        return int(self._l_ib[link_id])
 
-    # ---- validation ----------------------------------------------------------
+    def link_interfaces_toward(
+        self, from_routers: np.ndarray, to_routers: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`link_interface_toward` over router-id arrays.
+
+        Raises:
+            TopologyError: when any pair is not adjacent.
+        """
+        from_routers = np.asarray(from_routers, dtype=np.int64)
+        to_routers = np.asarray(to_routers, dtype=np.int64)
+        if from_routers.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        keys, inbound = self._derive("edges", self._build_edge_table)
+        wanted = from_routers * np.int64(self._n_routers) + to_routers
+        pos = np.searchsorted(keys, wanted)
+        pos_c = np.minimum(pos, keys.shape[0] - 1)
+        found = (keys.shape[0] > 0) & (keys[pos_c] == wanted)
+        if not np.all(found):
+            i = int(np.flatnonzero(~found)[0])
+            raise TopologyError(
+                f"no link between routers {int(from_routers[i])} "
+                f"and {int(to_routers[i])}"
+            )
+        return inbound[pos_c]
+
+    # ---- validation ------------------------------------------------------
 
     def validate(self) -> None:
         """Full consistency check; raises on the first violation.
@@ -274,25 +952,43 @@ class Topology:
         Raises:
             TopologyError: describing the inconsistency found.
         """
-        for i, router in enumerate(self.routers):
-            if router.router_id != i:
-                raise TopologyError(f"router list not dense at index {i}")
-            if router.asn not in self.asns:
-                raise TopologyError(f"router {i} references unknown AS {router.asn}")
-            if router.loopback not in self.interfaces:
+        n = self._n_routers
+        r_asn = self._r_asn[:n]
+        if n:
+            known = np.fromiter(self.asns.keys(), dtype=np.int64, count=len(self.asns))
+            ok = np.isin(r_asn, known) if known.shape[0] else np.zeros(n, dtype=bool)
+            if not np.all(ok):
+                i = int(np.flatnonzero(~ok)[0])
+                raise TopologyError(
+                    f"router {i} references unknown AS {int(r_asn[i])}"
+                )
+            pos = self.interface_positions(self._r_loopback[:n])
+            if np.any(pos < 0):
+                i = int(np.flatnonzero(pos < 0)[0])
                 raise TopologyError(f"router {i} loopback missing from interfaces")
-        for i, link in enumerate(self.links):
-            if link.link_id != i:
-                raise TopologyError(f"link list not dense at index {i}")
-            for addr in (link.interface_a, link.interface_b):
-                iface = self.interfaces.get(addr)
-                if iface is None or iface.link_id != i:
-                    raise TopologyError(f"link {i} interface {addr} inconsistent")
-            expected = self.routers[link.router_a].asn != self.routers[link.router_b].asn
-            if link.interdomain != expected:
-                raise TopologyError(f"link {i} interdomain flag wrong")
-        for addr, iface in self.interfaces.items():
-            if iface.address != addr:
-                raise TopologyError(f"interface key {addr} mismatches its address")
-            if iface.router_id < 0 or iface.router_id >= self.n_routers:
-                raise TopologyError(f"interface {addr} references unknown router")
+        m = self._n_links
+        if m:
+            link_ids = np.arange(m, dtype=np.int64)
+            i_link = self._i_link[: self._n_interfaces]
+            for side in (self._l_ia[:m], self._l_ib[:m]):
+                pos = self.interface_positions(side)
+                ok = (pos >= 0) & (i_link[np.maximum(pos, 0)] == link_ids)
+                if not np.all(ok):
+                    i = int(np.flatnonzero(~ok)[0])
+                    raise TopologyError(
+                        f"link {i} interface {int(side[i])} inconsistent"
+                    )
+        owners = self._i_router[: self._n_interfaces]
+        ok = (owners >= 0) & (owners < n)
+        if not np.all(ok):
+            i = int(np.flatnonzero(~ok)[0])
+            raise TopologyError(
+                f"interface {int(self._i_addr[i])} references unknown router"
+            )
+        refs = self._i_link[: self._n_interfaces]
+        ok = (refs >= -1) & (refs < m)
+        if not np.all(ok):
+            i = int(np.flatnonzero(~ok)[0])
+            raise TopologyError(
+                f"interface {int(self._i_addr[i])} references unknown link"
+            )

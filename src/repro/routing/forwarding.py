@@ -27,15 +27,21 @@ def interface_hops(topology: Topology, router_path: list[int]) -> list[int]:
     Raises:
         RoutingError: if consecutive routers are not adjacent.
     """
-    addresses: list[int] = []
-    for prev, cur in zip(router_path, router_path[1:]):
-        try:
-            addresses.append(topology.link_interface_toward(prev, cur))
-        except Exception as exc:  # TopologyError -> routing-level error
-            raise RoutingError(
-                f"routers {prev} and {cur} are not adjacent on the path"
-            ) from exc
-    return addresses
+    if len(router_path) < 2:
+        return []
+    previous = np.asarray(router_path[:-1], dtype=np.intp)
+    current = np.asarray(router_path[1:], dtype=np.intp)
+    try:
+        return topology.link_interfaces_toward(previous, current).tolist()
+    except Exception as exc:  # TopologyError -> routing-level error
+        for prev, cur in zip(router_path, router_path[1:]):
+            if prev == cur or not topology.has_link(int(prev), int(cur)):
+                raise RoutingError(
+                    f"routers {prev} and {cur} are not adjacent on the path"
+                ) from exc
+        raise RoutingError(
+            f"could not resolve interfaces along {router_path!r}"
+        ) from exc
 
 
 def observed_trace(

@@ -20,6 +20,9 @@ from scipy.sparse.csgraph import connected_components, dijkstra
 
 from repro.errors import RoutingError
 
+#: scipy's sentinel for "no predecessor" (the source and unreachable nodes).
+NO_PREDECESSOR = -9999
+
 
 @dataclass(frozen=True)
 class PredecessorTree:
@@ -101,6 +104,76 @@ def shortest_path_trees(
         PredecessorTree(source=s, predecessors=predecessors[i], distances=distances[i])
         for i, s in enumerate(sources)
     ]
+
+
+def tree_depths(tree: PredecessorTree) -> np.ndarray:
+    """Hop count from the source to every router, by pointer doubling.
+
+    Returns:
+        An int64 array: 0 for the source, the tree depth for reachable
+        routers, and -1 for unreachable ones.
+    """
+    pred = tree.predecessors
+    n = pred.shape[0]
+    identity = np.arange(n, dtype=np.intp)
+    parent = np.where(pred == NO_PREDECESSOR, identity, pred).astype(np.intp)
+    depth = (parent != identity).astype(np.int64)
+    jump = parent
+    while True:
+        nxt = jump[jump]
+        if np.array_equal(nxt, jump):
+            break
+        depth += depth[jump]
+        jump = nxt
+    depth[~np.isfinite(tree.distances)] = -1
+    return depth
+
+
+def ancestors_at_depth(
+    tree: PredecessorTree,
+    depths: np.ndarray,
+    nodes: np.ndarray,
+    target_depth: int,
+) -> np.ndarray:
+    """For each node, its tree ancestor at ``target_depth``, by binary lifting.
+
+    Callers must pass reachable nodes whose depth is at least
+    ``target_depth`` (``depths`` comes from :func:`tree_depths`).
+    """
+    pred = tree.predecessors
+    n = pred.shape[0]
+    identity = np.arange(n, dtype=np.intp)
+    table = np.where(pred == NO_PREDECESSOR, identity, pred).astype(np.intp)
+    current = np.asarray(nodes, dtype=np.intp).copy()
+    steps = depths[current] - target_depth
+    while np.any(steps > 0):
+        odd = (steps & 1).astype(bool)
+        if np.any(odd):
+            current[odd] = table[current[odd]]
+        steps >>= 1
+        if np.any(steps > 0):
+            table = table[table]
+    return current
+
+
+def ancestor_closure(tree: PredecessorTree, starts: np.ndarray) -> np.ndarray:
+    """Boolean mask of all tree ancestors of ``starts`` (inclusive).
+
+    The source itself is excluded: probes never observe their own
+    monitor.  Propagates an upward frontier, so the cost is bounded by
+    the number of distinct routers on the covered paths, not by path
+    length times probe count.
+    """
+    n = tree.predecessors.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    frontier = np.unique(np.asarray(starts, dtype=np.intp))
+    frontier = frontier[frontier != tree.source]
+    while frontier.size:
+        mask[frontier] = True
+        parents = np.unique(tree.predecessors[frontier]).astype(np.intp)
+        parents = parents[(parents != NO_PREDECESSOR) & (parents != tree.source)]
+        frontier = parents[~mask[parents]]
+    return mask
 
 
 def largest_component(graph: csr_matrix) -> np.ndarray:

@@ -26,7 +26,7 @@ from typing import Any, Callable
 from repro.errors import CacheError
 
 #: Bump when the key derivation or on-disk layout changes.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 _DumpFn = Callable[[Any, Path], None]
 _LoadFn = Callable[[Path], Any]
