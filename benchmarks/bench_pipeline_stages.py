@@ -8,9 +8,7 @@ staged runtime's own per-stage telemetry baseline and the
 ``locate_many`` batch-vs-scalar contrast on the mapping hot path.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -132,16 +130,17 @@ def test_pipeline_stage_timing_baseline(record_artifact):
     record_artifact("pipeline_stage_profile", telemetry.render_profile())
 
     events = sorted(telemetry.events, key=lambda e: (e.start_s, e.stage))
-    payload = {
-        "schema": "repro-bench-stages",
-        "schema_version": 1,
-        "scale": "small",
-        "total_wall_s": round(telemetry.total_wall_s(), 6),
-        "stages": [e.to_dict() for e in events],
-    }
-    bench_path = Path(__file__).resolve().parents[1] / "BENCH_stages.json"
-    bench_path.write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    from record import record_bench
+
+    total_wall_s = round(telemetry.total_wall_s(), 6)
+    record_bench(
+        "stages",
+        {
+            "scale": "small",
+            "total_wall_s": total_wall_s,
+            "stages": [e.to_dict() for e in events],
+        },
+        headline={"total_wall_s": (total_wall_s, "lower")},
     )
 
 

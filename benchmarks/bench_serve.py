@@ -9,26 +9,26 @@ contract under a deliberate overload: some requests shed with 503
 while ``/healthz`` stays responsive.
 
 Machine-readable results land in ``BENCH_serve.json`` at the repo root
-(same pattern as ``BENCH_stages.json``).
+via :mod:`record` (the shared envelope the bench-history trend table
+reads).
 """
 
 from __future__ import annotations
 
 import http.client
-import json
 import threading
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+
+from record import record_bench
 
 from repro.config import small_scenario
 from repro.datasets.pipeline import run_pipeline
 from repro.serve import OverloadError, SnapshotClient, SnapshotIndex, SnapshotServer
 
 MIN_THROUGHPUT_RPS = 5_000
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
 
 
 @pytest.fixture(scope="module")
@@ -85,20 +85,6 @@ def _drive(
     return wall, flat, sum(errors)
 
 
-def _write_bench(section: str, payload: dict) -> None:
-    """Merge one scenario's results into ``BENCH_serve.json``."""
-    doc = {"schema": "repro-bench-serve", "schema_version": 1}
-    if BENCH_PATH.exists():
-        try:
-            existing = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
-            if existing.get("schema") == doc["schema"]:
-                doc = existing
-        except json.JSONDecodeError:
-            pass
-    doc[section] = payload
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
-
-
 def test_bench_locate_throughput(serve_index, record_artifact):
     """Sustained ``/locate`` throughput over keep-alive connections.
 
@@ -137,7 +123,15 @@ def test_bench_locate_throughput(serve_index, record_artifact):
         "cache_hit_ratio": round(stats["cache"]["hit_ratio"], 4),
         "batcher_mean_batch": round(stats["batcher"]["mean_batch"], 2),
     }
-    _write_bench("throughput", payload)
+    record_bench(
+        "serve",
+        {"throughput": payload},
+        headline={
+            "throughput_rps": (rps, "higher"),
+            "p99_ms": (p99, "lower"),
+        },
+        merge=True,
+    )
     record_artifact(
         "serve_throughput",
         (
@@ -201,13 +195,16 @@ def test_bench_overload_sheds_cleanly(serve_index):
     assert shed > 0, "expected some 503s from the overloaded server"
     assert ok > 0, "expected some requests to still be served"
     assert stats["metrics"]["counters"]["serve.shed"] >= shed
-    _write_bench(
-        "overload",
+    record_bench(
+        "serve",
         {
-            "scenario": "overload-burst",
-            "burst": 64,
-            "served": ok,
-            "shed": shed,
-            "healthz_during_burst": health["status"],
+            "overload": {
+                "scenario": "overload-burst",
+                "burst": 64,
+                "served": ok,
+                "shed": shed,
+                "healthz_during_burst": health["status"],
+            }
         },
+        merge=True,
     )

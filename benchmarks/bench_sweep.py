@@ -10,7 +10,8 @@ tiny full-pipeline campaign is recorded alongside for context, without
 an assertion.
 
 Machine-readable results land in ``BENCH_sweep.json`` at the repo root
-(same pattern as ``BENCH_serve.json``).
+via :mod:`record` (the shared envelope the bench-history trend table
+reads).
 """
 
 from __future__ import annotations
@@ -18,6 +19,8 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
+
+from record import record_bench
 
 from repro.sweep import ResultStore, SweepSpec, run_campaign
 
@@ -27,8 +30,6 @@ MIN_SPEEDUP = 3.0
 N_TRIALS = 16
 SLEEP_S = 0.4
 WORKERS = 4
-
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
 
 
 def _spec(name: str, **kwargs) -> SweepSpec:
@@ -84,7 +85,14 @@ def test_pool_speedup_synthetic(tmp_path):
         },
         "pipeline_tiny": pipeline,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_bench(
+        "sweep",
+        payload,
+        headline={
+            "pool_speedup": (speedup, "higher"),
+            "pooled_trials_per_min": (pooled["trials_per_min"], "higher"),
+        },
+    )
     print(f"\nsweep engine: {json.dumps(payload, indent=2)}")
 
     assert speedup >= MIN_SPEEDUP, (

@@ -22,7 +22,6 @@ is taken before larger scenarios inflate the process high-water mark.
 from __future__ import annotations
 
 import argparse
-import json
 import resource
 import sys
 import time
@@ -195,15 +194,33 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = _check(results, skip_checks=args.skip_checks or args.generate_only)
     payload = {
-        "schema": "repro-bench-topology",
-        "schema_version": 1,
         "speedup_floor": SPEEDUP_FLOOR,
         "baseline": BASELINES,
         "results": results,
         "failures": failures,
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.output}")
+    # The output filename doubles as the bench name (BENCH_<name>.json),
+    # so --output BENCH_topology_large.json trends separately from the
+    # default small/default-scale record.
+    from record import record_bench
+
+    bench_name = args.output.stem.removeprefix("BENCH_") or "topology"
+    headline: dict = {}
+    for scale in reversed(_ORDER):
+        record = results.get(scale)
+        if record and "routers_per_sec" in record:
+            headline[f"{scale}_routers_per_sec"] = (
+                record["routers_per_sec"],
+                "higher",
+            )
+            break
+    small = results.get("small")
+    if small is not None:
+        headline["small_peak_rss_mb"] = (small["peak_rss_mb"], "lower")
+    written = record_bench(
+        bench_name, payload, headline=headline, root=args.output.parent
+    )
+    print(f"wrote {written}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

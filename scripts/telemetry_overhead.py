@@ -1,0 +1,200 @@
+"""Telemetry-overhead gate: live instrumentation must stay near-free (CI).
+
+Drives the same ``/locate`` load twice against an in-process snapshot
+server over the small snapshot:
+
+- **baseline** — exporter off: no scraper, no profiler;
+- **instrumented** — a scraper thread polling ``/metrics`` throughout
+  and the sampling profiler running at its default 97 Hz.
+
+Single p99 samples on shared runners swing tens of percent, so the
+gate is statistical: each round runs baseline and instrumented
+back-to-back (pairing cancels slow machine drift) and the gate checks
+the **median** of the per-round p99 ratios (the median discards
+rounds disturbed by noisy neighbours) against
+``TELEMETRY_OVERHEAD_MAX_RATIO`` (default 1.05, i.e. < 5% regression).
+
+Artifacts written at the repo root for CI upload:
+
+- ``telemetry-profile.collapsed`` — the flamegraph input sampled from
+  the instrumented run;
+- ``BENCH_telemetry_overhead.json`` / ``BENCH_history.jsonl`` — the
+  common bench envelope, so ``repro bench history`` trends the
+  overhead ratio across revisions.
+
+Run from the repo root:
+``PYTHONPATH=src python scripts/telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from record import record_bench  # noqa: E402
+
+from repro.config import small_scenario  # noqa: E402
+from repro.datasets.pipeline import run_pipeline  # noqa: E402
+from repro.obs import SamplingProfiler  # noqa: E402
+from repro.serve import SnapshotIndex, SnapshotServer  # noqa: E402
+
+MAX_RATIO = float(os.environ.get("TELEMETRY_OVERHEAD_MAX_RATIO", "1.05"))
+ROUNDS = int(os.environ.get("TELEMETRY_OVERHEAD_ROUNDS", "5"))
+N_THREADS = 4
+REQUESTS_PER_THREAD = 1_500
+SCRAPE_INTERVAL_S = 0.05
+
+PROFILE_PATH = REPO_ROOT / "telemetry-profile.collapsed"
+
+
+def _drive(server: SnapshotServer, paths: list[str]) -> np.ndarray:
+    """Hammer the server over keep-alive connections; returns ms latencies."""
+    latencies: list[list[float]] = [[] for _ in range(N_THREADS)]
+    barrier = threading.Barrier(N_THREADS + 1)
+
+    def worker(tid: int) -> None:
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        mine = latencies[tid]
+        barrier.wait()
+        for i in range(REQUESTS_PER_THREAD):
+            path = paths[(tid * REQUESTS_PER_THREAD + i) % len(paths)]
+            start = time.perf_counter()
+            conn.request("GET", path)
+            conn.getresponse().read()
+            mine.append((time.perf_counter() - start) * 1e3)
+        conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), daemon=True)
+        for tid in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    return np.asarray([ms for per in latencies for ms in per])
+
+
+def _scraper(server: SnapshotServer, stop: threading.Event) -> int:
+    """Poll /metrics until stopped; returns the number of scrapes."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    scrapes = 0
+    while not stop.wait(SCRAPE_INTERVAL_S):
+        conn.request("GET", "/metrics")
+        body = conn.getresponse().read()
+        assert body, "empty /metrics body"
+        scrapes += 1
+    conn.close()
+    return scrapes
+
+
+def run_mode(index: SnapshotIndex, paths: list[str], instrumented: bool) -> dict:
+    """One measured round of the given mode; returns latency quantiles."""
+    profiler = SamplingProfiler() if instrumented else None
+    stop = threading.Event()
+    scrapes = [0]
+    with SnapshotServer(index, port=0, max_inflight=256) as server:
+        # Warm-up primes the cache so the timed pass is steady state.
+        _drive(server, paths)
+        scraper = None
+        if instrumented:
+            profiler.start()
+
+            def scrape() -> None:
+                scrapes[0] = _scraper(server, stop)
+
+            scraper = threading.Thread(target=scrape, daemon=True)
+            scraper.start()
+        start = time.perf_counter()
+        latencies = _drive(server, paths)
+        wall_s = time.perf_counter() - start
+        if instrumented:
+            stop.set()
+            scraper.join()
+            profiler.stop()
+            profiler.write(PROFILE_PATH)
+    p50, p95, p99 = (float(np.percentile(latencies, q)) for q in (50, 95, 99))
+    return {
+        "p50_ms": round(p50, 4),
+        "p95_ms": round(p95, 4),
+        "p99_ms": round(p99, 4),
+        "rps": round(len(latencies) / wall_s, 1),
+        "scrapes": scrapes[0],
+    }
+
+
+def main() -> int:
+    dataset = run_pipeline(small_scenario()).dataset("IxMapper", "Skitter")
+    index = SnapshotIndex(dataset)
+    rng = np.random.default_rng(42)
+    pool = rng.choice(dataset.addresses, size=256, replace=False)
+    paths = [f"/locate?address={int(a)}" for a in pool]
+
+    baseline_rounds, instrumented_rounds, ratios = [], [], []
+    for round_index in range(ROUNDS):
+        baseline_rounds.append(run_mode(index, paths, instrumented=False))
+        instrumented_rounds.append(run_mode(index, paths, instrumented=True))
+        ratios.append(
+            instrumented_rounds[-1]["p99_ms"] / baseline_rounds[-1]["p99_ms"]
+        )
+        print(
+            f"round {round_index + 1}/{ROUNDS}: "
+            f"baseline p99={baseline_rounds[-1]['p99_ms']}ms "
+            f"instrumented p99={instrumented_rounds[-1]['p99_ms']}ms "
+            f"ratio={ratios[-1]:.3f}",
+            flush=True,
+        )
+
+    baseline = min(baseline_rounds, key=lambda r: r["p99_ms"])
+    instrumented = min(instrumented_rounds, key=lambda r: r["p99_ms"])
+    median_ratio = float(np.median(ratios))
+    total_scrapes = sum(r["scrapes"] for r in instrumented_rounds)
+
+    record_bench(
+        "telemetry_overhead",
+        {
+            "rounds": ROUNDS,
+            "requests_per_round": N_THREADS * REQUESTS_PER_THREAD,
+            "baseline_best": baseline,
+            "instrumented_best": instrumented,
+            "p99_ratios": [round(r, 4) for r in ratios],
+            "p99_ratio_median": round(median_ratio, 4),
+            "max_ratio": MAX_RATIO,
+            "metrics_scrapes": total_scrapes,
+        },
+        headline={
+            "p99_ratio_median": (median_ratio, "lower"),
+            "instrumented_p99_ms": (instrumented["p99_ms"], "lower"),
+        },
+    )
+    print(
+        f"baseline best p99 {baseline['p99_ms']}ms at {baseline['rps']} rps; "
+        f"instrumented best p99 {instrumented['p99_ms']}ms at "
+        f"{instrumented['rps']} rps ({total_scrapes} metrics scrapes); "
+        f"median ratio {median_ratio:.3f} (gate {MAX_RATIO})"
+    )
+    assert PROFILE_PATH.exists() and PROFILE_PATH.stat().st_size > 0
+    print(f"flamegraph input at {PROFILE_PATH}")
+    if median_ratio > MAX_RATIO:
+        print(
+            f"FAIL: instrumented p99 is {median_ratio:.3f}x baseline "
+            f"(median of {ROUNDS} paired rounds), gate is {MAX_RATIO}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,14 +17,24 @@ Subcommands:
   executes a declarative spec grid on a process pool, persisting every
   trial into a SQLite result store; ``resume`` continues an interrupted
   campaign, skipping completed trials; ``status`` shows live progress
-  from another terminal; ``report`` aggregates per-cell bootstrap
-  confidence intervals and the generator ranking.
+  from another terminal (``--follow`` tails worker heartbeats);
+  ``trace`` prints the stitched cross-process span tree of a campaign;
+  ``report`` aggregates per-cell bootstrap confidence intervals and
+  the generator ranking.
 - ``repro snapshot``: build one mapped dataset and export it
   (``json``/``npz``/CSV pair) for sharing or serving.
 - ``repro serve``: load a snapshot (or build one in-process) and run
   the concurrent query server (:mod:`repro.serve`) until interrupted.
 - ``repro query``: one-shot client call against a running server,
   e.g. ``repro query http://127.0.0.1:8765 locate address=1234``.
+- ``repro bench``: ``history`` renders the benchmark trend table from
+  the ``BENCH_*.json`` / ``BENCH_history.jsonl`` records the suite in
+  ``benchmarks/`` writes, flagging direction-aware regressions.
+
+``run``, ``serve``, and ``sweep run``/``resume`` all take
+``--profile-sampling OUT.collapsed`` to run the stdlib sampling
+profiler (:mod:`repro.obs.sampling`) for the duration and write a
+collapsed-stack report — direct flamegraph input.
 
 ``python -m repro.cli run --scale small --experiments table1 table5``
 runs the pipeline once and prints the requested artefacts; ``all`` (the
@@ -36,7 +46,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from contextlib import ExitStack
+from contextlib import ExitStack, contextmanager
 
 from repro.config import default_scenario, large_scenario, small_scenario
 from repro.core import experiments, report
@@ -45,6 +55,7 @@ from repro.errors import ReportError, ReproError
 from repro.obs import (
     MetricsRegistry,
     Tracer,
+    TraceSampler,
     build_run_report,
     diff_reports,
     get_logger,
@@ -79,10 +90,58 @@ _EXPERIMENT_NAMES = (
     "x1",
 )
 
-#: Exit codes of ``repro report diff``.
+#: Exit codes of ``repro report diff`` and ``repro bench history --check``.
 EXIT_OK = 0
 EXIT_DIFF = 1
 EXIT_INVALID = 2
+
+
+def _profiling_args(parser: argparse.ArgumentParser) -> None:
+    """``--profile-sampling``/``--sampling-hz``, shared by run/serve/sweep."""
+    parser.add_argument(
+        "--profile-sampling",
+        default=None,
+        metavar="OUT.collapsed",
+        help="sample all thread stacks for the duration and write a "
+        "collapsed-stack report (flamegraph input) to this path",
+    )
+    parser.add_argument(
+        "--sampling-hz",
+        type=float,
+        default=97.0,
+        help="sampling frequency for --profile-sampling "
+        "(default %(default)s Hz; prime, to dodge periodic work)",
+    )
+
+
+@contextmanager
+def _sampling_profiler(args: argparse.Namespace):
+    """Run the sampling profiler around a block when requested.
+
+    The report is written even when the block raises (the profile of an
+    interrupted serve loop is exactly what one wants to look at).
+    """
+    if getattr(args, "profile_sampling", None) is None:
+        yield
+        return
+    from repro.obs import ProfilerError, SamplingProfiler
+
+    profiler = SamplingProfiler(hz=args.sampling_hz)
+    profiler.start()
+    try:
+        yield
+    finally:
+        profiler.stop()
+        try:
+            path = profiler.write(args.profile_sampling)
+        except ProfilerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+        else:
+            print(
+                f"sampling profile ({profiler.samples} samples at "
+                f"{profiler.hz:g} Hz) written to {path}",
+                file=sys.stderr,
+            )
 
 
 def _render(name: str, result: PipelineResult, mapper: str) -> str:
@@ -164,6 +223,7 @@ def _run_main(argv: list[str]) -> int:
         help="write a structured run report (stage events, span tree, "
         "metrics, artifact hashes) to this path",
     )
+    _profiling_args(parser)
     parser.add_argument(
         "-v",
         "--verbose",
@@ -206,6 +266,7 @@ def _run_main(argv: list[str]) -> int:
     registry = MetricsRegistry() if observing else None
     outputs: list[tuple[str, str]] = []
     with ExitStack() as stack:
+        stack.enter_context(_sampling_profiler(args))
         if observing:
             stack.enter_context(use_tracer(tracer))
             stack.enter_context(use_metrics(registry))
@@ -485,9 +546,27 @@ def _serve_main(argv: list[str]) -> int:
         help="write a RunReport-compatible stats snapshot on shutdown",
     )
     parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="OUT.jsonl",
+        help="append per-request access events (endpoint, status, "
+        "latency, trace id) as JSON lines to this file",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of requests that get a trace id in the access "
+        "log (default %(default)s; 0 disables tracing entirely)",
+    )
+    _profiling_args(parser)
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="structured JSON logs"
     )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.trace_sample <= 1.0:
+        parser.error("--trace-sample must be in [0, 1]")
 
     setup_logging(args.verbose)
     log = get_logger("serve")
@@ -497,6 +576,18 @@ def _serve_main(argv: list[str]) -> int:
         else:
             dataset = _build_dataset(args)
         index = SnapshotIndex(dataset)
+        bus = None
+        if args.access_log is not None:
+            from repro.obs import JsonlSink, TelemetryBus
+
+            bus = TelemetryBus()
+            bus.add_sink(JsonlSink(args.access_log))
+        tracer = Tracer() if args.trace_sample > 0.0 else None
+        sampler = (
+            TraceSampler(args.trace_sample)
+            if 0.0 < args.trace_sample < 1.0
+            else None
+        )
         server = SnapshotServer(
             index,
             host=args.host,
@@ -506,6 +597,9 @@ def _serve_main(argv: list[str]) -> int:
             max_pending=args.max_pending,
             max_batch=args.max_batch,
             batch_window_s=args.batch_window_ms / 1e3,
+            tracer=tracer,
+            bus=bus,
+            trace_sampler=sampler,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -518,8 +612,9 @@ def _serve_main(argv: list[str]) -> int:
         extra={"url": server.url, "snapshot_hash": index.snapshot_hash},
     )
     try:
-        while True:
-            time.sleep(3600)
+        with _sampling_profiler(args):
+            while True:
+                time.sleep(3600)
     except KeyboardInterrupt:
         pass
     finally:
@@ -617,6 +712,7 @@ def _sweep_common_args(parser: argparse.ArgumentParser) -> None:
         help="stop (as interrupted) after N completed trials — for "
         "drills and tests of the resume path",
     )
+    _profiling_args(parser)
     parser.add_argument(
         "-v", "--verbose", action="store_true", help="structured JSON logs"
     )
@@ -631,14 +727,15 @@ def _sweep_execute(args: argparse.Namespace, spec, store) -> int:
     def on_trial(trial, status):
         print(f"  [{status:>6}] {trial.key}", file=sys.stderr)
 
-    summary = run_campaign(
-        spec,
-        store,
-        workers=args.workers,
-        start_method=args.start_method,
-        stop_after=args.stop_after,
-        on_trial=on_trial,
-    )
+    with _sampling_profiler(args):
+        summary = run_campaign(
+            spec,
+            store,
+            workers=args.workers,
+            start_method=args.start_method,
+            stop_after=args.stop_after,
+            on_trial=on_trial,
+        )
     print(
         f"campaign {summary.name!r}: {summary.completed} completed, "
         f"{summary.skipped} skipped, {summary.failed} failed, "
@@ -655,6 +752,47 @@ def _sweep_execute(args: argparse.Namespace, spec, store) -> int:
         )
         return 1
     return 0
+
+
+_FOLLOW_BASE_FIELDS = frozenset({"id", "key", "event", "attempt", "pid", "ts"})
+
+
+def _sweep_follow(store, name: str, interval: float) -> int:
+    """Tail a campaign's worker heartbeats until it finishes.
+
+    Polls the result store (the same file the workers append to, so
+    this is safe from any terminal) and prints one line per heartbeat.
+    Exits once the campaign has left ``running`` and the event log is
+    drained; on a finished campaign it replays the full history and
+    returns immediately.
+    """
+    info = store.campaign_info(name)
+    last_id = 0
+    while True:
+        events = store.events_since(info["id"], after_id=last_id)
+        for event in events:
+            last_id = event["id"]
+            extras = " ".join(
+                f"{k}={event[k]}"
+                for k in sorted(event)
+                if k not in _FOLLOW_BASE_FIELDS
+            )
+            stamp = time.strftime("%H:%M:%S", time.localtime(event["ts"]))
+            print(
+                f"{stamp}  pid {event['pid']:<8} {event['event']:<7} "
+                f"{event['key']:<32} attempt {event['attempt']}"
+                + (f"  {extras}" if extras else ""),
+                flush=True,
+            )
+        info = store.campaign_info(name)
+        if info["status"] != "running" and not events:
+            counts = ", ".join(
+                f"{k}={v}" for k, v in sorted(info["trials"].items())
+            )
+            print(f"{name}: {info['status']} ({counts or 'no trials'})")
+            return EXIT_OK
+        if not events:
+            time.sleep(interval)
 
 
 def _sweep_main(argv: list[str]) -> int:
@@ -693,6 +831,32 @@ def _sweep_main(argv: list[str]) -> int:
         "campaign", nargs="?", default=None,
         help="campaign name; omit to list all campaigns",
     )
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail live worker heartbeats until the campaign finishes "
+        "(requires a campaign name)",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="--follow poll interval in seconds (default %(default)s)",
+    )
+    trace = commands.add_parser(
+        "trace",
+        help="print the stitched cross-process span tree of a campaign",
+    )
+    trace.add_argument("campaign", help="campaign name in the store")
+    trace.add_argument(
+        "--db", default="sweep.db", metavar="PATH", help="result-store file"
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the span tree as JSON instead of the ASCII rendering",
+    )
     rep = commands.add_parser(
         "report",
         help="aggregate a campaign: bootstrap CIs per cell + generator "
@@ -726,6 +890,8 @@ def _sweep_main(argv: list[str]) -> int:
         if args.command == "status":
             store = ResultStore(args.db)
             if args.campaign is None:
+                if args.follow:
+                    parser.error("--follow requires a campaign name")
                 for entry in store.list_campaigns():
                     counts = ", ".join(
                         f"{k}={v}" for k, v in sorted(entry["trials"].items())
@@ -735,6 +901,8 @@ def _sweep_main(argv: list[str]) -> int:
                         f"{counts or 'no trials'}"
                     )
                 return EXIT_OK
+            if args.follow:
+                return _sweep_follow(store, args.campaign, args.interval)
             counts = store.counts(store.campaign_id(args.campaign))
             total = sum(counts.values())
             done = counts.get("done", 0)
@@ -742,6 +910,17 @@ def _sweep_main(argv: list[str]) -> int:
                 f"{args.campaign}: {done}/{total} done "
                 + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
             )
+            return EXIT_OK
+        if args.command == "trace":
+            import json as _json
+
+            from repro.sweep import render_trace_tree, stitch_campaign_trace
+
+            tree = stitch_campaign_trace(ResultStore(args.db), args.campaign)
+            if args.json:
+                print(_json.dumps(tree, indent=2))
+            else:
+                print(render_trace_tree(tree))
             return EXIT_OK
         store = ResultStore(args.db)
         payload = build_sweep_report(
@@ -757,12 +936,70 @@ def _sweep_main(argv: list[str]) -> int:
         return EXIT_INVALID
 
 
+def _bench_main(argv: list[str]) -> int:
+    """The ``repro bench`` subcommand: benchmark trend tracking."""
+    from repro.obs.benchtrend import (
+        DEFAULT_THRESHOLD,
+        load_entries,
+        render_history,
+        trend_rows,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Track benchmark results across revisions",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    history = commands.add_parser(
+        "history",
+        help="render the per-revision trend table from BENCH_* records "
+        "and flag regressions between the two latest revisions",
+    )
+    history.add_argument(
+        "path",
+        nargs="?",
+        default=".",
+        help="a BENCH_*.json / BENCH_history.jsonl file or a directory "
+        "holding them (default: current directory)",
+    )
+    history.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional change in the worse direction that counts as "
+        "a regression (default %(default)s)",
+    )
+    history.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit {EXIT_DIFF} when any headline metric regressed",
+    )
+    args = parser.parse_args(argv)
+    try:
+        rows = trend_rows(load_entries(args.path), threshold=args.threshold)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID
+    print(render_history(rows))
+    regressed = [row for row in rows if row.regressed]
+    if regressed:
+        print(
+            f"{len(regressed)} headline metric(s) regressed more than "
+            f"{args.threshold:.0%} against the previous revision",
+            file=sys.stderr,
+        )
+        if args.check:
+            return EXIT_DIFF
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
-    ``repro run|report|snapshot|serve|query|sweep ...`` dispatch to the
-    subcommands; anything else is treated as ``run`` flags so existing
-    ``python -m repro.cli --scale small ...`` invocations keep working.
+    ``repro run|report|snapshot|serve|query|sweep|bench ...`` dispatch
+    to the subcommands; anything else is treated as ``run`` flags so
+    existing ``python -m repro.cli --scale small ...`` invocations keep
+    working.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     subcommands = {
@@ -771,6 +1008,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _serve_main,
         "query": _query_main,
         "sweep": _sweep_main,
+        "bench": _bench_main,
     }
     if argv and argv[0] in subcommands:
         return subcommands[argv[0]](argv[1:])

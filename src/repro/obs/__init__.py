@@ -12,14 +12,32 @@ makes a run's measurements survive the process:
 - :mod:`repro.obs.report` — :class:`RunReport` bundling config, seeds,
   stage events, the span tree, metrics, and artifact content hashes,
   plus schema validation and the report diff behind
-  ``repro report diff``.
+  ``repro report diff``;
+- :mod:`repro.obs.bus` — the live side: a bounded ring-buffer
+  :class:`TelemetryBus` that spans, stage events, access logs, and
+  worker heartbeats publish into, with JSONL / in-memory tail sinks;
+- :mod:`repro.obs.export` — Prometheus text exposition of the metrics
+  registry, mounted as ``/metrics`` on the query server;
+- :mod:`repro.obs.sampling` — a stdlib background sampling profiler
+  emitting collapsed-stack flamegraph input
+  (``--profile-sampling``).
 
-All instrumentation is contextvar-gated: with no active tracer or
-registry, instrumented call sites cost one context lookup and no
-allocation, keeping uninstrumented runs at full speed.
+All instrumentation is contextvar-gated: with no active tracer,
+registry, or bus, instrumented call sites cost one context lookup and
+no allocation, keeping uninstrumented runs at full speed.
 """
 
+from repro.obs.bus import (
+    JsonlSink,
+    TailSink,
+    TelemetryBus,
+    current_bus,
+    publish,
+    use_bus,
+)
+from repro.obs.export import render_prometheus
 from repro.obs.logging import JsonLogFormatter, get_logger, setup_logging
+from repro.obs.sampling import ProfilerError, SamplingProfiler
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -34,10 +52,16 @@ from repro.obs.metrics import (
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
+    TraceContext,
     Tracer,
+    TraceSampler,
     current_span,
+    current_trace_context,
     current_tracer,
+    new_span_id,
+    new_trace_id,
     span,
+    use_trace_context,
     use_tracer,
 )
 from repro.obs.report import (
@@ -57,8 +81,23 @@ from repro.obs.report import (
 
 __all__ = [
     "JsonLogFormatter",
+    "JsonlSink",
+    "ProfilerError",
+    "SamplingProfiler",
+    "TailSink",
+    "TelemetryBus",
+    "TraceContext",
+    "TraceSampler",
+    "current_bus",
+    "current_trace_context",
     "get_logger",
+    "new_span_id",
+    "new_trace_id",
+    "publish",
+    "render_prometheus",
     "setup_logging",
+    "use_bus",
+    "use_trace_context",
     "Counter",
     "Gauge",
     "Histogram",

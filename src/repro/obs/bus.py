@@ -1,0 +1,203 @@
+"""Lock-light telemetry event bus: a bounded ring buffer plus sinks.
+
+The post-hoc observability of :mod:`repro.obs` (spans, metrics,
+reports) only becomes visible after a run finishes.  The
+:class:`TelemetryBus` is the *live* channel: instrumented code publishes
+small dict events — span completions, stage events, access-log records,
+worker heartbeats — into a bounded ring buffer that readers can tail
+while the process runs.
+
+Design constraints, in order:
+
+- **publish must be near-free.**  The hot path is one
+  ``deque.append`` (atomic under the GIL, no lock taken) plus one
+  monotonically increasing sequence bump; an idle bus costs its callers
+  a single context lookup via :func:`publish`.
+- **bounded memory.**  The ring keeps the newest ``capacity`` events;
+  a slow reader loses the oldest events, never blocks the writer.
+  ``dropped`` counts what fell off the ring so readers can tell.
+- **pluggable sinks.**  A sink is any callable taking one event dict;
+  :class:`JsonlSink` appends one JSON object per line to a file,
+  :class:`TailSink` keeps an in-memory tail for tests and the live
+  status views.  Sink errors are swallowed after disabling the sink —
+  telemetry must never take the workload down.
+
+Like the tracer and the metrics registry, the *active* bus is a context
+variable (:func:`use_bus` / :func:`current_bus`), so library code
+publishes through the module-level :func:`publish` helper without
+plumbing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+_ACTIVE_BUS: contextvars.ContextVar["TelemetryBus | None"] = (
+    contextvars.ContextVar("repro_obs_active_bus", default=None)
+)
+
+#: Default ring capacity (events).
+DEFAULT_CAPACITY = 4096
+
+
+class TelemetryBus:
+    """A bounded in-process event ring with optional sinks.
+
+    Events are plain dicts; :meth:`publish` stamps each with a
+    monotonically increasing ``seq`` and a wall-clock ``ts`` so readers
+    can order and resume.  The ring itself is a ``deque(maxlen=...)`` —
+    appends are atomic under the GIL, so publishers never contend on a
+    lock; only sequence assignment takes a very short one.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"bus capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._sinks: list[Callable[[dict[str, Any]], None]] = []
+        self._dead_sinks = 0
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Publish one event; returns the stamped event dict."""
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        event = {"seq": seq, "ts": time.time(), "kind": kind, **fields}
+        self._ring.append(event)
+        # Snapshot: disabling a broken sink mid-iteration must not skip
+        # the sinks behind it.
+        for sink in tuple(self._sinks):
+            try:
+                sink(event)
+            except Exception:
+                # A broken sink must not break the workload; drop it.
+                self.remove_sink(sink)
+                self._dead_sinks += 1
+        return event
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the newest published event (0 when none)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring before any reader saw the tail."""
+        return max(0, self._seq - len(self._ring))
+
+    def tail(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The newest ``n`` events (all retained events when ``None``)."""
+        snapshot = list(self._ring)
+        return snapshot if n is None else snapshot[-n:]
+
+    def events_since(self, seq: int) -> list[dict[str, Any]]:
+        """Retained events with a sequence number greater than ``seq``."""
+        return [e for e in self._ring if e["seq"] > seq]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- sinks ---------------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[dict[str, Any]], None]) -> None:
+        """Attach a sink called synchronously with every published event."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[dict[str, Any]], None]) -> None:
+        """Detach a sink; absent sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def stats(self) -> dict[str, int]:
+        """Operational counters (published / retained / dropped / sinks)."""
+        return {
+            "published": self._seq,
+            "retained": len(self._ring),
+            "dropped": self.dropped,
+            "sinks": len(self._sinks),
+            "dead_sinks": self._dead_sinks,
+        }
+
+
+class JsonlSink:
+    """Appends one JSON object per event line to a file.
+
+    The file handle is opened lazily and writes are line-buffered, so a
+    tailing ``tail -f`` consumer sees events promptly.  Non-JSON field
+    values fall back to ``repr``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        try:
+            line = json.dumps(event, sort_keys=False, default=repr)
+        except (TypeError, ValueError):
+            line = json.dumps({"seq": event.get("seq"), "kind": "unserializable"})
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", buffering=1, encoding="utf-8")
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class TailSink:
+    """Keeps the newest ``capacity`` events in memory (tests, live views)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._tail: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        self._tail.append(event)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._tail)
+
+
+def current_bus() -> TelemetryBus | None:
+    """The bus active in this context, if any."""
+    return _ACTIVE_BUS.get()
+
+
+@contextmanager
+def use_bus(bus: TelemetryBus) -> Iterator[TelemetryBus]:
+    """Make a bus active for the enclosed block (and spawned contexts)."""
+    token = _ACTIVE_BUS.set(bus)
+    try:
+        yield bus
+    finally:
+        _ACTIVE_BUS.reset(token)
+
+
+def publish(kind: str, **fields: Any) -> None:
+    """Publish onto the active bus; a cheap no-op when none is."""
+    bus = _ACTIVE_BUS.get()
+    if bus is not None:
+        bus.publish(kind, **fields)

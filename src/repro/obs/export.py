@@ -1,0 +1,113 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns one
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot into the
+Prometheus text format (version 0.0.4): counters as ``*_total``,
+gauges verbatim, histograms as cumulative ``_bucket{le=...}`` series
+plus ``_sum`` / ``_count``.  The server mounts it on ``/metrics``
+(:mod:`repro.serve.server`), so any Prometheus-compatible scraper can
+watch the service live instead of waiting for a stats report.
+
+Instrument names here use dots (``serve.latency_ms.locate``); the
+exposition format allows ``[a-zA-Z0-9_:]`` only, so names are
+sanitised by mapping every other character to ``_``.  Dotted names stay
+unique after sanitising as long as instruments don't mix ``.`` and
+``_`` at the same position — the registry's naming convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Content type Prometheus scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_ALLOWED = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an instrument name to a legal Prometheus metric name."""
+    cleaned = "".join(c if c in _ALLOWED else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """Render one sample value (Prometheus spells infinities +Inf/-Inf)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, *, prefix: str = "repro"
+) -> str:
+    """Render every instrument as Prometheus exposition text.
+
+    Args:
+        registry: the registry to snapshot (instruments are read under
+            their own locks; rendering mid-write is safe).
+        prefix: namespace prepended to every metric name.
+
+    Returns:
+        The full exposition body, ending in a newline.
+    """
+    lines: list[str] = []
+    counters, gauges, histograms = registry.instruments()
+
+    for name in sorted(counters):
+        metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+        lines.append(f"# HELP {metric} Counter {name!r}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name].value)}")
+
+    for name in sorted(gauges):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# HELP {metric} Gauge {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name].value)}")
+
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        summary = histogram.summary()
+        lines.append(f"# HELP {metric} Histogram {name!r}.")
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in histogram.bucket_counts():
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+        lines.append(f"{metric}_count {summary['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_sample_lines(body: str) -> dict[str, float]:
+    """Parse exposition text back into ``{series: value}`` (tests, gates).
+
+    Comment lines are skipped; the series key keeps its label set
+    verbatim (e.g. ``repro_serve_latency_ms_locate_bucket{le="+Inf"}``).
+    """
+    samples: dict[str, float] = {}
+    for line in _sample_lines(body):
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    return samples
+
+
+def _sample_lines(body: str) -> Iterable[str]:
+    for line in body.splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            yield line

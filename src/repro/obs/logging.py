@@ -58,6 +58,34 @@ class JsonLogFormatter(logging.Formatter):
         return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
 
 
+class BusLogHandler(logging.Handler):
+    """Forwards log records onto the active telemetry bus as ``log`` events.
+
+    Costs one context lookup per record when no bus is active, so it is
+    safe to leave attached permanently.  Extra attributes (``extra={}``)
+    travel with the event like they do in the JSON formatter.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        from repro.obs.bus import publish
+
+        fields: dict[str, Any] = {
+            key: value
+            for key, value in vars(record).items()
+            if key not in _STANDARD_ATTRS
+        }
+        try:
+            publish(
+                "log",
+                level=record.levelname,
+                logger=record.name,
+                message=record.getMessage(),
+                **fields,
+            )
+        except Exception:  # noqa: BLE001 - logging must never raise
+            self.handleError(record)
+
+
 def setup_logging(
     verbose: bool = False, stream: TextIO | None = None
 ) -> logging.Logger:
@@ -76,6 +104,7 @@ def setup_logging(
     for old in list(logger.handlers):
         logger.removeHandler(old)
     logger.addHandler(handler)
+    logger.addHandler(BusLogHandler())
     logger.setLevel(logging.DEBUG if verbose else logging.WARNING)
     logger.propagate = False
     return logger

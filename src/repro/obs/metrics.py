@@ -15,10 +15,11 @@ them concurrently — and snapshot to plain JSON types for
 
 from __future__ import annotations
 
+import bisect
 import contextvars
 import threading
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 _ACTIVE_METRICS: contextvars.ContextVar["MetricsRegistry | None"] = (
     contextvars.ContextVar("repro_obs_active_metrics", default=None)
@@ -71,33 +72,83 @@ class Gauge:
             return self._value
 
 
+#: Default histogram bucket upper bounds.  A wide geometric ladder
+#: (~x2.5 per step) because one registry holds heterogeneous units —
+#: sub-millisecond latencies next to thousand-element batch sizes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
 class Histogram:
-    """A streaming summary (count / sum / min / max) of observations."""
+    """A streaming summary plus cumulative bucket counts.
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+    Besides count / sum / min / max, each observation lands in the
+    first bucket whose upper bound contains it, giving the Prometheus
+    exposition (:mod:`repro.obs.export`) real ``le`` buckets instead of
+    a four-number summary.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = (
+        "name", "_count", "_sum", "_min", "_max", "_lock",
+        "_bounds", "_bucket_counts",
+    )
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
         self.name = name
         self._count = 0
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._bounds = tuple(sorted(float(b) for b in buckets))
+        if not self._bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        # One slot per finite bound plus the implicit +Inf overflow slot.
+        self._bucket_counts = [0] * (len(self._bounds) + 1)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Fold one observation into the summary."""
+        """Fold one observation into the summary and its bucket."""
         value = float(value)
+        slot = bisect.bisect_left(self._bounds, value)
         with self._lock:
             self._count += 1
             self._sum += value
             self._min = min(self._min, value)
             self._max = max(self._max, value)
+            self._bucket_counts[slot] += 1
 
     @property
     def count(self) -> int:
         """Number of observations."""
         with self._lock:
             return self._count
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """Finite bucket upper bounds, ascending (``+Inf`` is implicit)."""
+        return self._bounds
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ``inf`` last.
+
+        Cumulative as Prometheus expects: each bucket counts every
+        observation ``<=`` its bound, and the ``inf`` bucket equals the
+        total count.
+        """
+        with self._lock:
+            per_slot = list(self._bucket_counts)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self._bounds, per_slot):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + per_slot[-1]))
+        return out
 
     def summary(self) -> dict[str, float]:
         """JSON-ready summary; empty histograms report zeroed bounds."""
@@ -138,13 +189,32 @@ class MetricsRegistry:
                 instrument = self._gauges[name] = Gauge(name)
             return instrument
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create the histogram ``name``."""
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        ``buckets`` only applies on creation; an existing histogram
+        keeps its original bounds.
+        """
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram(name)
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None else DEFAULT_BUCKETS
+                )
             return instrument
+
+    def instruments(
+        self,
+    ) -> tuple[dict[str, Counter], dict[str, Gauge], dict[str, Histogram]]:
+        """Shallow copies of the instrument tables (for exporters)."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+            )
 
     def counter_value(self, name: str) -> int:
         """A counter's current count (0 when never touched)."""

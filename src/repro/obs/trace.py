@@ -17,16 +17,32 @@ span; all tree mutation is serialised on the tracer's lock.
 Span clocks are ``time.perf_counter()`` — monotonic, comparable within
 one process — plus one wall-clock epoch stamp per span for report
 readers.
+
+Cross-process propagation: spans carry random ``span_id``s and inherit
+a ``trace_id`` from the active :class:`TraceContext`.  A parent process
+serialises its context with :func:`TraceContext.to_wire` into a work
+order, the worker re-installs it with :func:`use_trace_context`, and
+every span the worker opens then shares the parent's trace ID with the
+parent's span recorded as ``parent_span_id`` — which is what lets the
+sweep engine stitch per-trial span trees from many worker processes
+into one campaign-wide tree (:mod:`repro.sweep.tracing`).  A
+:class:`TraceSampler` makes the per-request tracing of the query server
+probabilistic so tracing cost scales with the sample rate, not the
+request rate.
 """
 
 from __future__ import annotations
 
 import contextvars
+import os
+import random
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
+
+from repro.obs.bus import publish as _bus_publish
 
 _CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
@@ -34,6 +50,104 @@ _CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
 _ACTIVE_TRACER: contextvars.ContextVar["Tracer | None"] = contextvars.ContextVar(
     "repro_obs_active_tracer", default=None
 )
+_TRACE_CONTEXT: contextvars.ContextVar["TraceContext | None"] = (
+    contextvars.ContextVar("repro_obs_trace_context", default=None)
+)
+
+#: ID generation is observability-only randomness: seeded from the OS,
+#: never from the experiment RNG streams, so tracing cannot perturb
+#: scientific reproducibility.
+_ID_RNG = random.Random(os.urandom(16))
+_ID_LOCK = threading.Lock()
+
+
+def new_trace_id() -> str:
+    """A random 128-bit trace ID (32 hex chars)."""
+    with _ID_LOCK:
+        return f"{_ID_RNG.getrandbits(128):032x}"
+
+
+def new_span_id() -> str:
+    """A random 64-bit span ID (16 hex chars)."""
+    with _ID_LOCK:
+        return f"{_ID_RNG.getrandbits(64):016x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The cross-process slice of a trace: IDs plus a sampling verdict.
+
+    Attributes:
+        trace_id: the trace every descendant span belongs to.
+        span_id: the span acting as remote parent for new work.
+        sampled: whether this trace is being recorded.
+    """
+
+    trace_id: str
+    span_id: str = ""
+    sampled: bool = True
+
+    def to_wire(self) -> dict[str, Any]:
+        """A JSON/pickle-safe form for work orders and headers."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any] | None) -> "TraceContext | None":
+        """Parse a wire form; ``None``/malformed payloads yield ``None``."""
+        if not isinstance(payload, Mapping):
+            return None
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        return cls(
+            trace_id=trace_id,
+            span_id=str(payload.get("span_id", "")),
+            sampled=bool(payload.get("sampled", True)),
+        )
+
+
+def current_trace_context() -> TraceContext | None:
+    """The trace context active in this context, if any."""
+    return _TRACE_CONTEXT.get()
+
+
+@contextmanager
+def use_trace_context(context: TraceContext) -> Iterator[TraceContext]:
+    """Install a trace context for the enclosed block."""
+    token = _TRACE_CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _TRACE_CONTEXT.reset(token)
+
+
+class TraceSampler:
+    """Probabilistic head sampling: keep a fraction of new traces.
+
+    ``rate`` 0.0 never samples, 1.0 always does.  The decision RNG is
+    private and OS-seeded by default (``seed`` pins it for tests), so
+    sampling never touches the experiment RNG streams.
+    """
+
+    def __init__(self, rate: float, seed: int | None = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = random.Random(os.urandom(16) if seed is None else seed)
+        self._lock = threading.Lock()
+
+    def should_sample(self) -> bool:
+        """One sampling decision for a new trace."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < self.rate
 
 
 @dataclass
@@ -48,6 +162,10 @@ class Span:
         start_unix: wall-clock epoch seconds at start.
         thread: name of the thread the span ran on.
         children: spans opened while this span was current.
+        span_id: random per-span ID (16 hex chars).
+        trace_id: the trace this span belongs to ("" outside traces).
+        parent_span_id: local parent's span ID, or the remote parent's
+            from the installed :class:`TraceContext` for root spans.
     """
 
     name: str
@@ -57,6 +175,9 @@ class Span:
     start_unix: float = 0.0
     thread: str = ""
     children: list["Span"] = field(default_factory=list)
+    span_id: str = ""
+    trace_id: str = ""
+    parent_span_id: str = ""
 
     @property
     def wall_s(self) -> float:
@@ -87,6 +208,9 @@ class Span:
             "wall_s": self.wall_s,
             "start_unix": self.start_unix,
             "thread": self.thread,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -113,14 +237,32 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
-        """Open a span nested under the context's current span."""
+        """Open a span nested under the context's current span.
+
+        The span inherits the active :class:`TraceContext`'s trace ID;
+        root spans record the context's span ID as their (remote)
+        parent.  On close, a completion event is published onto the
+        active :class:`~repro.obs.bus.TelemetryBus`, if any.
+        """
         parent = _CURRENT_SPAN.get()
+        context = _TRACE_CONTEXT.get()
         new = Span(
             name=name,
             attributes=dict(attributes),
             start_s=time.perf_counter(),
             start_unix=time.time(),
             thread=threading.current_thread().name,
+            span_id=new_span_id(),
+            trace_id=(
+                parent.trace_id
+                if parent is not None and parent.trace_id
+                else (context.trace_id if context is not None else "")
+            ),
+            parent_span_id=(
+                parent.span_id
+                if parent is not None
+                else (context.span_id if context is not None else "")
+            ),
         )
         with self._lock:
             if parent is None:
@@ -133,6 +275,15 @@ class Tracer:
         finally:
             new.end_s = time.perf_counter()
             _CURRENT_SPAN.reset(token)
+            _bus_publish(
+                "span",
+                name=new.name,
+                wall_s=new.wall_s,
+                span_id=new.span_id,
+                trace_id=new.trace_id,
+                parent_span_id=new.parent_span_id,
+                thread=new.thread,
+            )
 
     @property
     def roots(self) -> tuple[Span, ...]:

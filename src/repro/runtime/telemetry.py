@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
+from repro.obs.bus import publish as bus_publish
+
 try:
     import resource
 except ImportError:  # pragma: no cover - non-POSIX platforms
@@ -117,11 +119,18 @@ class Telemetry:
         self._lock = threading.Lock()
 
     def record(self, event: StageEvent) -> None:
-        """Append one event (and forward it to the sink, if any)."""
+        """Append one event (and forward it to the sink and live bus).
+
+        When a :class:`~repro.obs.bus.TelemetryBus` is active in the
+        calling context, the stage event is also published as a
+        ``stage`` event, so live consumers see stage completions as
+        they happen instead of after the run.
+        """
         with self._lock:
             self._events.append(event)
         if self._sink is not None:
             self._sink(event)
+        bus_publish("stage", **event.to_dict())
 
     @property
     def events(self) -> tuple[StageEvent, ...]:

@@ -11,8 +11,9 @@ endpoint                        answers
 ``/as/<asn>``                   per-AS summary: nodes, locations, hull, degree
 ``/near?lat=&lon=&k=``          k nearest nodes (``radius=`` for a disc query)
 ``/distance-preference?region=``  Section V ``f_hat(d)`` (``d=`` for one value)
-``/healthz``                    liveness (never shed)
+``/healthz``                    liveness + version (never shed)
 ``/stats``                      cache/batcher/index/metrics counters (never shed)
+``/metrics``                    Prometheus text exposition (never shed)
 ==============================  ==============================================
 
 Three load-management layers keep the service responsive instead of
@@ -37,7 +38,14 @@ Instrumentation goes through :mod:`repro.obs`: per-endpoint request
 counters and latency histograms, shed counters, cache hit/miss
 counters, and a queue-depth gauge land in a
 :class:`~repro.obs.metrics.MetricsRegistry`; :meth:`SnapshotServer.stats_report`
-bundles them into a schema-valid, RunReport-compatible snapshot.
+bundles them into a schema-valid, RunReport-compatible snapshot.  The
+same registry is scrape-able live at ``/metrics`` (Prometheus text
+format, see :mod:`repro.obs.export`).  Each request additionally emits
+one structured ``access`` event — endpoint, status, latency, trace ID —
+onto the server's :class:`~repro.obs.bus.TelemetryBus` (or the
+context-active bus), with per-request tracing gated by an optional
+:class:`~repro.obs.trace.TraceSampler` so tracing cost follows the
+sample rate, not the request rate.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ import time
 from typing import Any
 from urllib.parse import unquote_plus
 
+from repro import __version__
 from repro.errors import (
     AnalysisError,
     GeoError,
@@ -58,18 +67,28 @@ from repro.errors import (
     ServeError,
 )
 from repro.geo.regions import region_by_name
+from repro.obs.bus import TelemetryBus, publish as _bus_publish
+from repro.obs.export import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs.export import render_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import RunReport, validate_report
-from repro.obs.trace import Tracer
+from repro.obs.trace import (
+    TraceContext,
+    Tracer,
+    TraceSampler,
+    new_trace_id,
+    use_trace_context,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import LruCache
 from repro.serve.index import SnapshotIndex
 
 #: Endpoints exempt from admission control: the service must stay
 #: observable exactly when it is shedding everything else.
-_ALWAYS_ADMIT = ("healthz", "stats")
+_ALWAYS_ADMIT = ("healthz", "stats", "metrics")
 
-_JSON_HEADERS = b"Content-Type: application/json\r\n"
+_JSON_TYPE = b"application/json"
+_TEXT_METRICS_TYPE = _METRICS_CONTENT_TYPE.encode("latin-1")
 
 
 class SnapshotServer:
@@ -89,12 +108,16 @@ class SnapshotServer:
         retry_after_s: int = 1,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        bus: TelemetryBus | None = None,
+        trace_sampler: TraceSampler | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
         self.index = index
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.bus = bus
+        self.trace_sampler = trace_sampler
         self.cache = LruCache(cache_size)
         self.batcher = MicroBatcher(
             index.locate_many,
@@ -179,40 +202,65 @@ class SnapshotServer:
 
     # -- request dispatch ----------------------------------------------------
 
-    def handle_target(self, target: str) -> tuple[int, bytes]:
-        """Answer one GET target; returns ``(status, json_body_bytes)``."""
+    def handle_target(self, target: str) -> tuple[int, bytes, bytes]:
+        """Answer one GET target; returns ``(status, body, content_type)``."""
         path, _, raw_query = target.partition("?")
         endpoint = _endpoint_of(path)
         start = time.perf_counter()
+        sampled = (
+            self.trace_sampler.should_sample()
+            if self.trace_sampler is not None
+            else True
+        )
+        trace_id = new_trace_id() if (sampled and self.tracer is not None) else ""
         shed_able = endpoint not in _ALWAYS_ADMIT
         admitted = False
+        status = 500
         try:
+            if endpoint == "metrics":
+                status = 200
+                body = render_prometheus(self.metrics).encode("utf-8")
+                return status, body, _TEXT_METRICS_TYPE
             if shed_able:
                 admitted = self._admit()
                 if not admitted:
+                    status = 503
                     self.metrics.counter("serve.shed").add(1)
-                    return 503, _encode(
-                        {
-                            "error": "over capacity",
-                            "retry_after_s": self._retry_after_s,
-                        }
+                    return (
+                        status,
+                        _encode(
+                            {
+                                "error": "over capacity",
+                                "retry_after_s": self._retry_after_s,
+                            }
+                        ),
+                        _JSON_TYPE,
                     )
             if shed_able:
                 hit, cached = self.cache.get((target, self.index.snapshot_hash))
                 if hit:
+                    status = 200
                     self.metrics.counter("serve.cache.hits").add(1)
-                    return 200, cached
+                    return status, cached, _JSON_TYPE
                 self.metrics.counter("serve.cache.misses").add(1)
             try:
-                if self.tracer is not None and shed_able:
-                    with self.tracer.span(f"serve.{endpoint}"):
+                if self.tracer is not None and sampled and shed_able:
+                    context = TraceContext(trace_id=trace_id)
+                    with use_trace_context(context), self.tracer.span(
+                        f"serve.{endpoint}"
+                    ):
                         status, payload = self._dispatch(endpoint, path, raw_query)
                 else:
                     status, payload = self._dispatch(endpoint, path, raw_query)
             except OverloadError as exc:
+                status = 503
                 self.metrics.counter("serve.shed").add(1)
-                return 503, _encode(
-                    {"error": str(exc), "retry_after_s": self._retry_after_s}
+                return (
+                    status,
+                    _encode(
+                        {"error": str(exc), "retry_after_s": self._retry_after_s}
+                    ),
+                    _JSON_TYPE,
                 )
             except ServeError as exc:
                 status, payload = 400, {"error": str(exc)}
@@ -221,14 +269,37 @@ class SnapshotServer:
             body = _encode(payload)
             if shed_able and status == 200:
                 self.cache.put((target, self.index.snapshot_hash), body)
-            return status, body
+            return status, body, _JSON_TYPE
         finally:
             if admitted:
                 self._release()
+            wall_ms = (time.perf_counter() - start) * 1e3
             self.metrics.counter(f"serve.requests.{endpoint}").add(1)
             self.metrics.histogram(f"serve.latency_ms.{endpoint}").observe(
-                (time.perf_counter() - start) * 1e3
+                wall_ms
             )
+            self._publish_access(endpoint, target, status, wall_ms, trace_id)
+
+    def _publish_access(
+        self, endpoint: str, target: str, status: int, wall_ms: float, trace_id: str
+    ) -> None:
+        """One structured access-log event per request, onto the bus.
+
+        Uses the server's own bus when configured, else whatever bus is
+        active in the handling thread's context (a no-op without one).
+        """
+        fields = {
+            "endpoint": endpoint,
+            "target": target,
+            "status": status,
+            "ms": round(wall_ms, 3),
+            "trace_id": trace_id,
+            "sampled": bool(trace_id),
+        }
+        if self.bus is not None:
+            self.bus.publish("access", **fields)
+        else:
+            _bus_publish("access", **fields)
 
     def _dispatch(
         self, endpoint: str, path: str, raw_query: str
@@ -237,6 +308,7 @@ class SnapshotServer:
         if endpoint == "healthz":
             return 200, {
                 "status": "ok",
+                "version": __version__,
                 "snapshot_hash": self.index.snapshot_hash,
                 "uptime_s": round(time.time() - self._started_unix, 3),
             }
@@ -435,26 +507,35 @@ class _Handler(socketserver.StreamRequestHandler):
                         405, b'{"error": "only GET is supported"}', keep_alive
                     )
                 else:
-                    status, body = app.handle_target(target)
+                    status, body, content_type = app.handle_target(target)
                     extra = (
                         f"Retry-After: {app.retry_after_s}\r\n".encode()
                         if status == 503
                         else b""
                     )
-                    self._respond(status, body, keep_alive, extra)
+                    self._respond(
+                        status, body, keep_alive, extra, content_type
+                    )
                 if not keep_alive:
                     return
         except (TimeoutError, socket.timeout, ConnectionError, BrokenPipeError):
             return
 
     def _respond(
-        self, status: int, body: bytes, keep_alive: bool, extra: bytes = b""
+        self,
+        status: int,
+        body: bytes,
+        keep_alive: bool,
+        extra: bytes = b"",
+        content_type: bytes = _JSON_TYPE,
     ) -> None:
         reason = _REASONS.get(status, "OK")
         connection = b"keep-alive" if keep_alive else b"close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n".encode()
-            + _JSON_HEADERS
+            + b"Content-Type: "
+            + content_type
+            + b"\r\n"
             + f"Content-Length: {len(body)}\r\n".encode()
             + b"Connection: "
             + connection

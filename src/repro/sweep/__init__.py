@@ -34,6 +34,7 @@ from repro.sweep.spec import (
     load_spec,
 )
 from repro.sweep.store import ResultStore, TrialRow
+from repro.sweep.tracing import render_trace_tree, stitch_campaign_trace
 from repro.sweep.worker import InjectedFailure, TrialTimeout, execute_trial
 
 __all__ = [
@@ -57,7 +58,9 @@ __all__ = [
     "load_spec",
     "load_sweep_report",
     "render_sweep_report",
+    "render_trace_tree",
     "run_campaign",
+    "stitch_campaign_trace",
     "score_generators",
     "validate_sweep_report",
     "write_sweep_report",

@@ -20,6 +20,15 @@ skips anything already ``done`` (resume), and drives the rest through a
   resume`` picks up exactly where it stopped — completed trials are
   never re-run, so resumed aggregates match an uninterrupted campaign.
 
+Cross-process tracing: the engine mints (or, on resume, re-reads) the
+campaign's ``trace_id`` from the store and ships a serialised
+:class:`~repro.obs.trace.TraceContext` inside every trial payload, so
+the span trees workers return all join one campaign-wide trace that
+:mod:`repro.sweep.tracing` stitches back together — including across a
+crash + resume.  Payloads also carry the store path, which lets each
+worker append ``start``/``finish``/``fail`` heartbeat events directly
+(``sweep status --follow`` tails those).
+
 Results stream into the store as they arrive, one short transaction
 per trial, so a concurrent ``sweep status`` always sees live progress.
 Engine-side counters (completed/failed/retried/crash recoveries) go
@@ -38,7 +47,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import SweepError
-from repro.obs import get_logger, incr, observe
+from repro.obs import get_logger, incr, new_trace_id, observe
 from repro.sweep.spec import SweepSpec, TrialSpec
 from repro.sweep.store import (
     CAMPAIGN_DONE,
@@ -106,9 +115,39 @@ class _Queues:
     retry: list = field(default_factory=list)  # (eligible_monotonic, trial, attempt)
 
 
-def _payload(spec: SweepSpec, trial: TrialSpec, attempt: int) -> dict[str, Any]:
+def campaign_parent_span_id(trace_id: str) -> str:
+    """The synthetic campaign-root span ID every trial hangs under.
+
+    Derived from the trace ID (its first 16 hex chars) rather than
+    minted fresh, so a resumed campaign's trials point at the *same*
+    parent as the original run's — one stitched tree across
+    interruptions.
+    """
+    return trace_id[:16]
+
+
+@dataclass(frozen=True)
+class _Wire:
+    """Per-campaign context merged into every trial payload."""
+
+    trace_id: str
+    store_path: str
+    campaign_id: int
+
+
+def _payload(
+    spec: SweepSpec, trial: TrialSpec, attempt: int, wire: _Wire | None = None
+) -> dict[str, Any]:
     payload = trial.payload(attempt, spec.trial_timeout_s)
     payload["cache_dir"] = spec.cache_dir
+    if wire is not None:
+        payload["trace"] = {
+            "trace_id": wire.trace_id,
+            "span_id": campaign_parent_span_id(wire.trace_id),
+            "sampled": True,
+        }
+        payload["store_path"] = wire.store_path
+        payload["campaign_id"] = wire.campaign_id
     return payload
 
 
@@ -179,6 +218,12 @@ def run_campaign(
     if isinstance(store, (str, Path)):
         store = ResultStore(store)
     campaign_id = store.ensure_campaign(spec)
+    trace_id = store.ensure_trace_id(campaign_id, new_trace_id())
+    wire = _Wire(
+        trace_id=trace_id,
+        store_path=str(store.path),
+        campaign_id=campaign_id,
+    )
     trials = spec.expand()
     store.register_trials(campaign_id, trials)
     store.reset_incomplete(campaign_id)
@@ -200,10 +245,10 @@ def run_campaign(
     try:
         if workers == 0:
             _run_inline(spec, store, campaign_id, queues, summary, stop_after,
-                        on_trial)
+                        on_trial, wire)
         else:
             _run_pooled(spec, store, campaign_id, queues, summary, workers,
-                        start_method, stop_after, on_trial)
+                        start_method, stop_after, on_trial, wire)
     except KeyboardInterrupt:
         summary.interrupted = True
     summary.wall_s = time.perf_counter() - start
@@ -299,6 +344,7 @@ def _run_inline(
     summary: CampaignSummary,
     stop_after: int | None,
     on_trial: Callable[[TrialSpec, str], None] | None,
+    wire: _Wire | None = None,
 ) -> None:
     """workers=0: run every trial in this process (debugging mode)."""
     while queues.ready or queues.retry:
@@ -312,7 +358,7 @@ def _run_inline(
         trial, attempt = queues.ready.popleft()
         store.mark_running(campaign_id, trial.key, attempt)
         try:
-            result = execute_trial(_payload(spec, trial, attempt))
+            result = execute_trial(_payload(spec, trial, attempt, wire))
         except KeyboardInterrupt:
             raise
         except Exception as exc:
@@ -332,6 +378,7 @@ def _run_pooled(
     start_method: str | None,
     stop_after: int | None,
     on_trial: Callable[[TrialSpec, str], None] | None,
+    wire: _Wire | None = None,
 ) -> None:
     """The process-pool dispatch loop with crash/hang recovery."""
     pool = _Pool(workers, start_method)
@@ -362,7 +409,7 @@ def _run_pooled(
                     if spec.trial_timeout_s is not None
                     else None
                 )
-                future = pool.submit(_payload(spec, trial, attempt))
+                future = pool.submit(_payload(spec, trial, attempt, wire))
                 in_flight[future] = _InFlight(trial, attempt, deadline)
             if not in_flight:
                 time.sleep(_WAIT_S)

@@ -7,13 +7,23 @@ One database file holds any number of campaigns.  Layout:
 - ``trials`` — one row per expanded trial, ``UNIQUE(campaign_id, key)``
   so re-registration on resume can never duplicate work;
 - ``trial_metrics`` — one row per (trial, metric name), replaced on
-  re-run so a retried trial leaves exactly one value.
+  re-run so a retried trial leaves exactly one value;
+- ``trial_events`` — append-only worker heartbeats (``start`` /
+  ``finish`` / ``fail``), each stamped with the worker PID, feeding the
+  live ``sweep status --follow`` view.
 
 The store opens in WAL mode with a busy timeout, so a ``sweep status``
 reader in another process can poll live progress while the engine
-writes.  Within the engine only the parent process writes — workers
-ship results back over the process pool — which keeps every write a
-short single-connection transaction.
+writes.  Result writes stay parent-only — workers ship results back
+over the process pool — but workers *do* append their own heartbeat
+events directly (one short INSERT per lifecycle edge, safe under WAL's
+multi-writer contract with the busy timeout as arbiter).
+
+Campaigns additionally persist a ``trace_id``: the engine mints one
+the first time a campaign runs and every trial — including trials run
+by a later ``sweep resume`` — joins that trace, which is what lets
+:mod:`repro.sweep.tracing` stitch one campaign-wide span tree out of
+many worker processes across interruptions.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -47,6 +58,7 @@ CREATE TABLE IF NOT EXISTS campaigns (
     spec_json TEXT NOT NULL,
     spec_digest TEXT NOT NULL,
     status TEXT NOT NULL DEFAULT 'created',
+    trace_id TEXT NOT NULL DEFAULT '',
     created_unix REAL NOT NULL,
     updated_unix REAL NOT NULL
 );
@@ -72,8 +84,20 @@ CREATE TABLE IF NOT EXISTS trial_metrics (
     value REAL NOT NULL,
     PRIMARY KEY (trial_id, name)
 );
+CREATE TABLE IF NOT EXISTS trial_events (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    key TEXT NOT NULL,
+    event TEXT NOT NULL,
+    attempt INTEGER NOT NULL DEFAULT 0,
+    pid INTEGER NOT NULL DEFAULT 0,
+    ts REAL NOT NULL,
+    fields_json TEXT
+);
 CREATE INDEX IF NOT EXISTS idx_trials_campaign_status
     ON trials (campaign_id, status);
+CREATE INDEX IF NOT EXISTS idx_trial_events_campaign
+    ON trial_events (campaign_id, id);
 """
 
 
@@ -115,10 +139,23 @@ class ResultStore:
         self.path = Path(path)
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self._connect() as conn:
+            with self._tx() as conn:
                 conn.executescript(_SCHEMA)
+                self._migrate(conn)
         except (OSError, sqlite3.Error) as exc:
             raise SweepError(f"cannot open result store {self.path}: {exc}")
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Bring pre-telemetry store files up to the current schema."""
+        columns = {
+            row[1] for row in conn.execute("PRAGMA table_info(campaigns)")
+        }
+        if "trace_id" not in columns:
+            conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN trace_id TEXT NOT NULL "
+                "DEFAULT ''"
+            )
 
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, timeout=30.0)
@@ -126,6 +163,27 @@ class ResultStore:
         conn.execute("PRAGMA busy_timeout=10000")
         conn.execute("PRAGMA synchronous=NORMAL")
         return conn
+
+    @contextmanager
+    def _tx(self) -> Iterator[sqlite3.Connection]:
+        """One connection for one transaction, closed deterministically.
+
+        ``sqlite3.Connection`` objects sit in an internal reference
+        cycle (their statement-cache wrapper), so dropping the last
+        visible reference does NOT close them — they linger with open
+        WAL/shm handles until a cyclic GC pass.  The sweep engine forks
+        pool workers, and a worker forked while the parent holds live
+        SQLite handles inherits the library's in-process lock state;
+        its own writes then race the parent's and corrupt the database.
+        An explicit ``close()`` on every exit path is what makes the
+        store fork-safe.
+        """
+        conn = self._connect()
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
 
     # -- campaigns ------------------------------------------------------------
 
@@ -139,7 +197,7 @@ class ResultStore:
         """
         digest = spec.digest()
         now = time.time()
-        with self._connect() as conn:
+        with self._tx() as conn:
             row = conn.execute(
                 "SELECT id, spec_digest FROM campaigns WHERE name = ?",
                 (spec.name,),
@@ -173,7 +231,7 @@ class ResultStore:
         Raises:
             SweepError: when absent.
         """
-        with self._connect() as conn:
+        with self._tx() as conn:
             row = conn.execute(
                 "SELECT id FROM campaigns WHERE name = ?", (name,)
             ).fetchone()
@@ -183,7 +241,7 @@ class ResultStore:
 
     def load_spec(self, name: str) -> SweepSpec:
         """The spec a campaign was created from (for ``sweep resume``)."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             row = conn.execute(
                 "SELECT spec_json FROM campaigns WHERE name = ?", (name,)
             ).fetchone()
@@ -191,9 +249,54 @@ class ResultStore:
             raise SweepError(f"no campaign {name!r} in {self.path}")
         return SweepSpec.from_dict(json.loads(row[0]))
 
+    def ensure_trace_id(self, campaign_id: int, trace_id: str) -> str:
+        """Persist ``trace_id`` for a campaign unless one is already set.
+
+        Returns the campaign's effective trace ID — the existing one on
+        resume, so every invocation of a campaign joins the same trace.
+        """
+        with self._tx() as conn:
+            row = conn.execute(
+                "SELECT trace_id FROM campaigns WHERE id = ?", (campaign_id,)
+            ).fetchone()
+            if row is None:
+                raise SweepError(f"no campaign id {campaign_id} in {self.path}")
+            if row[0]:
+                return str(row[0])
+            conn.execute(
+                "UPDATE campaigns SET trace_id = ? WHERE id = ?",
+                (trace_id, campaign_id),
+            )
+            return trace_id
+
+    def campaign_info(self, name: str) -> dict[str, Any]:
+        """Status, trace ID, and trial counts of one campaign.
+
+        Raises:
+            SweepError: when absent.
+        """
+        with self._tx() as conn:
+            row = conn.execute(
+                "SELECT id, status, trace_id, created_unix, updated_unix "
+                "FROM campaigns WHERE name = ?",
+                (name,),
+            ).fetchone()
+        if row is None:
+            raise SweepError(f"no campaign {name!r} in {self.path}")
+        cid = int(row[0])
+        return {
+            "id": cid,
+            "name": name,
+            "status": row[1],
+            "trace_id": row[2],
+            "created_unix": float(row[3]),
+            "updated_unix": float(row[4]),
+            "trials": self.counts(cid),
+        }
+
     def set_campaign_status(self, campaign_id: int, status: str) -> None:
         """Move a campaign through its lifecycle."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             conn.execute(
                 "UPDATE campaigns SET status = ?, updated_unix = ? WHERE id = ?",
                 (status, time.time(), campaign_id),
@@ -201,7 +304,7 @@ class ResultStore:
 
     def list_campaigns(self) -> list[dict[str, Any]]:
         """Name, status, and trial counts of every campaign in the store."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             rows = conn.execute(
                 "SELECT id, name, status, created_unix FROM campaigns "
                 "ORDER BY created_unix"
@@ -231,7 +334,7 @@ class ResultStore:
         self, campaign_id: int, trials: list[TrialSpec]
     ) -> None:
         """Insert trial rows, ignoring ones already present (resume)."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             conn.executemany(
                 "INSERT OR IGNORE INTO trials "
                 "(campaign_id, key, kind, seed, cell_json) "
@@ -250,7 +353,7 @@ class ResultStore:
 
     def statuses(self, campaign_id: int) -> dict[str, str]:
         """Trial key -> lifecycle state."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             rows = conn.execute(
                 "SELECT key, status FROM trials WHERE campaign_id = ?",
                 (campaign_id,),
@@ -259,7 +362,7 @@ class ResultStore:
 
     def counts(self, campaign_id: int) -> dict[str, int]:
         """Lifecycle state -> trial count."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             rows = conn.execute(
                 "SELECT status, COUNT(*) FROM trials "
                 "WHERE campaign_id = ? GROUP BY status",
@@ -269,7 +372,7 @@ class ResultStore:
 
     def mark_running(self, campaign_id: int, key: str, attempt: int) -> None:
         """Record a dispatch: status running, attempts = attempt + 1."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             conn.execute(
                 "UPDATE trials SET status = ?, attempts = ?, started_unix = ? "
                 "WHERE campaign_id = ? AND key = ?",
@@ -287,7 +390,7 @@ class ResultStore:
     ) -> None:
         """Persist a completed trial and its metrics (replacing any
         partial earlier attempt)."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             conn.execute(
                 "UPDATE trials SET status = ?, error = NULL, wall_s = ?, "
                 "report_json = ?, finished_unix = ? "
@@ -312,7 +415,7 @@ class ResultStore:
 
     def record_failure(self, campaign_id: int, key: str, error: str) -> None:
         """Record a trial as failed (attempts exhausted)."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             conn.execute(
                 "UPDATE trials SET status = ?, error = ?, finished_unix = ? "
                 "WHERE campaign_id = ? AND key = ?",
@@ -321,7 +424,7 @@ class ResultStore:
 
     def reset_incomplete(self, campaign_id: int) -> int:
         """Re-queue running trials left over by an interrupted run."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             cursor = conn.execute(
                 "UPDATE trials SET status = ? "
                 "WHERE campaign_id = ? AND status = ?",
@@ -331,7 +434,7 @@ class ResultStore:
 
     def trial_rows(self, campaign_id: int) -> Iterator[TrialRow]:
         """Every trial with its metrics, in key order."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             rows = conn.execute(
                 "SELECT id, key, kind, seed, cell_json, status, attempts, "
                 "error, wall_s FROM trials WHERE campaign_id = ? ORDER BY key",
@@ -358,9 +461,72 @@ class ResultStore:
                 metrics=by_trial.get(int(trial_id), {}),
             )
 
+    # -- worker heartbeats ----------------------------------------------------
+
+    def record_event(
+        self,
+        campaign_id: int,
+        key: str,
+        event: str,
+        *,
+        attempt: int = 0,
+        pid: int = 0,
+        fields: dict[str, Any] | None = None,
+    ) -> None:
+        """Append one heartbeat event (called from worker processes).
+
+        One short INSERT per call; WAL plus the busy timeout make this
+        safe alongside the parent's result writes.
+        """
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT INTO trial_events "
+                "(campaign_id, key, event, attempt, pid, ts, fields_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    key,
+                    event,
+                    attempt,
+                    pid,
+                    time.time(),
+                    None if fields is None else json.dumps(fields),
+                ),
+            )
+
+    def events_since(
+        self, campaign_id: int, after_id: int = 0, limit: int = 1000
+    ) -> list[dict[str, Any]]:
+        """Heartbeat events with ``id > after_id``, oldest first.
+
+        The follow view polls this with the last seen ``id`` as the
+        cursor; the cap bounds one poll's memory.
+        """
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT id, key, event, attempt, pid, ts, fields_json "
+                "FROM trial_events WHERE campaign_id = ? AND id > ? "
+                "ORDER BY id LIMIT ?",
+                (campaign_id, after_id, limit),
+            ).fetchall()
+        out = []
+        for row_id, key, event, attempt, pid, ts, fields_json in rows:
+            record: dict[str, Any] = {
+                "id": int(row_id),
+                "key": key,
+                "event": event,
+                "attempt": int(attempt),
+                "pid": int(pid),
+                "ts": float(ts),
+            }
+            if fields_json:
+                record.update(json.loads(fields_json))
+            out.append(record)
+        return out
+
     def trial_report(self, campaign_id: int, key: str) -> dict[str, Any] | None:
         """The RunReport-compatible record a trial shipped back, if any."""
-        with self._connect() as conn:
+        with self._tx() as conn:
             row = conn.execute(
                 "SELECT report_json FROM trials "
                 "WHERE campaign_id = ? AND key = ?",
@@ -369,3 +535,15 @@ class ResultStore:
         if row is None or row[0] is None:
             return None
         return json.loads(row[0])
+
+    def trial_reports(self, campaign_id: int) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Every trial's ``(key, report)`` that shipped one, in key order."""
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT key, report_json FROM trials "
+                "WHERE campaign_id = ? AND report_json IS NOT NULL "
+                "ORDER BY key",
+                (campaign_id,),
+            ).fetchall()
+        for key, report_json in rows:
+            yield key, json.loads(report_json)

@@ -1,0 +1,119 @@
+"""Stitching per-trial span trees into one campaign-wide trace.
+
+Every trial's worker returns a RunReport whose spans carry the
+campaign's ``trace_id`` (shipped in the payload as a
+:class:`~repro.obs.trace.TraceContext`) and name the campaign root —
+``campaign_parent_span_id(trace_id)``, derived deterministically from
+the trace ID — as their parent.  Because the trace ID is persisted on
+the campaign row, trials run by ``sweep resume`` after a crash join
+the *same* trace, so :func:`stitch_campaign_trace` reconstructs one
+tree spanning every process that ever worked on the campaign.
+
+The tree is plain span dicts (the :meth:`~repro.obs.trace.Span.to_dict`
+shape) with a synthetic ``campaign:<name>`` root, so report tooling
+that understands span forests needs nothing new.  ``repro sweep trace``
+renders it with :func:`render_trace_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sweep.engine import campaign_parent_span_id
+from repro.sweep.store import ResultStore
+
+
+def stitch_campaign_trace(
+    store: ResultStore, name: str
+) -> dict[str, Any]:
+    """Assemble the campaign-wide span tree from persisted trial reports.
+
+    Args:
+        store: the campaign's result store.
+        name: campaign name.
+
+    Returns:
+        A span dict for the synthetic ``campaign:<name>`` root whose
+        children are the trial root spans, ordered by start time.
+        Spans from a different trace (pre-telemetry campaigns replayed
+        into the same store) are kept but flagged in the root's
+        attributes as ``foreign_spans``.
+
+    Raises:
+        SweepError: when the campaign does not exist.
+    """
+    info = store.campaign_info(name)
+    trace_id = str(info["trace_id"])
+    root_span_id = campaign_parent_span_id(trace_id) if trace_id else ""
+    children: list[dict[str, Any]] = []
+    foreign = 0
+    for key, report in store.trial_reports(int(info["id"])):
+        for span in report.get("spans", []):
+            child = dict(span)
+            child.setdefault("attributes", {})
+            child["attributes"].setdefault("key", key)
+            if trace_id and child.get("trace_id") != trace_id:
+                foreign += 1
+            children.append(child)
+    children.sort(key=lambda s: (s.get("start_unix", 0.0), s.get("name", "")))
+    starts = [c["start_unix"] for c in children if c.get("start_unix")]
+    ends = [
+        c["start_unix"] + c.get("wall_s", 0.0)
+        for c in children
+        if c.get("start_unix")
+    ]
+    elapsed = (max(ends) - min(starts)) if starts else 0.0
+    return {
+        "name": f"campaign:{name}",
+        "attributes": {
+            "campaign": name,
+            "status": info["status"],
+            "trials": len(children),
+            "foreign_spans": foreign,
+        },
+        "start_s": 0.0,
+        "end_s": elapsed,
+        "wall_s": elapsed,
+        "start_unix": min(starts) if starts else 0.0,
+        "thread": "",
+        "span_id": root_span_id,
+        "trace_id": trace_id,
+        "parent_span_id": "",
+        "children": children,
+    }
+
+
+def _render_span(
+    span: dict[str, Any], indent: int, lines: list[str]
+) -> None:
+    attributes = span.get("attributes", {})
+    decor = ""
+    if "key" in attributes and indent == 1:
+        decor = f"  key={attributes['key']}"
+        if "attempt" in attributes:
+            decor += f" attempt={attributes['attempt']}"
+    lines.append(
+        f"{'  ' * indent}{span.get('name', '?')}"
+        f"  {span.get('wall_s', 0.0):.3f}s{decor}"
+    )
+    for child in span.get("children", []):
+        _render_span(child, indent + 1, lines)
+
+
+def render_trace_tree(tree: dict[str, Any]) -> str:
+    """A human-readable rendering of a stitched campaign trace."""
+    attributes = tree.get("attributes", {})
+    lines = [
+        f"{tree.get('name', '?')}  trace={tree.get('trace_id', '')[:16]}"
+        f"  status={attributes.get('status', '?')}"
+        f"  trials={attributes.get('trials', 0)}"
+        f"  elapsed={tree.get('wall_s', 0.0):.3f}s"
+    ]
+    for child in tree.get("children", []):
+        _render_span(child, 1, lines)
+    return "\n".join(lines)
+
+
+def distinct_pids(events: list[dict[str, Any]]) -> set[int]:
+    """Worker PIDs that produced a list of heartbeat events."""
+    return {int(e["pid"]) for e in events if e.get("pid")}

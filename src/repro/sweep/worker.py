@@ -18,6 +18,17 @@ parent.  Each trial therefore installs a fresh
 collected data home inside a RunReport-compatible record in its result
 dict; the engine persists that record in the result store.
 
+What *does* cross the boundary is the campaign's
+:class:`~repro.obs.trace.TraceContext`, serialised into the payload:
+the worker re-installs it, so its trial spans carry the campaign
+trace ID and name the campaign root as parent — the hooks
+:mod:`repro.sweep.tracing` uses to stitch one tree.  Workers also
+append ``start``/``finish``/``fail`` heartbeat events straight to the
+result store (WAL handles the concurrent writers); the ``start`` beat
+lands *before* fault injection, so even a trial that crashes its
+process leaves evidence it began.  Heartbeats are best-effort — a
+failure to record one never fails the trial.
+
 Per-trial timeouts are enforced *inside* the worker with
 ``signal.setitimer`` (workers run trials on their main thread, so
 ``SIGALRM`` delivery is safe): a hanging trial raises
@@ -33,6 +44,7 @@ import math
 import os
 import signal
 import time
+from contextlib import ExitStack
 from typing import Any
 
 import numpy as np
@@ -59,9 +71,11 @@ from repro.geo.regions import EUROPE, JAPAN, US, WORLD
 from repro.obs import (
     MetricsRegistry,
     RunReport,
+    TraceContext,
     Tracer,
     dataset_digest,
     use_metrics,
+    use_trace_context,
     use_tracer,
 )
 from repro.obs import span as obs_span
@@ -257,6 +271,37 @@ _KINDS = {
 }
 
 
+class _Heartbeat:
+    """Best-effort worker heartbeats into the campaign's result store.
+
+    A no-op unless the payload names a store; any store error is
+    swallowed — observability must never fail the trial it observes.
+    """
+
+    def __init__(self, payload: dict[str, Any]) -> None:
+        self._store_path = payload.get("store_path")
+        self._campaign_id = payload.get("campaign_id")
+        self._key = payload.get("key", "")
+        self._attempt = int(payload.get("attempt", 0))
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if not self._store_path or self._campaign_id is None:
+            return
+        try:
+            from repro.sweep.store import ResultStore
+
+            ResultStore(self._store_path).record_event(
+                int(self._campaign_id),
+                self._key,
+                event,
+                attempt=self._attempt,
+                pid=os.getpid(),
+                fields=fields or None,
+            )
+        except Exception:  # noqa: BLE001 - heartbeats are best-effort
+            pass
+
+
 def execute_trial(payload: dict[str, Any]) -> dict[str, Any]:
     """Run one trial to completion inside the current process.
 
@@ -282,19 +327,37 @@ def execute_trial(payload: dict[str, Any]) -> dict[str, Any]:
         raise SweepError(f"unknown trial kind {kind!r}") from None
     registry = MetricsRegistry()
     tracer = Tracer()
+    heartbeat = _Heartbeat(payload)
+    context = TraceContext.from_wire(payload.get("trace"))
     start = time.perf_counter()
-    with _trial_alarm(payload.get("timeout_s")):
-        _apply_injection(payload.get("inject"), int(payload.get("attempt", 0)))
-        with use_metrics(registry), use_tracer(tracer):
-            with obs_span(
-                "sweep:trial",
-                key=payload["key"],
-                kind=kind,
-                seed=payload["seed"],
-                attempt=int(payload.get("attempt", 0)),
-            ):
-                metrics, artifacts = runner(payload)
+    heartbeat.emit("start")
+    try:
+        with _trial_alarm(payload.get("timeout_s")):
+            _apply_injection(
+                payload.get("inject"), int(payload.get("attempt", 0))
+            )
+            with ExitStack() as stack:
+                if context is not None:
+                    stack.enter_context(use_trace_context(context))
+                stack.enter_context(use_metrics(registry))
+                stack.enter_context(use_tracer(tracer))
+                with obs_span(
+                    "sweep:trial",
+                    key=payload["key"],
+                    kind=kind,
+                    seed=payload["seed"],
+                    attempt=int(payload.get("attempt", 0)),
+                ):
+                    metrics, artifacts = runner(payload)
+    except BaseException as exc:
+        heartbeat.emit(
+            "fail",
+            error=f"{type(exc).__name__}: {exc}"[:500],
+            wall_s=round(time.perf_counter() - start, 3),
+        )
+        raise
     wall_s = time.perf_counter() - start
+    heartbeat.emit("finish", wall_s=round(wall_s, 3))
     report = RunReport(
         seed=int(payload["seed"]),
         config={

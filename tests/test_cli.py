@@ -173,3 +173,114 @@ class TestReportCli:
             == EXIT_INVALID
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetryCli:
+    """The live-telemetry CLI surface: profiler, trace, follow, bench."""
+
+    @pytest.fixture()
+    def campaign(self, tmp_path):
+        """A tiny finished synthetic campaign behind a result store."""
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "clismoke",
+            "seeds": [1, 2],
+            "synthetic": [{"duration_s": 0.01}],
+        }))
+        db = tmp_path / "sweep.db"
+        code = main(["sweep", "run", str(spec), "--db", str(db),
+                     "--workers", "0"])
+        assert code == 0
+        return db
+
+    def test_sweep_run_profile_sampling_writes_collapsed(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "profiled",
+            "seeds": [1, 2, 3, 4],
+            "synthetic": [{"duration_s": 0.05}],
+        }))
+        out = tmp_path / "profile.collapsed"
+        code = main([
+            "sweep", "run", str(spec), "--db", str(tmp_path / "p.db"),
+            "--workers", "0", "--profile-sampling", str(out),
+            "--sampling-hz", "200",
+        ])
+        assert code == 0
+        body = out.read_text()
+        assert body, "profiler collected nothing during the campaign"
+        stack, _, count = body.splitlines()[0].rpartition(" ")
+        assert int(count) >= 1 and ";" in stack
+
+    def test_sweep_trace_renders_and_jsons(self, campaign, capsys):
+        code = main(["sweep", "trace", "clismoke", "--db", str(campaign)])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "campaign:clismoke" in out
+        assert out.count("sweep:trial") == 2
+
+        code = main(["sweep", "trace", "clismoke", "--db", str(campaign),
+                     "--json"])
+        assert code == EXIT_OK
+        tree = json.loads(capsys.readouterr().out)
+        assert len(tree["children"]) == 2
+
+    def test_sweep_trace_unknown_campaign_fails(self, campaign, capsys):
+        code = main(["sweep", "trace", "ghost", "--db", str(campaign)])
+        assert code == EXIT_INVALID
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_status_follow_replays_finished_campaign(
+        self, campaign, capsys
+    ):
+        code = main(["sweep", "status", "clismoke", "--db", str(campaign),
+                     "--follow", "--interval", "0.01"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert out.count(" start ") + out.count(" start  ") >= 2
+        assert "clismoke: done" in out
+
+    def test_sweep_status_follow_requires_campaign(self, campaign):
+        with pytest.raises(SystemExit):
+            main(["sweep", "status", "--db", str(campaign), "--follow"])
+
+    @staticmethod
+    def _history_line(bench, rev, created, headline):
+        return json.dumps({
+            "schema": "repro-bench",
+            "schema_version": 1,
+            "bench": bench,
+            "git_rev": rev,
+            "created_unix": created,
+            "machine": {},
+            "headline": {
+                name: {"value": value, "better": better}
+                for name, (value, better) in headline.items()
+            },
+        })
+
+    def test_bench_history_renders_and_checks(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_history.jsonl"
+        history.write_text("\n".join([
+            self._history_line("serve", "aaa", 1.0,
+                               {"p99_ms": (1.0, "lower")}),
+            self._history_line("serve", "bbb", 2.0,
+                               {"p99_ms": (2.0, "lower")}),
+        ]) + "\n")
+        code = main(["bench", "history", str(tmp_path)])
+        assert code == EXIT_OK  # informational without --check
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regressed" in captured.err
+
+        code = main(["bench", "history", str(tmp_path), "--check"])
+        assert code == EXIT_DIFF
+        # a generous threshold waves the same history through
+        code = main(["bench", "history", str(tmp_path), "--check",
+                     "--threshold", "5.0"])
+        assert code == EXIT_OK
+
+    def test_bench_history_rejects_empty_dir(self, tmp_path, capsys):
+        code = main(["bench", "history", str(tmp_path)])
+        assert code == EXIT_INVALID
+        assert "error:" in capsys.readouterr().err

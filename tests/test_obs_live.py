@@ -1,0 +1,382 @@
+"""Tests for the live-telemetry layer: bus, exposition, sampler, profiler.
+
+Covers the ring-buffer event bus and its sinks, the Prometheus text
+exposition of the metrics registry (including rendering concurrently
+with writers), the probabilistic trace sampler, the sampling profiler,
+and the server's ``/metrics`` endpoint plus per-request access events
+over the real HTTP transport.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import __version__
+from repro.datasets.mapped import UNMAPPED_ASN, MappedDataset
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    ProfilerError,
+    SamplingProfiler,
+    TailSink,
+    TelemetryBus,
+    Tracer,
+    TraceSampler,
+    current_bus,
+    render_prometheus,
+    use_bus,
+)
+from repro.obs import publish as bus_publish
+from repro.obs.export import (
+    CONTENT_TYPE,
+    parse_sample_lines,
+    sanitize_metric_name,
+)
+from repro.serve import (
+    QueryError,
+    SnapshotClient,
+    SnapshotIndex,
+    SnapshotServer,
+)
+
+
+class TestTelemetryBus:
+    def test_ring_keeps_newest_and_counts_drops(self):
+        bus = TelemetryBus(capacity=4)
+        for i in range(10):
+            bus.publish("tick", i=i)
+        assert bus.seq == 10
+        assert len(bus) == 4
+        assert bus.dropped == 6
+        assert [e["i"] for e in bus.tail()] == [6, 7, 8, 9]
+
+    def test_events_are_stamped_and_ordered(self):
+        bus = TelemetryBus()
+        first = bus.publish("a")
+        second = bus.publish("b", detail="x")
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert second["kind"] == "b" and second["detail"] == "x"
+        assert bus.events_since(first["seq"]) == [second]
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            TelemetryBus(capacity=0)
+
+    def test_broken_sink_is_disabled_not_fatal(self):
+        bus = TelemetryBus()
+        tail = TailSink()
+        calls = []
+
+        def broken(event):
+            calls.append(event)
+            raise RuntimeError("sink exploded")
+
+        bus.add_sink(broken)
+        bus.add_sink(tail)
+        bus.publish("one")
+        bus.publish("two")
+        assert len(calls) == 1  # dropped after the first failure
+        assert [e["kind"] for e in tail.events] == ["one", "two"]
+        assert bus.stats()["dead_sinks"] == 1
+
+    def test_jsonl_sink_appends_parseable_lines(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        bus = TelemetryBus()
+        sink = JsonlSink(path)
+        bus.add_sink(sink)
+        bus.publish("access", status=200)
+        bus.publish("access", status=503, blob=object())  # repr fallback
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["status"] for e in lines] == [200, 503]
+
+    def test_publish_helper_hits_active_bus_only(self):
+        bus_publish("lost")  # no active bus: cheap no-op
+        bus = TelemetryBus()
+        with use_bus(bus):
+            assert current_bus() is bus
+            bus_publish("kept", n=1)
+        assert current_bus() is None
+        assert [e["kind"] for e in bus.tail()] == ["kept"]
+
+    def test_concurrent_publishers_never_lose_seq(self):
+        bus = TelemetryBus(capacity=10_000)
+        n_threads, per_thread = 8, 500
+
+        def worker():
+            for _ in range(per_thread):
+                bus.publish("tick")
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert bus.seq == n_threads * per_thread
+        seqs = [e["seq"] for e in bus.tail()]
+        assert len(set(seqs)) == len(seqs)  # no duplicated sequence number
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests.locate").add(3)
+        registry.gauge("serve.inflight").set(2)
+        registry.histogram("serve.latency_ms", buckets=(1.0, 10.0)).observe(5.0)
+        body = render_prometheus(registry)
+        samples = parse_sample_lines(body)
+        assert samples["repro_serve_requests_locate_total"] == 3
+        assert samples["repro_serve_inflight"] == 2
+        assert samples['repro_serve_latency_ms_bucket{le="1"}'] == 0
+        assert samples['repro_serve_latency_ms_bucket{le="10"}'] == 1
+        assert samples['repro_serve_latency_ms_bucket{le="+Inf"}'] == 1
+        assert samples["repro_serve_latency_ms_sum"] == 5.0
+        assert samples["repro_serve_latency_ms_count"] == 1
+
+    def test_buckets_are_cumulative_and_capped_by_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("wall", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        body = render_prometheus(registry)
+        samples = parse_sample_lines(body)
+        series = [
+            samples['repro_wall_bucket{le="0.1"}'],
+            samples['repro_wall_bucket{le="1"}'],
+            samples['repro_wall_bucket{le="10"}'],
+            samples['repro_wall_bucket{le="+Inf"}'],
+        ]
+        assert series == sorted(series)  # monotone
+        assert series[-1] == samples["repro_wall_count"] == 4
+
+    def test_type_and_help_comments_present(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        body = render_prometheus(registry)
+        assert "# TYPE repro_c_total counter" in body
+        assert body.endswith("\n")
+
+    def test_name_sanitisation(self):
+        assert sanitize_metric_name("serve.latency_ms.locate") == (
+            "serve_latency_ms_locate"
+        )
+        assert sanitize_metric_name("0weird name!") == "_0weird_name_"
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestTraceSampler:
+    def test_edge_rates(self):
+        assert not any(TraceSampler(0.0).should_sample() for _ in range(50))
+        assert all(TraceSampler(1.0).should_sample() for _ in range(50))
+
+    def test_seeded_rate_is_approximate(self):
+        sampler = TraceSampler(0.3, seed=7)
+        kept = sum(sampler.should_sample() for _ in range(2000))
+        assert 450 < kept < 750  # ~600 expected
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TraceSampler(1.5)
+
+
+class TestSamplingProfiler:
+    def test_catches_a_busy_thread(self, tmp_path):
+        stop = threading.Event()
+
+        def burn():
+            while not stop.is_set():
+                sum(range(200))
+
+        thread = threading.Thread(target=burn, name="burner")
+        thread.start()
+        try:
+            with SamplingProfiler(hz=200) as profiler:
+                time.sleep(0.25)
+        finally:
+            stop.set()
+            thread.join()
+        assert profiler.samples > 10
+        collapsed = profiler.collapsed()
+        assert "burn" in collapsed
+        # collapsed-stack lines are "frame;frame;... count"
+        first = collapsed.splitlines()[0]
+        stack, _, count = first.rpartition(" ")
+        assert int(count) >= 1 and ";" in stack
+        path = profiler.write(tmp_path / "profile.collapsed")
+        assert path.read_text() == collapsed
+
+    def test_double_start_raises_stop_is_idempotent(self):
+        profiler = SamplingProfiler(hz=50)
+        profiler.start()
+        with pytest.raises(ProfilerError):
+            profiler.start()
+        profiler.stop()
+        profiler.stop()  # no-op
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ProfilerError):
+            SamplingProfiler(hz=0)
+
+
+class TestRegistryThreadSafety:
+    def test_render_is_safe_while_eight_writers_update(self):
+        """Exposition rendered mid-write never crashes or goes backwards."""
+        registry = MetricsRegistry()
+        n_writers, per_writer = 8, 400
+        start = threading.Barrier(n_writers + 1)
+        render_errors: list[BaseException] = []
+
+        def writer(wid: int) -> None:
+            counter = registry.counter(f"writer.{wid}")
+            shared = registry.counter("shared")
+            histogram = registry.histogram("obs", buckets=(1.0, 10.0))
+            start.wait()
+            for i in range(per_writer):
+                counter.add()
+                shared.add()
+                histogram.observe(float(i % 20))
+
+        def reader() -> None:
+            start.wait()
+            last_shared = 0.0
+            while any(t.is_alive() for t in writers):
+                try:
+                    samples = parse_sample_lines(render_prometheus(registry))
+                except BaseException as exc:  # noqa: BLE001 - the assertion
+                    render_errors.append(exc)
+                    return
+                value = samples.get("repro_shared_total", 0.0)
+                assert value >= last_shared  # counters only go up
+                last_shared = value
+
+        writers = [
+            threading.Thread(target=writer, args=(wid,))
+            for wid in range(n_writers)
+        ]
+        reading = threading.Thread(target=reader)
+        for t in writers:
+            t.start()
+        reading.start()
+        for t in writers:
+            t.join()
+        reading.join()
+        assert render_errors == []
+        samples = parse_sample_lines(render_prometheus(registry))
+        assert samples["repro_shared_total"] == n_writers * per_writer
+        for wid in range(n_writers):
+            assert samples[f"repro_writer_{wid}_total"] == per_writer
+        assert samples['repro_obs_bucket{le="+Inf"}'] == n_writers * per_writer
+
+
+def _tiny_dataset() -> MappedDataset:
+    return MappedDataset(
+        label="tiny",
+        kind="skitter",
+        addresses=np.array([10, 20, 30], dtype=np.int64),
+        lats=np.array([40.0, 41.0, 50.0]),
+        lons=np.array([-100.0, -100.5, 10.0]),
+        asns=np.array([1, 1, UNMAPPED_ASN], dtype=np.int64),
+        links=np.array([[0, 1]], dtype=np.intp),
+    )
+
+
+def _get(server: SnapshotServer, target: str) -> tuple[int, str, str]:
+    """One raw GET; returns (status, content-type, body)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("GET", target)
+        resp = conn.getresponse()
+        return resp.status, resp.headers.get("Content-Type", ""), (
+            resp.read().decode("utf-8")
+        )
+    finally:
+        conn.close()
+
+
+class TestServerTelemetry:
+    @pytest.fixture()
+    def traced_server(self):
+        bus = TelemetryBus()
+        server = SnapshotServer(
+            SnapshotIndex(_tiny_dataset()),
+            port=0,
+            tracer=Tracer(),
+            bus=bus,
+        )
+        with server:
+            yield server, bus
+
+    def test_metrics_endpoint_is_valid_prometheus(self, traced_server):
+        server, _ = traced_server
+        client = SnapshotClient(server.url)
+        client.locate(10)
+        with pytest.raises(QueryError):
+            client.locate(99999)  # miss -> 404, still counted
+        status, ctype, body = _get(server, "/metrics")
+        assert status == 200
+        assert ctype == CONTENT_TYPE
+        samples = parse_sample_lines(body)
+        assert samples["repro_serve_requests_locate_total"] >= 2
+        latency_count = samples[
+            'repro_serve_latency_ms_locate_bucket{le="+Inf"}'
+        ]
+        assert latency_count == samples["repro_serve_latency_ms_locate_count"]
+        assert latency_count >= 2
+
+    def test_healthz_reports_package_version(self, traced_server):
+        server, _ = traced_server
+        health = SnapshotClient(server.url).healthz()
+        assert health["version"] == __version__
+        assert health["status"] == "ok"
+
+    def test_access_events_carry_the_span_trace_id(self, traced_server):
+        server, bus = traced_server
+        SnapshotClient(server.url).locate(10)
+        events = [e for e in bus.tail() if e["kind"] == "access"]
+        assert events, "expected an access event per request"
+        access = events[-1]
+        assert access["endpoint"] == "locate"
+        assert access["status"] == 200
+        assert access["ms"] >= 0
+        assert access["sampled"] is True
+        assert len(access["trace_id"]) == 32
+        span_traces = {
+            span.trace_id
+            for span in server.tracer.iter_spans()
+            if span.name == "serve.locate"
+        }
+        assert access["trace_id"] in span_traces
+
+    def test_sampler_zero_disables_trace_ids_not_access_log(self):
+        bus = TelemetryBus()
+        server = SnapshotServer(
+            SnapshotIndex(_tiny_dataset()),
+            port=0,
+            tracer=Tracer(),
+            bus=bus,
+            trace_sampler=TraceSampler(0.0),
+        )
+        with server:
+            client = SnapshotClient(server.url)
+            for _ in range(5):
+                client.locate(10)
+        events = [e for e in bus.tail() if e["kind"] == "access"]
+        assert len(events) == 5
+        assert all(e["trace_id"] == "" for e in events)
+
+    def test_metrics_endpoint_skips_admission_control(self):
+        server = SnapshotServer(
+            SnapshotIndex(_tiny_dataset()), port=0, max_inflight=1
+        )
+        with server:
+            SnapshotClient(server.url).healthz()
+            status, _, body = _get(server, "/metrics")
+        assert status == 200
+        assert "repro_serve_requests_healthz_total" in body
