@@ -1,0 +1,281 @@
+"""End-to-end smoke test of the sharded serving cluster (CI gate).
+
+Exercises the whole cluster story through real OS processes, exactly
+as an operator would:
+
+1. ``repro snapshot`` builds the small snapshot; a second snapshot
+   with visibly shifted coordinates is derived from it;
+2. ``repro cluster serve`` spawns 2 ranges x 2 replicas behind a
+   coordinator (shard pids and the coordinator URL parsed from the
+   printed banners);
+3. mixed queries (point locate, batched locate, near, AS summary,
+   distance preference) run under sustained multi-threaded load;
+4. one shard replica is SIGKILLed mid-load — the coordinator must fail
+   over with **zero** failed client requests, then eject the replica;
+5. ``repro cluster status`` renders the degraded fleet;
+6. ``repro cluster reload`` hot-swaps the fleet onto the second
+   snapshot while the load keeps running — still zero failures, and
+   answers flip to the new snapshot's coordinates;
+7. SIGINT stops the coordinator, which must exit 0.
+
+Run from the repo root with
+``PYTHONPATH=src python scripts/cluster_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.mapped import MappedDataset  # noqa: E402
+from repro.datasets.serialize import load_dataset, save_dataset  # noqa: E402
+from repro.serve import SnapshotClient  # noqa: E402
+
+SHARD_RE = re.compile(
+    r"shard slot=(?P<slot>\d+) replica=(?P<replica>\d+) "
+    r"pid=(?P<pid>\d+) range=(?P<range>\S+) on (?P<url>http://\S+)"
+)
+COORD_RE = re.compile(r"cluster coordinator on (?P<url>http://\S+)")
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        check=True,
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _shifted_snapshot(source: Path, out: Path) -> None:
+    dataset = load_dataset(source)
+    save_dataset(
+        MappedDataset(
+            label="shifted",
+            kind=dataset.kind,
+            addresses=dataset.addresses,
+            lats=np.clip(dataset.lats + 1.0, -90.0, 90.0),
+            lons=dataset.lons,
+            asns=dataset.asns,
+            links=dataset.links,
+        ),
+        out,
+    )
+
+
+class LoadGenerator:
+    """Mixed-query hammer; any client-visible failure is recorded."""
+
+    def __init__(self, url: str, addresses: list[int], asn: int) -> None:
+        self.failures: list[str] = []
+        self._stop = threading.Event()
+        self._url = url
+        self._addresses = addresses
+        self._asn = asn
+        self._threads = [
+            threading.Thread(target=self._worker, args=(tid,), daemon=True)
+            for tid in range(4)
+        ]
+        self.requests = 0
+        self._lock = threading.Lock()
+
+    def _worker(self, tid: int) -> None:
+        client = SnapshotClient(self._url, timeout_s=30.0)
+        addresses = self._addresses
+        step = 0
+        while not self._stop.is_set():
+            step += 1
+            try:
+                kind = (tid + step) % 5
+                if kind == 0:
+                    client.locate(addresses[step % len(addresses)])
+                elif kind == 1:
+                    batch = [
+                        addresses[(step + i) % len(addresses)]
+                        for i in range(16)
+                    ]
+                    client.locate_many(batch)
+                elif kind == 2:
+                    client.near(40.0, -95.0 + (step % 7), k=5)
+                elif kind == 3:
+                    client.as_info(self._asn)
+                else:
+                    client.distance_preference("US")
+            except Exception as exc:  # noqa: BLE001 - recording all
+                self.failures.append(f"{type(exc).__name__}: {exc}")
+            with self._lock:
+                self.requests += 1
+
+    def start(self) -> None:
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as tmp:
+        snap_a = Path(tmp) / "snapshot_a.npz"
+        snap_b = Path(tmp) / "snapshot_b.npz"
+
+        print("== building snapshots ==", flush=True)
+        _run_cli("snapshot", "--scale", "small", "--out", str(snap_a))
+        _shifted_snapshot(snap_a, snap_b)
+        with np.load(snap_a) as payload:
+            addresses = [int(a) for a in payload["addresses"][:64]]
+            asns = payload["asns"]
+            asn = int(asns[asns >= 0][0])
+
+        print("== starting cluster (2 ranges x 2 replicas) ==", flush=True)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "cluster",
+                "serve",
+                "--snapshot",
+                str(snap_a),
+                "--ranges",
+                "2",
+                "--replicas",
+                "2",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_cli_env(),
+            cwd=REPO_ROOT,
+        )
+        load = None
+        try:
+            shards = []
+            url = None
+            deadline = time.monotonic() + 300
+            while url is None:
+                assert time.monotonic() < deadline, "no coordinator banner"
+                line = proc.stdout.readline()
+                assert line, f"cluster serve exited: {proc.poll()}"
+                shard = SHARD_RE.search(line)
+                if shard:
+                    shards.append(shard.groupdict())
+                    continue
+                coord = COORD_RE.search(line)
+                if coord:
+                    url = coord.group("url")
+            assert len(shards) == 4, shards
+            print(f"coordinator {url}, {len(shards)} shards", flush=True)
+
+            client = SnapshotClient(url, timeout_s=30.0)
+            before = client.locate(addresses[0])
+            batch = client.locate_many(addresses[:16])
+            assert [r["address"] for r in batch] == addresses[:16]
+            assert client.near(40.0, -95.0, k=3)["results"]
+            assert client.as_info(asn)["asn"] == asn
+            assert client.distance_preference("US")["region"] == "US"
+            print("mixed queries ok", flush=True)
+
+            load = LoadGenerator(url, addresses, asn)
+            load.start()
+            time.sleep(2.0)
+
+            victim = shards[0]
+            print(
+                f"== SIGKILL shard slot={victim['slot']} "
+                f"replica={victim['replica']} pid={victim['pid']} ==",
+                flush=True,
+            )
+            os.kill(int(victim["pid"]), signal.SIGKILL)
+
+            # The fleet keeps answering; the dead replica gets ejected.
+            deadline = time.monotonic() + 60
+            while True:
+                stats = client.stats()
+                slot = stats["cluster"]["ranges"][int(victim["slot"])]
+                if slot["n_healthy"] == 1:
+                    break
+                assert time.monotonic() < deadline, "replica not ejected"
+                time.sleep(0.25)
+            print(
+                f"replica ejected, {load.requests} requests so far, "
+                f"{len(load.failures)} failures",
+                flush=True,
+            )
+            assert not load.failures, load.failures[:5]
+
+            status = _run_cli("cluster", "status", url)
+            assert "DOWN" in status.stdout, status.stdout
+            print("cluster status shows the dead replica", flush=True)
+
+            print("== hot reload under load ==", flush=True)
+            reload_out = _run_cli("cluster", "reload", url, str(snap_b))
+            reloaded = json.loads(reload_out.stdout)
+            assert reloaded["gen"] == 2, reloaded
+            assert reloaded["staged_replicas"] == 3, reloaded
+
+            time.sleep(1.0)
+            load.stop()
+            assert not load.failures, load.failures[:5]
+
+            after = client.locate(addresses[0])
+            assert abs(after["lat"] - (before["lat"] + 1.0)) < 1e-9, (
+                before,
+                after,
+            )
+            stats = client.stats()
+            assert stats["cluster"]["gen"] == 2
+            print(
+                f"reload flipped answers (lat {before['lat']} -> "
+                f"{after['lat']}), {load.requests} requests, 0 failures",
+                flush=True,
+            )
+        finally:
+            if load is not None:
+                load.stop()
+            proc.send_signal(signal.SIGINT)
+            try:
+                out, _ = proc.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, _ = proc.communicate()
+        assert proc.returncode == 0, (
+            f"cluster serve exited {proc.returncode}: {out[-2000:]}"
+        )
+
+    print("cluster smoke: ALL OK")
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    code = main()
+    print(f"({time.perf_counter() - start:.1f}s)")
+    sys.exit(code)

@@ -30,6 +30,11 @@ Subcommands:
 - ``repro bench``: ``history`` renders the benchmark trend table from
   the ``BENCH_*.json`` / ``BENCH_history.jsonl`` records the suite in
   ``benchmarks/`` writes, flagging direction-aware regressions.
+- ``repro cluster``: sharded serving (:mod:`repro.cluster`).  ``serve``
+  spawns N-range x R-replica shard workers behind a scatter-gather
+  coordinator; ``shard`` is the worker entry point; ``status`` prints a
+  running coordinator's replica health; ``reload`` hot-swaps the fleet
+  onto a new snapshot with zero dropped requests.
 
 ``run``, ``serve``, and ``sweep run``/``resume`` all take
 ``--profile-sampling OUT.collapsed`` to run the stdlib sampling
@@ -683,6 +688,238 @@ def _query_main(argv: list[str]) -> int:
     return 0
 
 
+def _cluster_main(argv: list[str]) -> int:
+    """The ``repro cluster`` subcommand family."""
+    verbs = {
+        "serve": _cluster_serve_main,
+        "shard": _cluster_shard_main,
+        "status": _cluster_status_main,
+        "reload": _cluster_reload_main,
+    }
+    if not argv or argv[0] not in verbs:
+        print(
+            "usage: repro cluster {serve,shard,status,reload} ...",
+            file=sys.stderr,
+        )
+        return 2
+    return verbs[argv[0]](argv[1:])
+
+
+def _cluster_serve_main(argv: list[str]) -> int:
+    """Spawn a shard fleet and run the coordinator in front of it."""
+    from repro.cluster import ClusterCoordinator, ShardManager, build_routing
+
+    parser = argparse.ArgumentParser(
+        prog="repro cluster serve",
+        description="Serve one snapshot from a sharded fleet: N address "
+        "ranges x R replicas behind a scatter-gather coordinator",
+    )
+    parser.add_argument(
+        "--snapshot", required=True, metavar="PATH", help="snapshot file"
+    )
+    parser.add_argument(
+        "--ranges", type=int, default=2, help="shard ranges (default 2)"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="replicas per range (default 2)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8770, help="coordinator port (0 = any)"
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=5.0,
+        help="per-shard request timeout seconds",
+    )
+    parser.add_argument(
+        "--hedge-delay-ms",
+        type=float,
+        default=50.0,
+        help="delay before hedging a slow shard request to a replica",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=0.5,
+        help="replica health-probe interval seconds",
+    )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="OUT.jsonl",
+        help="append coordinator access events as JSON lines",
+    )
+    args = parser.parse_args(argv)
+
+    bus = None
+    if args.access_log is not None:
+        from repro.obs import JsonlSink, TelemetryBus
+
+        bus = TelemetryBus()
+        bus.add_sink(JsonlSink(args.access_log))
+    manager = ShardManager(
+        args.snapshot,
+        n_ranges=args.ranges,
+        replicas=args.replicas,
+        host=args.host,
+    )
+    try:
+        urls_by_slot = manager.start()
+        # Parsed by scripts/cluster_smoke.py — keep these formats stable.
+        for shard in manager.shards:
+            print(
+                f"shard slot={shard.slot} replica={shard.replica} "
+                f"pid={shard.pid} range={shard.range.label()} "
+                f"on {shard.url}",
+                flush=True,
+            )
+        routing = build_routing(manager.ranges, urls_by_slot)
+        coordinator = ClusterCoordinator(
+            routing,
+            host=args.host,
+            port=args.port,
+            shard_timeout_s=args.shard_timeout,
+            hedge_delay_s=args.hedge_delay_ms / 1e3,
+            health_interval_s=args.health_interval,
+            bus=bus,
+        )
+    except ReproError as exc:
+        manager.stop_all()
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    coordinator.start()
+    print(
+        f"cluster coordinator on {coordinator.url} "
+        f"({args.ranges} ranges x {args.replicas} replicas, "
+        f"snapshot {routing.snapshot_hash[:12]})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+        manager.stop_all()
+    return 0
+
+
+def _cluster_shard_main(argv: list[str]) -> int:
+    """One shard worker process (spawned by ``cluster serve``)."""
+    import os
+
+    from repro.cluster import ShardRange, ShardServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro cluster shard",
+        description="Serve one address range of a snapshot "
+        "(internal: spawned by `repro cluster serve`)",
+    )
+    parser.add_argument("--snapshot", required=True, metavar="PATH")
+    parser.add_argument("--lo", type=int, default=None, help="range lower bound")
+    parser.add_argument(
+        "--hi", type=int, default=None, help="range upper bound (exclusive)"
+    )
+    parser.add_argument("--gen", type=int, default=1, help="initial generation")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    args = parser.parse_args(argv)
+    try:
+        server = ShardServer(
+            args.snapshot,
+            args.lo,
+            args.hi,
+            gen=args.gen,
+            host=args.host,
+            port=args.port,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server.start()
+    rng = ShardRange(args.lo, args.hi)
+    # Parsed by ShardManager (BANNER_RE) — keep the format stable.
+    print(
+        f"shard pid={os.getpid()} gen={args.gen} range={rng.label()} "
+        f"on {server.url}",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cluster_status_main(argv: list[str]) -> int:
+    """Pretty-print a running coordinator's ``/stats``."""
+    import json as _json
+
+    from repro.serve import SnapshotClient
+
+    parser = argparse.ArgumentParser(prog="repro cluster status")
+    parser.add_argument("url", help="coordinator base URL")
+    parser.add_argument("--timeout", type=float, default=10.0)
+    args = parser.parse_args(argv)
+    client = SnapshotClient(args.url, timeout_s=args.timeout)
+    try:
+        stats = client.stats()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    cluster = stats.get("cluster", {})
+    print(
+        f"gen {cluster.get('gen')} snapshot "
+        f"{str(cluster.get('snapshot_hash'))[:12]}"
+    )
+    for slot in cluster.get("ranges", []):
+        print(f"range {slot['range']}: {slot['n_healthy']} healthy")
+        for replica in slot["replicas"]:
+            state = "up" if replica["healthy"] else "DOWN"
+            print(
+                f"  {replica['url']} {state} "
+                f"ewma {replica['ewma_latency_ms']}ms "
+                f"({replica['requests']} requests)"
+            )
+    print(_json.dumps({"cache": stats.get("cache")}, indent=2))
+    return 0
+
+
+def _cluster_reload_main(argv: list[str]) -> int:
+    """Hot-swap a running cluster onto a new snapshot."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.serve import SnapshotClient
+
+    parser = argparse.ArgumentParser(prog="repro cluster reload")
+    parser.add_argument("url", help="coordinator base URL")
+    parser.add_argument("snapshot", help="new snapshot file")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="staging can take a while on big snapshots",
+    )
+    args = parser.parse_args(argv)
+    client = SnapshotClient(args.url, timeout_s=args.timeout)
+    try:
+        result = client.get(
+            "admin/reload", snapshot=str(Path(args.snapshot).resolve())
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(result, indent=2))
+    return 0
+
+
 def _sweep_common_args(parser: argparse.ArgumentParser) -> None:
     """Execution flags shared by ``sweep run`` and ``sweep resume``."""
     parser.add_argument(
@@ -996,7 +1233,8 @@ def _bench_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
-    ``repro run|report|snapshot|serve|query|sweep|bench ...`` dispatch
+    ``repro run|report|snapshot|serve|query|sweep|bench|cluster ...``
+    dispatch
     to the subcommands; anything else is treated as ``run`` flags so
     existing ``python -m repro.cli --scale small ...`` invocations keep
     working.
@@ -1009,6 +1247,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _query_main,
         "sweep": _sweep_main,
         "bench": _bench_main,
+        "cluster": _cluster_main,
     }
     if argv and argv[0] in subcommands:
         return subcommands[argv[0]](argv[1:])

@@ -1,0 +1,64 @@
+"""Sharded snapshot serving: coordinator, shard workers, failover.
+
+The single-process :class:`~repro.serve.server.SnapshotServer` answers
+every query from one index in one GIL — a hard ceiling on snapshot
+size and a single failure domain.  This package splits the snapshot
+across shard worker processes by contiguous interface-address range
+and puts a scatter-gather coordinator in front, answering the exact
+single-process protocol byte for byte:
+
+- :mod:`repro.cluster.plan` — quantile partitioning of the address
+  space into :class:`ShardRange` slices;
+- :mod:`repro.cluster.shard` — :class:`ShardServer`, a partition-backed
+  snapshot server with the coordinator's internal scatter-gather plane
+  and the generation-based hot-swap admin plane;
+- :mod:`repro.cluster.client` — :class:`ShardClient` keep-alive pools,
+  :class:`ReplicaSet` health/ejection bookkeeping, the
+  :class:`HealthChecker` probe loop, and hedged
+  :func:`request_with_failover`;
+- :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`:
+  routing, merging, replica failover, hot snapshot reload, and
+  fleet-wide ``/metrics`` / ``/stats``;
+- :mod:`repro.cluster.manager` — :class:`ShardManager`: shard process
+  spawning and lifecycle for ``repro cluster serve``, the smoke gate,
+  and the benchmark.
+
+``repro cluster serve/shard/status/reload`` are the CLI entry points;
+``scripts/cluster_smoke.py`` is the CI gate and
+``benchmarks/bench_cluster.py`` the load generator.
+"""
+
+from repro.cluster.client import (
+    HealthChecker,
+    ReplicaSet,
+    ShardClient,
+    ShardShedding,
+    ShardUnavailable,
+    request_with_failover,
+)
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    Routing,
+    build_routing,
+)
+from repro.cluster.manager import ShardManager, ShardProcess
+from repro.cluster.plan import ShardRange, partition_bounds, range_indices
+from repro.cluster.shard import ShardServer
+
+__all__ = [
+    "ClusterCoordinator",
+    "HealthChecker",
+    "ReplicaSet",
+    "Routing",
+    "ShardClient",
+    "ShardManager",
+    "ShardProcess",
+    "ShardRange",
+    "ShardServer",
+    "ShardShedding",
+    "ShardUnavailable",
+    "build_routing",
+    "partition_bounds",
+    "range_indices",
+    "request_with_failover",
+]

@@ -1,0 +1,93 @@
+"""Address-space partition planning for the shard fleet.
+
+The interface-address axis is the one the snapshot's ``/locate``
+lookups are sorted on, so the cluster shards it into contiguous
+half-open ranges: shard ``i`` owns ``[cut_i, cut_{i+1})`` with the
+first and last ranges unbounded below/above.  Cuts land on observed
+address quantiles, so ranges hold roughly equal node counts regardless
+of how the address space is populated.
+
+:func:`partition_bounds` always returns exactly ``n_ranges`` ranges —
+a degenerate snapshot (fewer distinct addresses than ranges) yields
+empty ranges rather than fewer, because each range maps to a fixed
+replica set of shard processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServeError
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One contiguous half-open slice ``[addr_lo, addr_hi)`` of addresses.
+
+    ``None`` leaves a side unbounded; the planner's first range is
+    always unbounded below and the last unbounded above, so every
+    address — including ones absent from the snapshot — routes to
+    exactly one range.
+    """
+
+    addr_lo: int | None
+    addr_hi: int | None
+
+    def contains(self, address: int) -> bool:
+        """Whether an address routes to this range."""
+        if self.addr_lo is not None and address < self.addr_lo:
+            return False
+        if self.addr_hi is not None and address >= self.addr_hi:
+            return False
+        return True
+
+    def label(self) -> str:
+        """Compact ``[lo,hi)`` display form (``*`` for unbounded)."""
+        lo = "*" if self.addr_lo is None else str(self.addr_lo)
+        hi = "*" if self.addr_hi is None else str(self.addr_hi)
+        return f"[{lo},{hi})"
+
+
+def partition_bounds(addresses: np.ndarray, n_ranges: int) -> list[ShardRange]:
+    """Plan ``n_ranges`` contiguous address ranges of balanced node count.
+
+    Cuts are quantiles of the distinct sorted addresses.  Duplicate
+    cuts (tiny snapshots) are kept monotone by clamping, which yields
+    empty ranges ``[c, c)`` — harmless: the shard simply owns nothing.
+
+    Raises:
+        ServeError: when ``n_ranges`` is not positive.
+    """
+    if n_ranges < 1:
+        raise ServeError(f"n_ranges must be >= 1, got {n_ranges}")
+    distinct = np.unique(np.asarray(addresses, dtype=np.int64))
+    cuts: list[int] = []
+    previous: int | None = None
+    for i in range(1, n_ranges):
+        if distinct.size:
+            cut = int(distinct[(i * distinct.size) // n_ranges])
+        else:
+            cut = 0
+        if previous is not None and cut < previous:
+            cut = previous
+        cuts.append(cut)
+        previous = cut
+    bounds: list[int | None] = [None, *cuts, None]
+    return [
+        ShardRange(addr_lo=bounds[i], addr_hi=bounds[i + 1])
+        for i in range(n_ranges)
+    ]
+
+
+def range_indices(
+    ranges: list[ShardRange], addresses: np.ndarray
+) -> np.ndarray:
+    """Vectorised range lookup: the owning range index per address."""
+    inner = np.array(
+        [r.addr_lo for r in ranges[1:]], dtype=np.int64
+    ).reshape(-1)
+    return np.searchsorted(
+        inner, np.asarray(addresses, dtype=np.int64), side="right"
+    )

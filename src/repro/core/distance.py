@@ -107,6 +107,91 @@ def exact_pair_counts(
     return counts
 
 
+def exact_pair_counts_rows(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    owned_rows: np.ndarray,
+    bin_miles: float,
+    n_bins: int,
+    chunk: int = 512,
+) -> np.ndarray:
+    """The rows-``owned_rows`` share of :func:`exact_pair_counts`.
+
+    Counts only the pairs ``(i, j)`` with ``j > i`` whose *smaller*
+    index ``i`` lies in ``owned_rows`` — the distributed decomposition
+    of exact pair counting: partition the row range across workers and
+    the per-worker histograms sum to exactly the full
+    :func:`exact_pair_counts` result (same haversine evaluations, same
+    binning, integer addition).
+    """
+    n = lats.shape[0]
+    counts = np.zeros(n_bins, dtype=np.int64)
+    owned_rows = np.asarray(owned_rows, dtype=np.intp)
+    if n < 2 or owned_rows.size == 0:
+        return counts
+    edges = np.arange(n_bins + 1, dtype=float) * bin_miles
+    cols = np.arange(n)[None, :]
+    for start in range(0, owned_rows.size, chunk):
+        rows = owned_rows[start : start + chunk]
+        block = haversine_miles(
+            lats[rows, None], lons[rows, None], lats[None, :], lons[None, :]
+        )
+        upper = block[cols > rows[:, None]]
+        hist, _ = np.histogram(upper, bins=edges)
+        counts += hist
+    return counts
+
+
+def preference_from_counts(
+    region_name: str,
+    bin_miles: float,
+    link_counts: np.ndarray,
+    pair_counts: np.ndarray,
+    n_nodes: int,
+) -> DistancePreference:
+    """Assemble a :class:`DistancePreference` from merged histograms.
+
+    The scatter-gather path: shard workers return partial
+    ``link_counts`` / ``pair_counts`` (integers, so their sum is exact)
+    and the coordinator rebuilds the table with the same ``f_hat``
+    expression :func:`preference_function` uses — bitwise the same
+    division on bitwise the same counts.  ``link_lengths`` is empty:
+    merged tables serve the query path, not the Table V analyses.
+    """
+    link_counts = np.asarray(link_counts, dtype=np.int64)
+    pair_counts = np.asarray(pair_counts, dtype=np.int64)
+    if link_counts.shape != pair_counts.shape:
+        raise AnalysisError("link and pair histograms disagree on shape")
+    n_bins = int(link_counts.size)
+    edges = np.arange(n_bins + 1, dtype=float) * bin_miles
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f_hat = np.where(pair_counts > 0, link_counts / pair_counts, np.nan)
+    return DistancePreference(
+        region=region_name,
+        bin_miles=float(bin_miles),
+        bin_left=edges[:-1],
+        link_counts=link_counts,
+        pair_counts=pair_counts,
+        f_hat=f_hat,
+        n_nodes=int(n_nodes),
+        link_lengths=np.empty(0),
+    )
+
+
+def f_hat_at(pref: DistancePreference, d: float) -> float | None:
+    """``f_hat`` evaluated at distance ``d`` (None where unpopulated).
+
+    Shared by :meth:`repro.serve.index.SnapshotIndex.f_of_d` and the
+    cluster coordinator so the one-value form of the preference
+    endpoint answers identically on both paths.
+    """
+    b = int(d // pref.bin_miles)
+    if b >= pref.f_hat.size or pref.pair_counts[b] == 0:
+        return None
+    value = float(pref.f_hat[b])
+    return value if np.isfinite(value) else None
+
+
 def grid_pair_counts(
     lats: np.ndarray,
     lons: np.ndarray,

@@ -35,7 +35,11 @@ from repro.obs.bus import (
     publish,
     use_bus,
 )
-from repro.obs.export import render_prometheus
+from repro.obs.export import (
+    merge_expositions,
+    parse_sample_lines,
+    render_prometheus,
+)
 from repro.obs.logging import JsonLogFormatter, get_logger, setup_logging
 from repro.obs.sampling import ProfilerError, SamplingProfiler
 from repro.obs.metrics import (
@@ -91,8 +95,10 @@ __all__ = [
     "current_bus",
     "current_trace_context",
     "get_logger",
+    "merge_expositions",
     "new_span_id",
     "new_trace_id",
+    "parse_sample_lines",
     "publish",
     "render_prometheus",
     "setup_logging",

@@ -111,3 +111,24 @@ def _sample_lines(body: str) -> Iterable[str]:
         line = line.strip()
         if line and not line.startswith("#"):
             yield line
+
+
+def merge_expositions(bodies: Iterable[str]) -> str:
+    """Sum sample values for identical series across exposition bodies.
+
+    The cluster coordinator scrapes each shard's ``/metrics`` and
+    re-exposes one fleet-wide body: counters, histogram buckets, sums
+    and counts add correctly; gauges add too, which for queue depths and
+    in-flight counts is the fleet total a dashboard wants.  Series keep
+    their label sets verbatim and first-seen order; ``# HELP`` /
+    ``# TYPE`` comments are optional in the format and are dropped.
+    """
+    totals: dict[str, float] = {}
+    for body in bodies:
+        for line in _sample_lines(body):
+            series, _, value = line.rpartition(" ")
+            totals[series] = totals.get(series, 0.0) + float(value)
+    lines = [
+        f"{series} {_format_value(value)}" for series, value in totals.items()
+    ]
+    return "\n".join(lines) + "\n" if lines else ""

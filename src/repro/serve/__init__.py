@@ -23,18 +23,23 @@ query service:
 from repro.errors import OverloadError, ServeError
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import LruCache
-from repro.serve.client import QueryError, SnapshotClient
-from repro.serve.index import AsSummary, SnapshotIndex
+from repro.serve.client import ConnectError, QueryError, SnapshotClient
+from repro.serve.index import AsSummary, PartitionData, SnapshotIndex
+from repro.serve.retry import BackoffPolicy, call_with_retries
 from repro.serve.server import SnapshotServer
 
 __all__ = [
     "AsSummary",
+    "BackoffPolicy",
+    "ConnectError",
     "LruCache",
     "MicroBatcher",
     "OverloadError",
+    "PartitionData",
     "QueryError",
     "ServeError",
     "SnapshotClient",
     "SnapshotIndex",
     "SnapshotServer",
+    "call_with_retries",
 ]

@@ -6,6 +6,12 @@ the serve benchmark's correctness checks.  It speaks plain
 server's backpressure contract: a ``503`` is retried after the
 advertised ``Retry-After`` delay, up to a retry budget, before
 surfacing as :class:`OverloadError`.
+
+Connection-level failures (refused, reset, DNS) are retried with
+jittered exponential backoff (:class:`~repro.serve.retry.BackoffPolicy`)
+before surfacing as :class:`ConnectError` — a server still binding its
+socket, or a coordinator mid-restart, should not fail a one-shot CLI
+call.
 """
 
 from __future__ import annotations
@@ -18,6 +24,11 @@ import urllib.request
 from typing import Any
 
 from repro.errors import OverloadError, ServeError
+from repro.serve.retry import BackoffPolicy, call_with_retries
+
+
+class ConnectError(ServeError):
+    """The service could not be reached (after connection retries)."""
 
 
 class QueryError(ServeError):
@@ -38,11 +49,18 @@ class SnapshotClient:
     """One-connection-per-call JSON client for a :class:`SnapshotServer`."""
 
     def __init__(
-        self, base_url: str, timeout_s: float = 10.0, max_retries: int = 3
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        connect_backoff: BackoffPolicy | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.max_retries = max_retries
+        self.connect_backoff = (
+            connect_backoff if connect_backoff is not None else BackoffPolicy()
+        )
 
     def get(self, endpoint: str, **params: Any) -> dict:
         """GET one endpoint with query parameters; returns decoded JSON.
@@ -51,7 +69,9 @@ class SnapshotClient:
             QueryError: on a 4xx response.
             OverloadError: when the server keeps shedding past the
                 retry budget.
-            ServeError: on transport failures or undecodable payloads.
+            ConnectError: when the service stays unreachable past the
+                connection backoff budget.
+            ServeError: on undecodable payloads.
         """
         target = "/" + endpoint.lstrip("/")
         if params:
@@ -60,8 +80,11 @@ class SnapshotClient:
         shed = 0
         while True:
             try:
-                with urllib.request.urlopen(url, timeout=self.timeout_s) as resp:
-                    return json.loads(resp.read().decode("utf-8"))
+                return call_with_retries(
+                    lambda: self._fetch(url),
+                    self.connect_backoff,
+                    retry_on=(ConnectError,),
+                )
             except urllib.error.HTTPError as exc:
                 body = exc.read().decode("utf-8", errors="replace")
                 try:
@@ -79,10 +102,23 @@ class SnapshotClient:
                     time.sleep(min(float(retry_after or 1.0), 5.0))
                     continue
                 raise QueryError(exc.code, payload) from exc
-            except (urllib.error.URLError, OSError) as exc:
-                raise ServeError(f"cannot reach {url}: {exc}") from exc
             except json.JSONDecodeError as exc:
                 raise ServeError(f"undecodable response from {url}") from exc
+
+    def _fetch(self, url: str) -> dict:
+        """One HTTP round trip; connection failures become ConnectError.
+
+        ``HTTPError`` (a response *was* received) propagates unchanged so
+        the 503/4xx handling in :meth:`get` sees it — it subclasses
+        ``URLError``, so the order of these except clauses matters.
+        """
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError:
+            raise
+        except (urllib.error.URLError, OSError) as exc:
+            raise ConnectError(f"cannot reach {url}: {exc}") from exc
 
     # -- convenience wrappers ------------------------------------------------
 

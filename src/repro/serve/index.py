@@ -24,20 +24,25 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.bgp.table import UNMAPPED_ASN
 from repro.core.distance import (
+    EXACT_PAIR_LIMIT,
     N_BINS,
     PAPER_BIN_MILES,
     DistancePreference,
+    exact_pair_counts_rows,
+    f_hat_at,
+    grid_pair_counts,
     preference_function,
 )
 from repro.datasets.mapped import MappedDataset
 from repro.errors import AnalysisError, ServeError
-from repro.geo.distance import haversine_miles
+from repro.geo.distance import haversine_miles, link_lengths_miles
 from repro.geo.hull import convex_hull_area
 from repro.geo.projection import WORLD_ALBERS
 from repro.geo.regions import STUDY_REGIONS, Region, WORLD
@@ -77,6 +82,59 @@ class AsSummary:
         return asdict(self)
 
 
+@dataclass
+class PartitionData:
+    """Full-snapshot facts a shard partition must answer from.
+
+    A partition index holds only its owned slice of the node table, but
+    some answers are facts about the *whole* snapshot: node degrees
+    count links to nodes on other shards, AS summaries span shards, and
+    distance-preference histograms are defined over region-restricted
+    global row order.  This sidecar carries exactly those facts:
+
+    Attributes:
+        snapshot_hash: content digest of the **full** dataset — every
+            shard of one snapshot agrees, so the coordinator can verify
+            a consistent fleet.
+        addr_lo, addr_hi: the owned half-open address range (None means
+            unbounded on that side).
+        degrees: full-table degree of each owned node, aligned with the
+            partition's row order.
+        as_records: precomputed ``/as`` payload per *owned* AS (an AS is
+            owned by the shard whose range contains its minimum
+            interface address, so exactly one shard answers).
+        full_lats, full_lons: coordinates of **every** snapshot node
+            (16 bytes/node — the one full-table residue a shard keeps,
+            so region pair counting stays exact and lazy).
+        owned_rows: global row indices this shard owns, ascending.
+        owned_links: global link rows whose smaller endpoint row is
+            owned — the disjoint link partition behind exact histogram
+            merging.
+        n_full_nodes: node count of the full snapshot.
+    """
+
+    snapshot_hash: str
+    addr_lo: int | None
+    addr_hi: int | None
+    degrees: np.ndarray
+    as_records: dict[int, dict]
+    full_lats: np.ndarray
+    full_lons: np.ndarray
+    owned_rows: np.ndarray
+    owned_links: np.ndarray
+    n_full_nodes: int
+    _owned_mask: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def owned_mask(self) -> np.ndarray:
+        """Boolean over global rows: True where this shard owns the row."""
+        if self._owned_mask is None:
+            mask = np.zeros(self.n_full_nodes, dtype=bool)
+            mask[self.owned_rows] = True
+            self._owned_mask = mask
+        return self._owned_mask
+
+
 class SnapshotIndex:
     """Read-optimised lookup structures over one mapped snapshot."""
 
@@ -84,19 +142,30 @@ class SnapshotIndex:
         self,
         dataset: MappedDataset,
         cell_arcmin: float = DEFAULT_CELL_ARCMIN,
+        *,
+        partition: PartitionData | None = None,
     ) -> None:
         start = time.perf_counter()
         self.dataset = dataset
-        self.snapshot_hash = dataset_digest(dataset)
+        self.partition = partition
+        self.snapshot_hash = (
+            partition.snapshot_hash
+            if partition is not None
+            else dataset_digest(dataset)
+        )
 
         # Address -> row: one sort at build, binary search per lookup.
         self._addr_order = np.argsort(dataset.addresses, kind="stable")
         self._sorted_addresses = dataset.addresses[self._addr_order]
 
-        # Node degree from the link table.
-        self._degrees = np.zeros(dataset.n_nodes, dtype=np.int64)
-        if dataset.n_links:
-            np.add.at(self._degrees, dataset.links.ravel(), 1)
+        # Node degree from the link table.  A partition's degrees are a
+        # slice of the full table (links to other shards still count).
+        if partition is not None:
+            self._degrees = partition.degrees
+        else:
+            self._degrees = np.zeros(dataset.n_nodes, dtype=np.int64)
+            if dataset.n_links:
+                np.add.at(self._degrees, dataset.links.ravel(), 1)
 
         # Spatial grid: every node bucketed into a 75' world patch.
         self._region = WORLD
@@ -112,48 +181,126 @@ class SnapshotIndex:
             int(c): (int(a), int(b)) for c, a, b in zip(uniq, starts, stops)
         }
 
-        # Per-AS summaries, all computed once.
-        as_degrees = dataset.as_degrees()
-        self._as_nodes: dict[int, np.ndarray] = {}
-        self._as_summaries: dict[int, AsSummary] = {}
-        if dataset.n_nodes:
-            as_order = np.argsort(dataset.asns, kind="stable")
-            sorted_asns = dataset.asns[as_order]
-            a_uniq, a_starts = np.unique(sorted_asns, return_index=True)
-            a_stops = np.append(a_starts[1:], sorted_asns.size)
-            x, y = WORLD_ALBERS.project(dataset.lats, dataset.lons)
-            for asn, lo, hi in zip(a_uniq, a_starts, a_stops):
-                asn = int(asn)
-                if asn == UNMAPPED_ASN:
-                    continue
-                nodes = as_order[lo:hi]
-                self._as_nodes[asn] = nodes
-                keys = np.unique(
-                    np.column_stack(
-                        [
-                            np.round(dataset.lats[nodes], 1),
-                            np.round(dataset.lons[nodes], 1),
-                        ]
-                    ),
-                    axis=0,
-                )
-                self._as_summaries[asn] = AsSummary(
-                    asn=asn,
-                    n_nodes=int(nodes.size),
-                    n_locations=int(keys.shape[0]),
-                    degree=int(as_degrees.get(asn, 0)),
-                    centroid_lat=float(np.mean(dataset.lats[nodes])),
-                    centroid_lon=float(np.mean(dataset.lons[nodes])),
-                    hull_area_sq_miles=convex_hull_area(
-                        np.column_stack([x[nodes], y[nodes]])
-                    ),
-                )
+        # Per-AS summaries.  A partition ships precomputed full-snapshot
+        # records for its owned ASes instead (see build_partition).
+        self._as_records: dict[int, dict] | None = None
+        if partition is not None:
+            self._as_nodes: dict[int, np.ndarray] = {}
+            self._as_summaries: dict[int, AsSummary] = {}
+            self._as_records = partition.as_records
+        else:
+            self._as_nodes, self._as_summaries = _as_tables(dataset)
 
         # Distance-preference tables: lazy, memoised per region.
         self._pref_lock = threading.Lock()
         self._pref_tables: dict[str, DistancePreference | AnalysisError] = {}
+        self._partial_tables: dict[str, dict | AnalysisError] = {}
 
         self.build_seconds = time.perf_counter() - start
+
+    # -- partition builds ----------------------------------------------------
+
+    @classmethod
+    def build_partition(
+        cls,
+        source: MappedDataset | str | Path,
+        addr_lo: int | None,
+        addr_hi: int | None,
+        cell_arcmin: float = DEFAULT_CELL_ARCMIN,
+    ) -> "SnapshotIndex":
+        """Build the index for one contiguous address range of a snapshot.
+
+        The returned index owns the nodes with ``addr_lo <= address <
+        addr_hi`` (``None`` leaves a side unbounded) and answers every
+        owned-row query bit-identically to a full index: degrees are
+        sliced from the full link table, ``/as`` records for owned ASes
+        (minimum interface address in range) are computed over the full
+        snapshot, and ``snapshot_hash`` is the full dataset's digest so
+        all shards of one snapshot agree.
+
+        The full table is streamed through this builder once and then
+        dropped; what a shard retains is its owned slice plus one
+        16-byte-per-node coordinate sidecar (for exact distributed pair
+        counting) — not the full snapshot.
+        """
+        if isinstance(source, MappedDataset):
+            dataset = source
+        else:
+            from repro.datasets.serialize import load_dataset
+
+            dataset = load_dataset(source)
+        addresses = dataset.addresses
+        owned_mask = np.ones(dataset.n_nodes, dtype=bool)
+        if addr_lo is not None:
+            owned_mask &= addresses >= addr_lo
+        if addr_hi is not None:
+            owned_mask &= addresses < addr_hi
+        owned_rows = np.flatnonzero(owned_mask)
+
+        degrees = np.zeros(dataset.n_nodes, dtype=np.int64)
+        local = np.full(dataset.n_nodes, -1, dtype=np.intp)
+        local[owned_rows] = np.arange(owned_rows.size)
+        if dataset.n_links:
+            np.add.at(degrees, dataset.links.ravel(), 1)
+            both = owned_mask[dataset.links[:, 0]] & owned_mask[dataset.links[:, 1]]
+            part_links = local[dataset.links[both]]
+            lower = np.minimum(dataset.links[:, 0], dataset.links[:, 1])
+            owned_links = dataset.links[owned_mask[lower]]
+        else:
+            part_links = np.empty((0, 2), dtype=np.intp)
+            owned_links = np.empty((0, 2), dtype=np.intp)
+        if not part_links.size:
+            part_links = np.empty((0, 2), dtype=np.intp)
+
+        part = MappedDataset(
+            label=dataset.label,
+            kind=dataset.kind,
+            addresses=addresses[owned_rows],
+            lats=dataset.lats[owned_rows],
+            lons=dataset.lons[owned_rows],
+            asns=dataset.asns[owned_rows],
+            links=part_links,
+        )
+
+        # AS ownership: the shard whose range holds the AS's minimum
+        # interface address serves its (full-snapshot) record.
+        owned_asns: set[int] = set()
+        if dataset.n_nodes:
+            order = np.lexsort((addresses, dataset.asns))
+            sorted_asns = dataset.asns[order]
+            uniq, starts = np.unique(sorted_asns, return_index=True)
+            min_addrs = addresses[order[starts]]
+            for asn, min_addr in zip(uniq, min_addrs):
+                if int(asn) == UNMAPPED_ASN:
+                    continue
+                if (addr_lo is None or min_addr >= addr_lo) and (
+                    addr_hi is None or min_addr < addr_hi
+                ):
+                    owned_asns.add(int(asn))
+        as_nodes, as_summaries = _as_tables(dataset, only=owned_asns)
+        as_records = {
+            asn: {
+                **summary.to_dict(),
+                "sample_addresses": [
+                    int(addresses[row]) for row in as_nodes[asn][:5]
+                ],
+            }
+            for asn, summary in as_summaries.items()
+        }
+
+        pdata = PartitionData(
+            snapshot_hash=dataset_digest(dataset),
+            addr_lo=None if addr_lo is None else int(addr_lo),
+            addr_hi=None if addr_hi is None else int(addr_hi),
+            degrees=degrees[owned_rows],
+            as_records=as_records,
+            full_lats=dataset.lats,
+            full_lons=dataset.lons,
+            owned_rows=owned_rows,
+            owned_links=owned_links,
+            n_full_nodes=dataset.n_nodes,
+        )
+        return cls(part, cell_arcmin, partition=pdata)
 
     # -- address lookups -----------------------------------------------------
 
@@ -234,27 +381,71 @@ class SnapshotIndex:
         lo, hi = lo_hi
         return self._cell_order[lo:hi]
 
+    def _wrap_cols(self, col: int, reach: int) -> list[int]:
+        """Distinct columns within cyclic distance ``reach`` of ``col``.
+
+        Longitude wraps at the antimeridian, so the column axis is
+        cyclic: a query near lon 180 must also search cells near
+        lon -180.  When the window covers the whole circle, every
+        column qualifies exactly once.
+        """
+        if 2 * reach + 1 >= self._n_cols:
+            return list(range(self._n_cols))
+        return [(c % self._n_cols) for c in range(col - reach, col + reach + 1)]
+
     def _ring_nodes(self, row: int, col: int, ring: int) -> np.ndarray:
-        """Node rows in all cells at Chebyshev distance ``ring``."""
+        """Node rows in all cells at cyclic Chebyshev distance ``ring``.
+
+        Row distance is plain (latitude does not wrap); column distance
+        is cyclic.  Successive rings partition the grid, so ring search
+        never revisits a cell.
+        """
         if ring == 0:
             return self._cell_nodes(row, col)
         parts: list[np.ndarray] = []
+        max_dcol = self._n_cols // 2
         lo_r, hi_r = row - ring, row + ring
-        for c in range(col - ring, col + ring + 1):
-            if 0 <= c < self._n_cols:
-                if lo_r >= 0:
-                    parts.append(self._cell_nodes(lo_r, c))
-                if hi_r < self._n_rows:
-                    parts.append(self._cell_nodes(hi_r, c))
-        for r in range(row - ring + 1, row + ring):
-            if 0 <= r < self._n_rows:
-                if col - ring >= 0:
-                    parts.append(self._cell_nodes(r, col - ring))
-                if col + ring < self._n_cols:
-                    parts.append(self._cell_nodes(r, col + ring))
+        for c in self._wrap_cols(col, min(ring, max_dcol)):
+            if lo_r >= 0:
+                parts.append(self._cell_nodes(lo_r, c))
+            if hi_r < self._n_rows:
+                parts.append(self._cell_nodes(hi_r, c))
+        if ring <= max_dcol:
+            # Side columns at cyclic distance exactly ``ring``; for an
+            # even column count the two sides of the widest ring are
+            # the same (antipodal) column — dedupe.
+            sides = {(col - ring) % self._n_cols, (col + ring) % self._n_cols}
+            for r in range(row - ring + 1, row + ring):
+                if 0 <= r < self._n_rows:
+                    for c in sides:
+                        parts.append(self._cell_nodes(r, c))
         if not parts:
             return np.empty(0, dtype=np.intp)
         return np.concatenate(parts)
+
+    def _unexplored_bound(self, lat: float, ring: int) -> float:
+        """Sound lower bound (miles) on the distance to unexplored cells.
+
+        After fully exploring rings ``0..ring-1``, every unexplored
+        point is either ``>= ring-1`` grid rows away in latitude (the
+        latitude-difference distance bounds the great circle from
+        below) or ``>= ring-1`` columns away, whose bound is the exact
+        spherical distance from the query to a meridian ``(ring-1)``
+        cells of longitude away — which goes to zero near the poles
+        instead of overestimating, so a polar query keeps searching
+        until the column window has wrapped the whole circle (at which
+        point only the latitude bound remains).
+        """
+        d_lat = (ring - 1) * self._cell_deg * _MILES_PER_DEG
+        if 2 * (ring - 1) + 1 >= self._n_cols:
+            return d_lat
+        dlam = min((ring - 1) * self._cell_deg, 90.0)
+        sin_cross = np.cos(np.radians(lat)) * np.sin(np.radians(dlam))
+        d_lon = float(
+            np.degrees(np.arcsin(min(1.0, max(0.0, sin_cross))))
+            * _MILES_PER_DEG
+        )
+        return min(d_lat, d_lon)
 
     def nearest(self, lat: float, lon: float, k: int = 1) -> list[dict]:
         """The ``k`` nodes nearest a point, closest first.
@@ -272,9 +463,6 @@ class SnapshotIndex:
             return []
         query_cell = self._cell_of(np.array([lat]), np.array([lon]))[0]
         row, col = divmod(int(query_cell), self._n_cols)
-        # Conservative miles-per-cell along the narrower (east-west) axis.
-        cos_lat = max(0.05, float(np.cos(np.radians(min(abs(lat), 85.0)))))
-        min_edge = self._cell_deg * _MILES_PER_DEG * cos_lat
         max_ring = max(self._n_rows, self._n_cols)
         cand_rows: list[np.ndarray] = []
         cand_dists: list[np.ndarray] = []
@@ -282,8 +470,7 @@ class SnapshotIndex:
         for ring in range(max_ring + 1):
             if n_found >= k:
                 kth = np.sort(np.concatenate(cand_dists))[k - 1]
-                # Any point in an unexplored cell is >= (ring-1) cells out.
-                if kth <= (ring - 1) * min_edge:
+                if kth <= self._unexplored_bound(lat, ring):
                     break
             nodes = self._ring_nodes(row, col, ring)
             if nodes.size:
@@ -297,7 +484,11 @@ class SnapshotIndex:
                 n_found += nodes.size
         all_rows = np.concatenate(cand_rows)
         all_dists = np.concatenate(cand_dists)
-        order = np.argsort(all_dists, kind="stable")[:k]
+        # Ties break on address so the ordering is a total order that
+        # shard-local top-k lists merge into without reshuffling.
+        order = np.lexsort(
+            (self.dataset.addresses[all_rows], all_dists)
+        )[:k]
         return [
             {**self.node_record(int(all_rows[i])), "miles": float(all_dists[i])}
             for i in order
@@ -319,13 +510,21 @@ class SnapshotIndex:
         query_cell = self._cell_of(np.array([lat]), np.array([lon]))[0]
         row, col = divmod(int(query_cell), self._n_cols)
         radius_deg = radius_miles / _MILES_PER_DEG
-        reach_lat = min(abs(lat) + radius_deg, 85.0)
-        cos_lat = max(0.05, float(np.cos(np.radians(reach_lat))))
         d_rows = int(np.ceil(radius_deg / self._cell_deg)) + 1
-        d_cols = int(np.ceil(radius_deg / (self._cell_deg * cos_lat))) + 1
+        # Column reach: a point within the radius lies within the
+        # spherical distance-to-meridian bound, which collapses near the
+        # poles — once the disc can reach a pole, longitude stops
+        # constraining and every column is in play.
+        cos_lat = float(np.cos(np.radians(lat)))
+        sin_r = float(np.sin(np.radians(min(radius_deg, 90.0))))
+        if abs(lat) + radius_deg >= 90.0 or sin_r >= cos_lat:
+            d_cols = self._n_cols  # _wrap_cols caps this at a full circle
+        else:
+            max_dlam = float(np.degrees(np.arcsin(sin_r / cos_lat)))
+            d_cols = int(np.ceil(max_dlam / self._cell_deg)) + 1
         parts: list[np.ndarray] = []
         for r in range(max(0, row - d_rows), min(self._n_rows, row + d_rows + 1)):
-            for c in range(max(0, col - d_cols), min(self._n_cols, col + d_cols + 1)):
+            for c in self._wrap_cols(col, d_cols):
                 nodes = self._cell_nodes(r, c)
                 if nodes.size:
                     parts.append(nodes)
@@ -339,7 +538,7 @@ class SnapshotIndex:
         )
         keep = dists <= radius_miles
         nodes, dists = nodes[keep], dists[keep]
-        order = np.argsort(dists, kind="stable")[:limit]
+        order = np.lexsort((self.dataset.addresses[nodes], dists))[:limit]
         return [
             {**self.node_record(int(nodes[i])), "miles": float(dists[i])}
             for i in order
@@ -349,15 +548,42 @@ class SnapshotIndex:
 
     def as_summary(self, asn: int) -> AsSummary | None:
         """The precomputed summary of one AS (None when unknown)."""
+        if self._as_records is not None:
+            record = self._as_records.get(asn)
+            if record is None:
+                return None
+            return AsSummary(
+                **{k: v for k, v in record.items() if k != "sample_addresses"}
+            )
         return self._as_summaries.get(asn)
 
     def as_nodes(self, asn: int) -> np.ndarray:
         """Node rows mapped to an AS (empty when unknown)."""
         return self._as_nodes.get(asn, np.empty(0, dtype=np.intp))
 
+    def as_record(self, asn: int) -> dict | None:
+        """The full ``/as/<asn>`` payload (None when unknown).
+
+        Summary fields plus up to five sample addresses in dataset
+        order.  On a partition this is the precomputed full-snapshot
+        record of an *owned* AS — byte-for-byte what a single-process
+        index would build — so the coordinator can relay one shard's
+        answer verbatim.
+        """
+        if self._as_records is not None:
+            return self._as_records.get(asn)
+        summary = self._as_summaries.get(asn)
+        if summary is None:
+            return None
+        nodes = self._as_nodes[asn]
+        sample = [int(self.dataset.addresses[row]) for row in nodes[:5]]
+        return {**summary.to_dict(), "sample_addresses": sample}
+
     @property
     def n_ases(self) -> int:
-        """Number of mapped ASes in the snapshot."""
+        """Number of mapped ASes (owned ASes, on a partition)."""
+        if self._as_records is not None:
+            return len(self._as_records)
         return len(self._as_summaries)
 
     # -- distance preference -------------------------------------------------
@@ -371,7 +597,15 @@ class SnapshotIndex:
         Raises:
             AnalysisError: when the region holds too few nodes; the
                 failure itself is memoised so retries stay cheap.
+            ServeError: on a partition index, whose local node subset
+                would silently bias the table — shards answer through
+                :meth:`preference_partial` instead.
         """
+        if self.partition is not None:
+            raise ServeError(
+                "this index serves an address partition; merge "
+                "preference_partial histograms across shards instead"
+            )
         with self._pref_lock:
             cached = self._pref_tables.get(region.name)
         if cached is None:
@@ -398,11 +632,96 @@ class SnapshotIndex:
         if not np.isfinite(d) or d < 0:
             raise ServeError(f"distance must be >= 0, got {d}")
         pref = self.distance_preference(region)
-        b = int(d // pref.bin_miles)
-        if b >= pref.f_hat.size or pref.pair_counts[b] == 0:
-            return None
-        value = float(pref.f_hat[b])
-        return value if np.isfinite(value) else None
+        return f_hat_at(pref, d)
+
+    def preference_partial(self, region: Region) -> dict:
+        """This shard's share of a region's preference histograms.
+
+        Returns a JSON-ready dict of integer ``link_counts`` /
+        ``pair_counts`` partials plus the region-total node count.
+        Summed across all shards of one snapshot, the histograms equal
+        the single-process :func:`preference_function` result exactly:
+        links and node pairs are each owned by precisely one shard (the
+        one owning the smaller global row), and integer addition
+        commutes.  Memoised per region, failures included.
+
+        Raises:
+            AnalysisError: when the whole region (not just this shard's
+                slice) holds too few nodes — the same error, with the
+                same message, a single-process index raises.
+            ServeError: when this index is not a partition.
+        """
+        if self.partition is None:
+            raise ServeError("preference_partial requires a partition index")
+        with self._pref_lock:
+            cached = self._partial_tables.get(region.name)
+        if cached is None:
+            try:
+                cached = self._compute_partial(region)
+            except AnalysisError as exc:
+                cached = exc
+            with self._pref_lock:
+                cached = self._partial_tables.setdefault(region.name, cached)
+        if isinstance(cached, AnalysisError):
+            raise cached
+        return cached
+
+    def _compute_partial(self, region: Region) -> dict:
+        part = self.partition
+        assert part is not None
+        bin_miles = PAPER_BIN_MILES.get(region.name, DEFAULT_BIN_MILES)
+        mask = region.contains_mask(part.full_lats, part.full_lons)
+        region_rows = np.flatnonzero(mask)
+        n_region = int(region_rows.size)
+        if n_region < 10:
+            # Replicates the single-process message exactly, so the
+            # coordinator can relay any shard's 404 verbatim.
+            raise AnalysisError(
+                f"region {region.name!r} has only {n_region} mapped nodes"
+            )
+        edges = np.arange(N_BINS + 1, dtype=float) * bin_miles
+        if part.owned_links.size:
+            keep = mask[part.owned_links[:, 0]] & mask[part.owned_links[:, 1]]
+            kept = part.owned_links[keep]
+        else:
+            kept = np.empty((0, 2), dtype=np.intp)
+        lengths = (
+            link_lengths_miles(
+                part.full_lats, part.full_lons, kept[:, 0], kept[:, 1]
+            )
+            if kept.size
+            else np.empty(0)
+        )
+        link_counts, _ = np.histogram(lengths, bins=edges)
+        if n_region <= EXACT_PAIR_LIMIT:
+            owned_pos = np.flatnonzero(part.owned_mask[region_rows])
+            pair_counts = exact_pair_counts_rows(
+                part.full_lats[region_rows],
+                part.full_lons[region_rows],
+                owned_pos,
+                bin_miles,
+                N_BINS,
+            )
+        elif part.owned_mask[region_rows[0]]:
+            # The grid approximation does not decompose over row
+            # ownership; the shard owning the region's first node
+            # computes it whole and every peer contributes zeros.
+            pair_counts = grid_pair_counts(
+                part.full_lats[region_rows],
+                part.full_lons[region_rows],
+                region,
+                bin_miles,
+                N_BINS,
+            )
+        else:
+            pair_counts = np.zeros(N_BINS, dtype=np.int64)
+        return {
+            "region": region.name,
+            "n_nodes": n_region,
+            "bin_miles": float(bin_miles),
+            "link_counts": link_counts.astype(np.int64).tolist(),
+            "pair_counts": pair_counts.astype(np.int64).tolist(),
+        }
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -413,7 +732,7 @@ class SnapshotIndex:
 
     def stats(self) -> dict:
         """JSON-ready index facts for ``/stats``."""
-        return {
+        facts = {
             "label": self.dataset.label,
             "kind": self.dataset.kind,
             "snapshot_hash": self.snapshot_hash,
@@ -428,12 +747,79 @@ class SnapshotIndex:
                 if not isinstance(value, AnalysisError)
             ),
         }
+        if self.partition is not None:
+            facts["partition"] = {
+                "addr_lo": self.partition.addr_lo,
+                "addr_hi": self.partition.addr_hi,
+                "n_owned": int(self.partition.owned_rows.size),
+                "n_full_nodes": self.partition.n_full_nodes,
+            }
+        return facts
 
 
-def _check_point(lat: float, lon: float) -> tuple[float, float]:
+def _as_tables(
+    dataset: MappedDataset, only: set[int] | None = None
+) -> tuple[dict[int, np.ndarray], dict[int, AsSummary]]:
+    """Per-AS node lists and summaries for every mapped AS.
+
+    ``only`` restricts the output to a subset of ASNs (a partition's
+    owned ASes) without changing any individual summary — each AS's
+    figures depend only on its own nodes and the AS graph, so the
+    restricted results match the full run entry for entry.
+    """
+    as_nodes: dict[int, np.ndarray] = {}
+    as_summaries: dict[int, AsSummary] = {}
+    if dataset.n_nodes == 0:
+        return as_nodes, as_summaries
+    as_degrees = dataset.as_degrees()
+    as_order = np.argsort(dataset.asns, kind="stable")
+    sorted_asns = dataset.asns[as_order]
+    a_uniq, a_starts = np.unique(sorted_asns, return_index=True)
+    a_stops = np.append(a_starts[1:], sorted_asns.size)
+    x, y = WORLD_ALBERS.project(dataset.lats, dataset.lons)
+    for asn, lo, hi in zip(a_uniq, a_starts, a_stops):
+        asn = int(asn)
+        if asn == UNMAPPED_ASN or (only is not None and asn not in only):
+            continue
+        nodes = as_order[lo:hi]
+        as_nodes[asn] = nodes
+        keys = np.unique(
+            np.column_stack(
+                [
+                    np.round(dataset.lats[nodes], 1),
+                    np.round(dataset.lons[nodes], 1),
+                ]
+            ),
+            axis=0,
+        )
+        as_summaries[asn] = AsSummary(
+            asn=asn,
+            n_nodes=int(nodes.size),
+            n_locations=int(keys.shape[0]),
+            degree=int(as_degrees.get(asn, 0)),
+            centroid_lat=float(np.mean(dataset.lats[nodes])),
+            centroid_lon=float(np.mean(dataset.lons[nodes])),
+            hull_area_sq_miles=convex_hull_area(
+                np.column_stack([x[nodes], y[nodes]])
+            ),
+        )
+    return as_nodes, as_summaries
+
+
+def check_point(lat: float, lon: float) -> tuple[float, float]:
+    """Validate one query coordinate; shared with the coordinator so
+    both serving paths reject bad input with identical messages.
+
+    Raises:
+        ServeError: when either component is non-finite or out of range.
+    """
     lat, lon = float(lat), float(lon)
     if not (np.isfinite(lat) and -90.0 <= lat <= 90.0):
         raise ServeError(f"latitude out of range: {lat}")
     if not (np.isfinite(lon) and -180.0 <= lon <= 180.0):
         raise ServeError(f"longitude out of range: {lon}")
     return lat, lon
+
+
+#: Backwards-compatible private alias.
+_check_point = check_point

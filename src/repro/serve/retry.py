@@ -1,0 +1,100 @@
+"""Bounded retry with jittered exponential backoff.
+
+One policy object, shared by every component that talks to a possibly
+absent peer: :class:`~repro.serve.client.SnapshotClient` retries
+connection-refused (a server still binding its socket, a coordinator
+mid-restart), and the cluster's ``ShardClient`` uses the same policy to
+pace re-dials of an ejected replica.
+
+The delays are the classic *decorrelated-ish* ladder: attempt ``i``
+waits ``base * 2**i`` capped at ``max_delay``, then jittered by a
+uniform factor in ``[1 - jitter, 1 + jitter]`` so a fleet of clients
+that failed together does not retry together.  The RNG is private and
+OS-seeded by default (seedable for tests) — backoff noise must never
+touch the experiment RNG streams.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import ServeError
+
+T = TypeVar("T")
+
+
+@dataclass
+class BackoffPolicy:
+    """How often, and how patiently, to retry a failing call.
+
+    Attributes:
+        retries: retry attempts *after* the first try (0 = fail fast).
+        base_delay_s: delay before the first retry.
+        max_delay_s: cap on any single delay.
+        jitter: uniform jitter fraction applied to each delay.
+        seed: pins the jitter RNG (tests); None seeds from the OS.
+    """
+
+    retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False)
+    _lock: threading.Lock = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0 or self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ServeError("backoff retries and delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServeError(f"jitter must be in [0, 1], got {self.jitter}")
+        seed = os.urandom(16) if self.seed is None else self.seed
+        object.__setattr__(self, "_rng", random.Random(seed))
+        object.__setattr__(self, "_lock", threading.Lock())
+
+    def delay_s(self, attempt: int) -> float:
+        """The jittered delay before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay_s * (2.0**attempt), self.max_delay_s)
+        if self.jitter == 0.0:
+            return raw
+        with self._lock:
+            factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return raw * factor
+
+    def delays(self) -> Iterator[float]:
+        """One delay per allowed retry, in order."""
+        for attempt in range(self.retries):
+            yield self.delay_s(attempt)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: BackoffPolicy,
+    retry_on: tuple[type[BaseException], ...],
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` until it succeeds or the retry budget is spent.
+
+    Only exceptions in ``retry_on`` are retried; anything else
+    propagates immediately.  The final failure re-raises the last
+    ``retry_on`` exception unchanged, so callers keep their precise
+    error types.
+    """
+    last: BaseException | None = None
+    for delay in policy.delays():
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            sleep(delay)
+    try:
+        return fn()
+    except retry_on as exc:
+        if last is not None:
+            raise exc from last
+        raise

@@ -59,6 +59,7 @@ from typing import Any
 from urllib.parse import unquote_plus
 
 from repro import __version__
+from repro.core.distance import DistancePreference, f_hat_at
 from repro.errors import (
     AnalysisError,
     GeoError,
@@ -90,9 +91,17 @@ _ALWAYS_ADMIT = ("healthz", "stats", "metrics")
 _JSON_TYPE = b"application/json"
 _TEXT_METRICS_TYPE = _METRICS_CONTENT_TYPE.encode("latin-1")
 
+#: Request header carrying the caller's trace id (coordinator -> shard).
+TRACE_HEADER = "x-repro-trace"
+
 
 class SnapshotServer:
     """A threaded HTTP query server over one immutable snapshot index."""
+
+    #: Endpoints exempt from admission control (and from the response
+    #: cache).  Subclasses extend this — the cluster shard adds its
+    #: ``admin`` plane so staging works while query traffic sheds.
+    always_admit: tuple[str, ...] = _ALWAYS_ADMIT
 
     def __init__(
         self,
@@ -202,18 +211,30 @@ class SnapshotServer:
 
     # -- request dispatch ----------------------------------------------------
 
-    def handle_target(self, target: str) -> tuple[int, bytes, bytes]:
-        """Answer one GET target; returns ``(status, body, content_type)``."""
+    def handle_target(
+        self, target: str, trace_parent: str = ""
+    ) -> tuple[int, bytes, bytes]:
+        """Answer one GET target; returns ``(status, body, content_type)``.
+
+        ``trace_parent`` is the caller's trace id (from the
+        ``X-Repro-Trace`` header); a propagated trace is always kept —
+        the sampling decision was the originator's to make.
+        """
         path, _, raw_query = target.partition("?")
         endpoint = _endpoint_of(path)
         start = time.perf_counter()
-        sampled = (
+        sampled = bool(trace_parent) or (
             self.trace_sampler.should_sample()
             if self.trace_sampler is not None
             else True
         )
-        trace_id = new_trace_id() if (sampled and self.tracer is not None) else ""
-        shed_able = endpoint not in _ALWAYS_ADMIT
+        if trace_parent:
+            trace_id = trace_parent
+        else:
+            trace_id = (
+                new_trace_id() if (sampled and self.tracer is not None) else ""
+            )
+        shed_able = endpoint not in self.always_admit
         admitted = False
         status = 500
         try:
@@ -266,7 +287,9 @@ class SnapshotServer:
                 status, payload = 400, {"error": str(exc)}
             except (AnalysisError, GeoError) as exc:
                 status, payload = 404, {"error": str(exc)}
-            body = _encode(payload)
+            # Internal endpoints may hand back pre-encoded bytes (the
+            # shard's line protocol); everything else is JSON.
+            body = payload if isinstance(payload, bytes) else _encode(payload)
             if shed_able and status == 200:
                 self.cache.put((target, self.index.snapshot_hash), body)
             return status, body, _JSON_TYPE
@@ -305,104 +328,93 @@ class SnapshotServer:
         self, endpoint: str, path: str, raw_query: str
     ) -> tuple[int, Any]:
         params = _parse_query(raw_query)
+        return self._route(endpoint, path, params, self.index, self.batcher)
+
+    def _route(
+        self,
+        endpoint: str,
+        path: str,
+        params: dict[str, str],
+        index: SnapshotIndex,
+        batcher: MicroBatcher,
+    ) -> tuple[int, Any]:
+        """Route one parsed request against an explicit index/batcher.
+
+        Handlers take the index and batcher as arguments rather than
+        reading ``self`` so a shard can resolve a *generation* (during
+        hot snapshot swap, old and new indexes serve side by side) and
+        still share every handler with the single-process server.
+        """
         if endpoint == "healthz":
             return 200, {
                 "status": "ok",
                 "version": __version__,
-                "snapshot_hash": self.index.snapshot_hash,
+                "snapshot_hash": index.snapshot_hash,
                 "uptime_s": round(time.time() - self._started_unix, 3),
             }
         if endpoint == "stats":
             return 200, self.stats()
         if endpoint == "locate":
-            return self._handle_locate(params)
+            return self._handle_locate(params, index, batcher)
         if endpoint == "as":
-            return self._handle_as(path)
+            return self._handle_as(path, index)
         if endpoint == "near":
-            return self._handle_near(params)
+            return self._handle_near(params, index)
         if endpoint == "distance-preference":
-            return self._handle_preference(params)
+            return self._handle_preference(params, index)
         return 404, {"error": f"unknown endpoint {path!r}"}
 
-    def _handle_locate(self, params: dict[str, str]) -> tuple[int, Any]:
+    def _handle_locate(
+        self,
+        params: dict[str, str],
+        index: SnapshotIndex,
+        batcher: MicroBatcher,
+    ) -> tuple[int, Any]:
         if "addresses" in params:
-            addresses = [
-                _int_param(part, "addresses")
-                for part in params["addresses"].split(",")
-                if part
-            ]
-            if not addresses:
-                raise ServeError("addresses must be a comma-separated list")
-            results = self.index.locate_many(addresses)
+            addresses = parse_address_list(params["addresses"])
+            results = index.locate_many(addresses)
             return 200, {"results": results}
         if "address" not in params:
             raise ServeError("locate requires ?address=N (or ?addresses=a,b)")
         address = _int_param(params["address"], "address")
         # Cache miss path: coalesce with concurrent misses in one flush.
-        future = self.batcher.submit(address)
-        self.metrics.gauge("serve.queue_depth").set(self.batcher.queue_depth)
+        future = batcher.submit(address)
+        self.metrics.gauge("serve.queue_depth").set(batcher.queue_depth)
         record = future.result()
         if record is None:
-            return 404, {"error": f"address {address} is not in this snapshot"}
+            return 404, {"error": locate_miss_message(address)}
         return 200, record
 
-    def _handle_as(self, path: str) -> tuple[int, Any]:
-        _, _, tail = path.lstrip("/").partition("/")
-        if not tail:
-            raise ServeError("expected /as/<asn>")
-        asn = _int_param(tail, "asn")
-        summary = self.index.as_summary(asn)
-        if summary is None:
-            return 404, {"error": f"AS {asn} is not in this snapshot"}
-        nodes = self.index.as_nodes(asn)
-        sample = [
-            int(self.index.dataset.addresses[row]) for row in nodes[:5]
-        ]
-        return 200, {**summary.to_dict(), "sample_addresses": sample}
+    def _handle_as(self, path: str, index: SnapshotIndex) -> tuple[int, Any]:
+        asn = parse_as_path(path)
+        record = index.as_record(asn)
+        if record is None:
+            return 404, {"error": as_miss_message(asn)}
+        return 200, record
 
-    def _handle_near(self, params: dict[str, str]) -> tuple[int, Any]:
-        if "lat" not in params or "lon" not in params:
-            raise ServeError("near requires ?lat=&lon=")
-        lat = _float_param(params["lat"], "lat")
-        lon = _float_param(params["lon"], "lon")
-        if "radius" in params:
-            radius = _float_param(params["radius"], "radius")
-            limit = _int_param(params.get("limit", "1000"), "limit")
-            results = self.index.within_radius(lat, lon, radius, limit=limit)
-            query = {"lat": lat, "lon": lon, "radius": radius}
+    def _handle_near(
+        self, params: dict[str, str], index: SnapshotIndex
+    ) -> tuple[int, Any]:
+        query, limit = parse_near_query(params)
+        if "radius" in query:
+            results = index.within_radius(
+                query["lat"], query["lon"], query["radius"], limit=limit
+            )
         else:
-            k = _int_param(params.get("k", "1"), "k")
-            results = self.index.nearest(lat, lon, k=k)
-            query = {"lat": lat, "lon": lon, "k": k}
+            results = index.nearest(query["lat"], query["lon"], k=query["k"])
         return 200, {"query": query, "results": results}
 
-    def _handle_preference(self, params: dict[str, str]) -> tuple[int, Any]:
+    def _handle_preference(
+        self, params: dict[str, str], index: SnapshotIndex
+    ) -> tuple[int, Any]:
         name = params.get("region")
         if not name:
             raise ServeError(
                 "distance-preference requires ?region= (e.g. US, Europe, Japan)"
             )
         region = region_by_name(name)
-        pref = self.index.distance_preference(region)
-        payload: dict[str, Any] = {
-            "region": pref.region,
-            "bin_miles": pref.bin_miles,
-            "n_nodes": pref.n_nodes,
-            "n_bins": int(pref.bin_left.size),
-        }
-        if "d" in params:
-            d = _float_param(params["d"], "d")
-            payload["d"] = d
-            payload["f_hat"] = self.index.f_of_d(region, d)
-        else:
-            f_hat = [
-                (float(v) if v == v else None) for v in pref.f_hat.tolist()
-            ]
-            payload["bin_left"] = pref.bin_left.tolist()
-            payload["f_hat"] = f_hat
-            payload["link_counts"] = pref.link_counts.tolist()
-            payload["pair_counts"] = pref.pair_counts.tolist()
-        return 200, payload
+        pref = index.distance_preference(region)
+        return 200, preference_payload(pref, params)
 
     # -- introspection -------------------------------------------------------
 
@@ -414,6 +426,10 @@ class SnapshotServer:
             "batcher": self.batcher.stats(),
             "inflight": self.inflight,
             "max_inflight": self._max_inflight,
+            # Ejection inputs for a fronting coordinator: how hard this
+            # replica is shedding and how deep its lookup queue runs.
+            "shed_requests": int(self.metrics.counter("serve.shed").value),
+            "queue_depth": self.batcher.queue_depth,
             "uptime_s": round(time.time() - self._started_unix, 3),
             "metrics": self.metrics.snapshot(),
         }
@@ -492,7 +508,8 @@ class _Handler(socketserver.StreamRequestHandler):
                     self._respond(400, b'{"error": "malformed request line"}', False)
                     return
                 keep_alive = version == "HTTP/1.1"
-                while True:  # drain headers, watching only Connection:
+                trace_parent = ""
+                while True:  # drain headers: Connection: and the trace id
                     header = self.rfile.readline(8192)
                     if header in (b"\r\n", b"\n", b""):
                         break
@@ -502,12 +519,16 @@ class _Handler(socketserver.StreamRequestHandler):
                         keep_alive = value != "close" and (
                             keep_alive or value == "keep-alive"
                         )
+                    elif lowered.startswith(TRACE_HEADER + ":"):
+                        trace_parent = lowered.partition(":")[2].strip()
                 if method != "GET":
                     self._respond(
                         405, b'{"error": "only GET is supported"}', keep_alive
                     )
                 else:
-                    status, body, content_type = app.handle_target(target)
+                    status, body, content_type = app.handle_target(
+                        target, trace_parent
+                    )
                     extra = (
                         f"Retry-After: {app.retry_after_s}\r\n".encode()
                         if status == 503
@@ -556,19 +577,21 @@ _REASONS = {
 }
 
 
-# --- small helpers -----------------------------------------------------------
+# --- small helpers (public: the cluster coordinator reuses them so its
+# --- wire format stays byte-identical with the single-process server) --------
 
 
-def _encode(payload: Any) -> bytes:
+def encode_json(payload: Any) -> bytes:
+    """The one JSON encoding used on the wire (compact separators)."""
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
-def _endpoint_of(path: str) -> str:
+def endpoint_of(path: str) -> str:
     head = path.lstrip("/").split("/", 1)[0]
     return head or "root"
 
 
-def _parse_query(raw_query: str) -> dict[str, str]:
+def parse_query(raw_query: str) -> dict[str, str]:
     if not raw_query:
         return {}
     params: dict[str, str] = {}
@@ -580,15 +603,96 @@ def _parse_query(raw_query: str) -> dict[str, str]:
     return params
 
 
-def _int_param(value: str, name: str) -> int:
+def int_param(value: str, name: str) -> int:
     try:
         return int(value)
     except ValueError:
         raise ServeError(f"{name} must be an integer, got {value!r}") from None
 
 
-def _float_param(value: str, name: str) -> float:
+def float_param(value: str, name: str) -> float:
     try:
         return float(value)
     except ValueError:
         raise ServeError(f"{name} must be a number, got {value!r}") from None
+
+
+def parse_address_list(raw: str) -> list[int]:
+    """Parse the ``?addresses=a,b,c`` batch form."""
+    addresses = [int_param(part, "addresses") for part in raw.split(",") if part]
+    if not addresses:
+        raise ServeError("addresses must be a comma-separated list")
+    return addresses
+
+
+def parse_near_query(params: dict[str, str]) -> tuple[dict[str, Any], int]:
+    """Parse ``/near`` parameters into ``(query, limit)``.
+
+    The returned query dict is exactly the one echoed in the response
+    body (key order included); ``limit`` is the result-count cap —
+    ``k`` for nearest-neighbour queries, ``limit`` for disc queries.
+    """
+    if "lat" not in params or "lon" not in params:
+        raise ServeError("near requires ?lat=&lon=")
+    lat = float_param(params["lat"], "lat")
+    lon = float_param(params["lon"], "lon")
+    if "radius" in params:
+        radius = float_param(params["radius"], "radius")
+        limit = int_param(params.get("limit", "1000"), "limit")
+        return {"lat": lat, "lon": lon, "radius": radius}, limit
+    k = int_param(params.get("k", "1"), "k")
+    return {"lat": lat, "lon": lon, "k": k}, k
+
+
+def parse_as_path(path: str) -> int:
+    """Extract the ASN from an ``/as/<asn>`` path."""
+    _, _, tail = path.lstrip("/").partition("/")
+    if not tail:
+        raise ServeError("expected /as/<asn>")
+    return int_param(tail, "asn")
+
+
+def locate_miss_message(address: int) -> str:
+    return f"address {address} is not in this snapshot"
+
+
+def as_miss_message(asn: int) -> str:
+    return f"AS {asn} is not in this snapshot"
+
+
+def preference_payload(
+    pref: DistancePreference, params: dict[str, str]
+) -> dict[str, Any]:
+    """The ``/distance-preference`` response body for a computed curve.
+
+    Shared between the single-process server (curve from its own index)
+    and the coordinator (curve rebuilt from merged shard histograms) so
+    both emit byte-identical JSON.
+    """
+    payload: dict[str, Any] = {
+        "region": pref.region,
+        "bin_miles": pref.bin_miles,
+        "n_nodes": pref.n_nodes,
+        "n_bins": int(pref.bin_left.size),
+    }
+    if "d" in params:
+        d = float_param(params["d"], "d")
+        if d < 0:
+            raise ServeError(f"distance must be >= 0, got {d}")
+        payload["d"] = d
+        payload["f_hat"] = f_hat_at(pref, d)
+    else:
+        f_hat = [(float(v) if v == v else None) for v in pref.f_hat.tolist()]
+        payload["bin_left"] = pref.bin_left.tolist()
+        payload["f_hat"] = f_hat
+        payload["link_counts"] = pref.link_counts.tolist()
+        payload["pair_counts"] = pref.pair_counts.tolist()
+    return payload
+
+
+# Backwards-compatible private aliases (kept for older call sites).
+_encode = encode_json
+_endpoint_of = endpoint_of
+_parse_query = parse_query
+_int_param = int_param
+_float_param = float_param

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import threading
 import time
+import urllib.error
 
 import numpy as np
 import pytest
@@ -20,12 +21,15 @@ from repro.geo.distance import haversine_miles
 from repro.geo.regions import region_by_name
 from repro.obs.report import validate_report
 from repro.serve import (
+    BackoffPolicy,
+    ConnectError,
     LruCache,
     MicroBatcher,
     QueryError,
     SnapshotClient,
     SnapshotIndex,
     SnapshotServer,
+    call_with_retries,
 )
 
 
@@ -424,3 +428,255 @@ class TestBackpressure:
     def test_invalid_configuration(self, index):
         with pytest.raises(ServeError):
             SnapshotServer(index, max_inflight=0)
+
+
+class TestRingSearchEdges:
+    """Grid ring search at the coordinate seams, against brute force."""
+
+    def _seam_dataset(self) -> MappedDataset:
+        rng = np.random.default_rng(7)
+        n = 120
+        lats = np.concatenate(
+            [
+                rng.uniform(-10.0, 10.0, n),  # antimeridian band
+                rng.uniform(85.0, 89.9, n),  # arctic cap
+                np.array([-89.9, -89.5, 89.9, 89.5]),  # at the poles
+            ]
+        )
+        lons = np.concatenate(
+            [
+                # Cluster tightly around the +-180 seam.
+                np.where(
+                    rng.random(n) < 0.5,
+                    rng.uniform(178.0, 180.0, n),
+                    rng.uniform(-180.0, -178.0, n),
+                ),
+                rng.uniform(-180.0, 180.0, n),
+                np.array([0.0, 90.0, -120.0, 45.0]),
+            ]
+        )
+        count = lats.shape[0]
+        return MappedDataset(
+            label="seam",
+            kind="skitter",
+            addresses=np.arange(1, count + 1, dtype=np.int64),
+            lats=lats,
+            lons=lons,
+            asns=np.full(count, UNMAPPED_ASN, dtype=np.int64),
+            links=np.zeros((0, 2), dtype=np.intp),
+        )
+
+    def _assert_matches_brute_force(self, index, dataset, lat, lon, k):
+        got = index.nearest(lat, lon, k=k)
+        dists = np.asarray(
+            haversine_miles(lat, lon, dataset.lats, dataset.lons)
+        )
+        order = np.lexsort((dataset.addresses, dists))[:k]
+        assert [r["address"] for r in got] == [
+            int(dataset.addresses[i]) for i in order
+        ]
+        assert [r["miles"] for r in got] == pytest.approx(
+            dists[order].tolist()
+        )
+
+    def test_nearest_across_antimeridian(self):
+        dataset = self._seam_dataset()
+        index = SnapshotIndex(dataset)
+        for lon in (179.9, -179.9, 178.5, -178.5):
+            self._assert_matches_brute_force(index, dataset, 0.0, lon, 10)
+
+    def test_nearest_at_poles(self):
+        dataset = self._seam_dataset()
+        index = SnapshotIndex(dataset)
+        for lat, lon in ((89.99, 0.0), (89.99, 179.0), (-89.99, -45.0)):
+            self._assert_matches_brute_force(index, dataset, lat, lon, 8)
+
+    def test_radius_across_antimeridian(self):
+        dataset = self._seam_dataset()
+        index = SnapshotIndex(dataset)
+        lat, lon, radius = 0.0, 179.95, 400.0
+        got = index.within_radius(lat, lon, radius)
+        dists = np.asarray(
+            haversine_miles(lat, lon, dataset.lats, dataset.lons)
+        )
+        assert len(got) == int(np.count_nonzero(dists <= radius))
+        # Nodes on *both* sides of the seam are inside this disc.
+        lons = [r["lon"] for r in got]
+        assert any(value > 0 for value in lons)
+        assert any(value < 0 for value in lons)
+
+
+class TestBatcherShutdownFlush:
+    def test_queued_submissions_resolve_through_close(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def compute(keys):
+            entered.set()
+            release.wait(timeout=5.0)
+            return [k * 2 for k in keys]
+
+        batcher = MicroBatcher(compute, max_batch=1, max_wait_s=0.0)
+        first = batcher.submit(1)
+        assert entered.wait(timeout=5.0)  # flusher is busy with key 1
+        queued = [batcher.submit(k) for k in (2, 3, 4)]
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        release.set()
+        # close() drains: everything submitted before it resolves.
+        assert first.result(timeout=5.0) == 2
+        assert [f.result(timeout=5.0) for f in queued] == [4, 6, 8]
+        closer.join(timeout=5.0)
+        assert not closer.is_alive()
+        with pytest.raises(ServeError):
+            batcher.submit(5)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda keys: [0 for _ in keys])
+        batcher.close()
+        batcher.close()
+
+
+class TestStatsGauges:
+    def test_shed_and_queue_depth_reported(self, client):
+        stats = client.stats()
+        assert stats["shed_requests"] == 0
+        assert stats["queue_depth"] == 0
+
+    def test_shed_requests_counts_rejections(self, index, dataset):
+        server = SnapshotServer(index, port=0, max_inflight=1, cache_size=1)
+        blocker = threading.Event()
+        original = index.locate_many
+
+        def slow_locate(addresses):
+            blocker.wait(timeout=5.0)
+            return original(addresses)
+
+        server.batcher._compute = slow_locate
+        address = int(dataset.addresses[0])
+        with server:
+            client = SnapshotClient(server.url, max_retries=0)
+            worker = threading.Thread(
+                target=lambda: SnapshotClient(server.url).locate(address)
+            )
+            worker.start()
+            try:
+                # Wait until the blocked request owns the only slot, so
+                # the next query is deterministically shed.
+                deadline = time.monotonic() + 5.0
+                while server.inflight < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                with pytest.raises(OverloadError):
+                    client.locate(address)
+            finally:
+                blocker.set()
+                worker.join(timeout=5.0)
+            assert client.stats()["shed_requests"] >= 1
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = BackoffPolicy(
+            retries=6, base_delay_s=0.1, max_delay_s=0.5, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+
+    def test_jitter_bounds(self):
+        policy = BackoffPolicy(
+            retries=1, base_delay_s=1.0, max_delay_s=8.0, jitter=0.25, seed=3
+        )
+        for attempt in range(50):
+            delay = policy.delay_s(0)
+            assert 0.75 <= delay <= 1.25
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ServeError):
+            BackoffPolicy(retries=-1)
+        with pytest.raises(ServeError):
+            BackoffPolicy(jitter=1.5)
+
+    def test_call_with_retries_eventual_success(self):
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectError("nope")
+            return "ok"
+
+        policy = BackoffPolicy(retries=3, base_delay_s=0.01, jitter=0.0)
+        result = call_with_retries(
+            flaky, policy, retry_on=(ConnectError,), sleep=slept.append
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        def boom():
+            raise ValueError("not transient")
+
+        policy = BackoffPolicy(retries=5, base_delay_s=0.01, jitter=0.0)
+        with pytest.raises(ValueError):
+            call_with_retries(
+                boom, policy, retry_on=(ConnectError,), sleep=lambda _: None
+            )
+
+    def test_budget_exhaustion_reraises_last(self):
+        def always():
+            raise ConnectError("still down")
+
+        policy = BackoffPolicy(retries=2, base_delay_s=0.01, jitter=0.0)
+        with pytest.raises(ConnectError, match="still down"):
+            call_with_retries(
+                always, policy, retry_on=(ConnectError,), sleep=lambda _: None
+            )
+
+
+class TestClientConnectRetry:
+    def test_unreachable_server_is_connect_error(self):
+        import socket as socket_mod
+
+        with socket_mod.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        client = SnapshotClient(
+            f"http://127.0.0.1:{port}",
+            timeout_s=0.5,
+            connect_backoff=BackoffPolicy(
+                retries=2, base_delay_s=0.01, jitter=0.0
+            ),
+        )
+        with pytest.raises(ConnectError, match="cannot reach"):
+            client.healthz()
+
+    def test_refused_then_up_succeeds(self, index, monkeypatch):
+        # A server that starts binding only after the first attempt:
+        # the client's connection backoff should absorb the gap.
+        import urllib.request as request_mod
+
+        real_urlopen = request_mod.urlopen
+        server = SnapshotServer(index, port=0)
+        server.start()
+        try:
+            calls = []
+
+            def flaky_urlopen(url, timeout=None):
+                calls.append(url)
+                if len(calls) < 3:
+                    raise urllib.error.URLError(OSError(111, "refused"))
+                return real_urlopen(url, timeout=timeout)
+
+            monkeypatch.setattr(request_mod, "urlopen", flaky_urlopen)
+            client = SnapshotClient(
+                server.url,
+                connect_backoff=BackoffPolicy(
+                    retries=3, base_delay_s=0.01, jitter=0.0
+                ),
+            )
+            assert client.healthz()["status"] == "ok"
+            assert len(calls) == 3
+        finally:
+            server.stop()
