@@ -1,0 +1,349 @@
+"""End-to-end smoke test of streaming ingestion (CI gate).
+
+Exercises the delta → WAL → incremental snapshot → cluster generation
+pipeline through real OS processes, exactly as an operator would:
+
+1. ``repro snapshot`` builds the small base snapshot; five chained
+   delta batches are synthesized from it and saved as spool files;
+2. ``repro cluster serve`` spawns 2 ranges x 2 replicas behind a
+   coordinator, and mixed queries run under sustained multi-threaded
+   load for the rest of the test;
+3. ``repro ingest run`` consumes the first three spool deltas,
+   journals them to the WAL, patches its index incrementally, and
+   auto-publishes a generation that hot-reloads the cluster — the
+   coordinator's generation flips and a delta-added address becomes
+   servable, with **zero** failed client requests;
+4. two more deltas are journaled but *not* published, then the
+   ingester is SIGKILLed mid-stream;
+5. a restarted ingester resumes from the WAL (checkpoint + suffix
+   replay), force-publishes the recovered state, and the cluster flips
+   again — still zero failures, and ``repro ingest replay`` confirms
+   the WAL reproduces the exact published content hash;
+6. ``repro ingest status`` renders the checkpoint; the ingester's
+   ``/metrics`` endpoint exports the freshness histogram.
+
+Run from the repo root with
+``PYTHONPATH=src python scripts/ingest_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.serialize import load_dataset  # noqa: E402
+from repro.ingest import load_delta, save_delta  # noqa: E402
+from repro.measure.stream import DeltaStream  # noqa: E402
+from repro.serve import QueryError, SnapshotClient  # noqa: E402
+
+COORD_RE = re.compile(r"cluster coordinator on (?P<url>http://\S+)")
+INGEST_RE = re.compile(
+    r"ingest pid=(?P<pid>\d+) wal_seq=(?P<seq>\d+) gen=(?P<gen>\d+) "
+    r"hash=(?P<hash>[0-9a-f]+) out=(?P<out>\S+)"
+)
+METRICS_RE = re.compile(r"ingest metrics on (?P<url>http://\S+)")
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        check=True,
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _popen_cli(*args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+    )
+
+
+def _read_until(proc: subprocess.Popen, pattern: re.Pattern,
+                timeout_s: float = 300.0) -> re.Match:
+    deadline = time.monotonic() + timeout_s
+    seen: list[str] = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        assert line, (
+            f"process exited ({proc.poll()}) before {pattern.pattern!r}; "
+            f"output: {seen[-5:]}"
+        )
+        seen.append(line.strip())
+        match = pattern.search(line)
+        if match:
+            return match
+    raise AssertionError(
+        f"no match for {pattern.pattern!r} in {timeout_s}s: {seen[-5:]}"
+    )
+
+
+def _wait_for_gen(client: SnapshotClient, gen: int,
+                  timeout_s: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        stats = client.stats()
+        if stats["cluster"]["gen"] >= gen:
+            return stats
+        assert time.monotonic() < deadline, (
+            f"cluster never reached gen {gen}: {stats['cluster']['gen']}"
+        )
+        time.sleep(0.25)
+
+
+def _wait_spool_empty(spool: Path, timeout_s: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while list(spool.glob("*.npz")):
+        assert time.monotonic() < deadline, "spool never drained"
+        time.sleep(0.1)
+
+
+class LoadGenerator:
+    """Mixed-query hammer; any client-visible failure is recorded."""
+
+    def __init__(self, url: str, addresses: list[int], asn: int) -> None:
+        self.failures: list[str] = []
+        self._stop = threading.Event()
+        self._url = url
+        self._addresses = addresses
+        self._asn = asn
+        self._threads = [
+            threading.Thread(target=self._worker, args=(tid,), daemon=True)
+            for tid in range(4)
+        ]
+        self.requests = 0
+        self._lock = threading.Lock()
+
+    def _worker(self, tid: int) -> None:
+        client = SnapshotClient(self._url, timeout_s=30.0)
+        addresses = self._addresses
+        step = 0
+        while not self._stop.is_set():
+            step += 1
+            try:
+                kind = (tid + step) % 5
+                if kind == 0:
+                    client.locate(addresses[step % len(addresses)])
+                elif kind == 1:
+                    batch = [
+                        addresses[(step + i) % len(addresses)]
+                        for i in range(16)
+                    ]
+                    client.locate_many(batch)
+                elif kind == 2:
+                    client.near(40.0, -95.0 + (step % 7), k=5)
+                elif kind == 3:
+                    client.as_info(self._asn)
+                else:
+                    client.distance_preference("US")
+            except Exception as exc:  # noqa: BLE001 - recording all
+                self.failures.append(f"{type(exc).__name__}: {exc}")
+            with self._lock:
+                self.requests += 1
+
+    def start(self) -> None:
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="ingest-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        snap = tmp_path / "base.npz"
+        spool = tmp_path / "spool"
+        ing_dir = tmp_path / "ingest"
+        spool.mkdir()
+
+        print("== building base snapshot and delta spool ==", flush=True)
+        _run_cli("snapshot", "--scale", "small", "--out", str(snap))
+        base = load_dataset(snap)
+        stream = DeltaStream(base, np.random.default_rng(2026))
+        deltas = [stream.next_batch() for _ in range(5)]
+        staged = [
+            tmp_path / f"delta-{i:03d}.npz" for i in range(len(deltas))
+        ]
+        for path, delta in zip(staged, deltas):
+            save_delta(delta, path)
+        added_address = int(deltas[0].add_addresses[0])
+        addresses = [int(a) for a in base.addresses[:64]]
+        asns = base.asns
+        asn = int(asns[asns >= 0][0])
+
+        print("== starting cluster (2 ranges x 2 replicas) ==", flush=True)
+        cluster = _popen_cli(
+            "cluster", "serve", "--snapshot", str(snap),
+            "--ranges", "2", "--replicas", "2", "--port", "0",
+        )
+        load = None
+        ingest = None
+        try:
+            url = _read_until(cluster, COORD_RE).group("url")
+            client = SnapshotClient(url, timeout_s=30.0)
+            assert client.locate(addresses[0])
+            try:
+                client.locate(added_address)
+                raise AssertionError("delta address servable before ingest")
+            except QueryError as exc:
+                assert exc.status == 404, exc
+            print(f"coordinator {url}", flush=True)
+
+            load = LoadGenerator(url, addresses, asn)
+            load.start()
+            time.sleep(1.0)
+
+            print("== ingesting 3 deltas under load ==", flush=True)
+            for src, delta in zip(staged[:3], deltas[:3]):
+                (spool / src.name).write_bytes(src.read_bytes())
+            ingest = _popen_cli(
+                "ingest", "run", "--base", str(snap), "--out", str(ing_dir),
+                "--spool", str(spool), "--coordinator", url,
+                "--publish-batches", "3", "--publish-age-s", "3600",
+                "--metrics-port", "0",
+            )
+            banner = _read_until(ingest, INGEST_RE)
+            assert banner.group("seq") == "0", banner.group(0)
+            metrics_url = _read_until(ingest, METRICS_RE).group("url")
+
+            stats = _wait_for_gen(client, 2)
+            assert stats["cluster"]["built_unix"] > 0
+            _wait_spool_empty(spool)
+            record = client.locate(added_address)
+            assert record is not None, "delta-added address not servable"
+            print(
+                f"gen {stats['cluster']['gen']} live, address "
+                f"{added_address} now answers, {load.requests} requests, "
+                f"{len(load.failures)} failures",
+                flush=True,
+            )
+            assert not load.failures, load.failures[:5]
+
+            body = urllib.request.urlopen(f"{metrics_url}/metrics").read()
+            exposition = body.decode()
+            assert "repro_ingest_freshness_s_count" in exposition
+            assert "repro_ingest_generations_published_total" in exposition
+            health = json.loads(
+                urllib.request.urlopen(f"{metrics_url}/healthz").read()
+            )
+            assert health["gen"] >= 4, health  # base + three deltas
+            print("ingest /metrics exports freshness histogram", flush=True)
+
+            print("== journal 2 more deltas, SIGKILL the ingester ==",
+                  flush=True)
+            for src in staged[3:]:
+                (spool / src.name).write_bytes(src.read_bytes())
+            _wait_spool_empty(spool)
+            time.sleep(0.5)  # journaled (unlink follows the WAL append)
+            os.kill(ingest.pid, signal.SIGKILL)
+            ingest.wait(timeout=60)
+            status = _run_cli("ingest", "status", "--out", str(ing_dir))
+            facts = json.loads(status.stdout)
+            assert facts["wal"]["last_seq"] == 5, facts["wal"]
+            assert facts["checkpoint"]["seq"] == 3, facts["checkpoint"]
+            print("WAL holds 5 deltas, checkpoint at 3", flush=True)
+
+            print("== restart: resume from WAL, republish ==", flush=True)
+            ingest = _popen_cli(
+                "ingest", "run", "--base", str(snap), "--out", str(ing_dir),
+                "--spool", str(spool), "--coordinator", url,
+                "--publish-batches", "3", "--publish-age-s", "3600",
+            )
+            banner = _read_until(ingest, INGEST_RE)
+            assert banner.group("seq") == "5", banner.group(0)
+
+            stats = _wait_for_gen(client, 3)
+            published_hash = None
+            deadline = time.monotonic() + 60
+            while published_hash is None:
+                assert time.monotonic() < deadline, "no recovery checkpoint"
+                checkpoint = json.loads(
+                    (ing_dir / "checkpoint.json").read_text()
+                )
+                if checkpoint["seq"] == 5:
+                    published_hash = checkpoint["snapshot_hash"]
+                else:
+                    time.sleep(0.25)
+            assert stats["cluster"]["snapshot_hash"] == published_hash
+            print(
+                f"recovered generation live (gen {stats['cluster']['gen']}, "
+                f"hash {published_hash[:12]})",
+                flush=True,
+            )
+
+            time.sleep(1.0)
+            load.stop()
+            assert not load.failures, load.failures[:5]
+            print(
+                f"{load.requests} requests across both reloads, 0 failures",
+                flush=True,
+            )
+
+            print("== offline WAL replay audit ==", flush=True)
+            replay = _run_cli(
+                "ingest", "replay", "--base", str(snap),
+                "--wal", str(ing_dir / "ingest.wal"),
+            )
+            assert published_hash in replay.stdout, replay.stdout
+            print("replay reproduces the published hash", flush=True)
+
+            ingest.send_signal(signal.SIGINT)
+            assert ingest.wait(timeout=60) == 0
+            ingest = None
+        finally:
+            if load is not None:
+                load.stop()
+            if ingest is not None and ingest.poll() is None:
+                ingest.kill()
+                ingest.wait(timeout=30)
+            cluster.send_signal(signal.SIGINT)
+            try:
+                out, _ = cluster.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                cluster.kill()
+                out, _ = cluster.communicate()
+        assert cluster.returncode == 0, (
+            f"cluster serve exited {cluster.returncode}: {out[-2000:]}"
+        )
+
+    print("ingest smoke: ALL OK")
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    code = main()
+    print(f"({time.perf_counter() - start:.1f}s)")
+    sys.exit(code)

@@ -545,6 +545,13 @@ def _serve_main(argv: list[str]) -> int:
         help="micro-batch coalescing window (latency cost of batching)",
     )
     parser.add_argument(
+        "--sidecar",
+        default=None,
+        metavar="PATH",
+        help="derived-table sidecar .npz: reused when it matches the "
+        "snapshot, (re)written after a fresh build",
+    )
+    parser.add_argument(
         "--stats-report",
         default=None,
         metavar="OUT.json",
@@ -580,7 +587,9 @@ def _serve_main(argv: list[str]) -> int:
             dataset = load_dataset(args.snapshot, format=args.format)
         else:
             dataset = _build_dataset(args)
-        index = SnapshotIndex(dataset)
+        index = SnapshotIndex(dataset, derived=args.sidecar)
+        if args.sidecar is not None and not index.derived_loaded:
+            index.save_derived(args.sidecar)
         bus = None
         if args.access_log is not None:
             from repro.obs import JsonlSink, TelemetryBus
@@ -751,6 +760,12 @@ def _cluster_serve_main(argv: list[str]) -> int:
         metavar="OUT.jsonl",
         help="append coordinator access events as JSON lines",
     )
+    parser.add_argument(
+        "--sidecar-dir",
+        default=None,
+        metavar="DIR",
+        help="cache shard derived tables (sidecar .npz) in this directory",
+    )
     args = parser.parse_args(argv)
 
     bus = None
@@ -764,6 +779,7 @@ def _cluster_serve_main(argv: list[str]) -> int:
         n_ranges=args.ranges,
         replicas=args.replicas,
         host=args.host,
+        sidecar_dir=args.sidecar_dir,
     )
     try:
         urls_by_slot = manager.start()
@@ -826,6 +842,12 @@ def _cluster_shard_main(argv: list[str]) -> int:
     parser.add_argument("--gen", type=int, default=1, help="initial generation")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--sidecar-dir",
+        default=None,
+        metavar="DIR",
+        help="cache derived tables (sidecar .npz) in this directory",
+    )
     args = parser.parse_args(argv)
     try:
         server = ShardServer(
@@ -835,6 +857,7 @@ def _cluster_shard_main(argv: list[str]) -> int:
             gen=args.gen,
             host=args.host,
             port=args.port,
+            sidecar_dir=args.sidecar_dir,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -918,6 +941,266 @@ def _cluster_reload_main(argv: list[str]) -> int:
         return 1
     print(_json.dumps(result, indent=2))
     return 0
+
+
+def _ingest_main(argv: list[str]) -> int:
+    """The ``repro ingest`` subcommand family."""
+    verbs = {
+        "run": _ingest_run_main,
+        "status": _ingest_status_main,
+        "replay": _ingest_replay_main,
+    }
+    if not argv or argv[0] not in verbs:
+        print("usage: repro ingest {run,status,replay} ...", file=sys.stderr)
+        return 2
+    return verbs[argv[0]](argv[1:])
+
+
+def _ingest_run_main(argv: list[str]) -> int:
+    """Run the streaming ingester against a base snapshot."""
+    import os
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.datasets.serialize import load_dataset
+    from repro.ingest import Ingester, IngestHttpServer, load_delta
+    from repro.measure.stream import DeltaStream
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+
+    parser = argparse.ArgumentParser(
+        prog="repro ingest run",
+        description="Journal measurement deltas to a WAL, apply them "
+        "incrementally, and publish fresh snapshot generations "
+        "(see README 'Streaming ingestion')",
+    )
+    parser.add_argument(
+        "--base", required=True, metavar="PATH", help="base snapshot file"
+    )
+    parser.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="ingest state directory (WAL, checkpoint, generations)",
+    )
+    parser.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="poll this directory for delta .npz files "
+        "(journaled then removed); omit for synthetic deltas",
+    )
+    parser.add_argument(
+        "--coordinator", default=None, metavar="URL",
+        help="cluster coordinator to hot-reload on every publish",
+    )
+    parser.add_argument(
+        "--publish-batches", type=int, default=3,
+        help="publish after this many pending batches (default %(default)s)",
+    )
+    parser.add_argument(
+        "--publish-age-s", type=float, default=10.0,
+        help="publish when the oldest pending batch is this old",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=0, metavar="N",
+        help="synthesize N delta batches, publish, and exit "
+        "(0 = run forever on the spool)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="synthetic-stream RNG seed"
+    )
+    parser.add_argument(
+        "--interval-s", type=float, default=0.2,
+        help="spool poll / synthetic emit interval seconds",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose /metrics, /healthz, /status on this port (0 = any)",
+    )
+    parser.add_argument(
+        "--no-sync", action="store_true",
+        help="skip fsync per WAL append (faster, loses the "
+        "acknowledged-write crash guarantee)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="structured JSON logs"
+    )
+    args = parser.parse_args(argv)
+    if args.spool is None and args.batches <= 0:
+        parser.error("either --spool DIR or --batches N is required")
+
+    setup_logging(args.verbose)
+    log = get_logger("ingest")
+    registry = MetricsRegistry()
+    http_server = None
+    with use_metrics(registry):
+        try:
+            ingester = Ingester(
+                args.base,
+                args.out,
+                publish_batches=args.publish_batches,
+                publish_age_s=args.publish_age_s,
+                coordinator_url=args.coordinator,
+                sync=not args.no_sync,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        status = ingester.status()
+        # Parsed by scripts/ingest_smoke.py — keep the formats stable.
+        print(
+            f"ingest pid={os.getpid()} wal_seq={status['applied_seq']} "
+            f"gen={status['gen']} hash={status['snapshot_hash'][:12]} "
+            f"out={args.out}",
+            flush=True,
+        )
+        if args.metrics_port is not None:
+            http_server = IngestHttpServer(
+                ingester, "127.0.0.1", args.metrics_port
+            )
+            print(
+                f"ingest metrics on http://127.0.0.1:{http_server.port}",
+                flush=True,
+            )
+        if ingester.replayed_batches:
+            log.info(
+                "resumed from WAL",
+                extra={"replayed": ingester.replayed_batches},
+            )
+            ingester.maybe_publish(force=True)
+
+        stream = None
+        if args.spool is None:
+            stream = DeltaStream(
+                ingester.index.dataset, np.random.default_rng(args.seed)
+            )
+        spool = None if args.spool is None else Path(args.spool)
+        if spool is not None:
+            spool.mkdir(parents=True, exist_ok=True)
+        last_published = ingester.published_seq
+        remaining = args.batches
+        exit_code = 0
+        try:
+            while True:
+                if spool is not None:
+                    for path in sorted(spool.glob("*.npz")):
+                        try:
+                            result = ingester.submit(load_delta(path))
+                        except ReproError as exc:
+                            bad = path.with_suffix(".bad")
+                            path.rename(bad)
+                            log.warning(
+                                "rejected delta",
+                                extra={"file": str(bad), "error": str(exc)},
+                            )
+                            print(
+                                f"error: rejected {path.name}: {exc}",
+                                file=sys.stderr,
+                            )
+                            continue
+                        path.unlink(missing_ok=True)
+                        log.info("ingested", extra=result)
+                elif remaining > 0:
+                    ingester.submit(stream.next_batch())
+                    remaining -= 1
+                ingester.maybe_publish(force=spool is None and remaining == 0)
+                if ingester.published_seq != last_published:
+                    last_published = ingester.published_seq
+                    st = ingester.status()
+                    print(
+                        f"ingest published seq={st['published_seq']} "
+                        f"gen={st['gen']} hash={st['snapshot_hash'][:12]}",
+                        flush=True,
+                    )
+                if spool is None and remaining == 0:
+                    break
+                time.sleep(args.interval_s)
+        except KeyboardInterrupt:
+            ingester.maybe_publish(force=True)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            exit_code = 1
+        finally:
+            if http_server is not None:
+                http_server.close()
+            ingester.close()
+            st = ingester.status()
+            print(
+                f"ingested {st['applied_seq']} batches, "
+                f"published seq {st['published_seq']}, "
+                f"gen {st['gen']}",
+                file=sys.stderr,
+            )
+        return exit_code
+
+
+def _ingest_status_main(argv: list[str]) -> int:
+    """Print WAL and checkpoint facts for an ingest directory."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.ingest import WriteAheadLog
+
+    parser = argparse.ArgumentParser(prog="repro ingest status")
+    parser.add_argument(
+        "--out", required=True, metavar="DIR", help="ingest state directory"
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    wal_path = out / "ingest.wal"
+    if not wal_path.exists():
+        print(f"error: no WAL at {wal_path}", file=sys.stderr)
+        return 1
+    try:
+        with WriteAheadLog(wal_path, sync=False) as wal:
+            facts: dict = {"wal": wal.stats()}
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    checkpoint = out / "checkpoint.json"
+    if checkpoint.exists():
+        facts["checkpoint"] = _json.loads(checkpoint.read_text())
+    facts["generations"] = sorted(p.name for p in out.glob("gen-*.npz"))
+    print(_json.dumps(facts, indent=2))
+    return EXIT_OK
+
+
+def _ingest_replay_main(argv: list[str]) -> int:
+    """Rebuild the final snapshot offline by replaying a WAL."""
+    from repro.datasets.serialize import load_dataset, save_dataset
+    from repro.ingest import WriteAheadLog, patch_dataset
+    from repro.obs.report import dataset_digest
+
+    parser = argparse.ArgumentParser(
+        prog="repro ingest replay",
+        description="Apply every journaled delta to a base snapshot and "
+        "print the resulting content hash (offline audit)",
+    )
+    parser.add_argument("--base", required=True, metavar="PATH")
+    parser.add_argument("--wal", required=True, metavar="PATH")
+    parser.add_argument(
+        "--after-seq", type=int, default=0,
+        help="replay only records with seq > this (default 0: all)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="OUT.npz",
+        help="also write the replayed snapshot here",
+    )
+    args = parser.parse_args(argv)
+    try:
+        dataset = load_dataset(args.base)
+        n_batches = 0
+        with WriteAheadLog(args.wal, sync=False) as wal:
+            for _seq, batch in wal.replay_deltas(args.after_seq):
+                dataset, _info = patch_dataset(dataset, batch)
+                n_batches += 1
+        if args.out is not None:
+            save_dataset(dataset, args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"replayed {n_batches} batches: {dataset.n_nodes} nodes, "
+        f"{dataset.n_links} links, hash {dataset_digest(dataset)}"
+    )
+    return EXIT_OK
 
 
 def _sweep_common_args(parser: argparse.ArgumentParser) -> None:
@@ -1233,8 +1516,8 @@ def _bench_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
-    ``repro run|report|snapshot|serve|query|sweep|bench|cluster ...``
-    dispatch
+    ``repro run|report|snapshot|serve|query|sweep|bench|cluster|ingest
+    ...`` dispatch
     to the subcommands; anything else is treated as ``run`` flags so
     existing ``python -m repro.cli --scale small ...`` invocations keep
     working.
@@ -1248,6 +1531,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _sweep_main,
         "bench": _bench_main,
         "cluster": _cluster_main,
+        "ingest": _ingest_main,
     }
     if argv and argv[0] in subcommands:
         return subcommands[argv[0]](argv[1:])

@@ -110,6 +110,7 @@ class Routing:
         self.ranges = ranges
         self.replica_sets = replica_sets
         self.snapshot_hash = snapshot_hash
+        self.created_unix = time.time()
         self._inflight = 0
         self._lock = threading.Lock()
 
@@ -418,6 +419,7 @@ class ClusterCoordinator:
                 "version": __version__,
                 "snapshot_hash": routing.snapshot_hash,
                 "gen": routing.gen,
+                "built_unix": round(routing.created_unix, 3),
                 "uptime_s": round(time.time() - self._started_unix, 3),
             }
         if endpoint == "stats":
@@ -624,6 +626,7 @@ class ClusterCoordinator:
             "cluster": {
                 "gen": routing.gen,
                 "snapshot_hash": routing.snapshot_hash,
+                "built_unix": round(routing.created_unix, 3),
                 "inflight_pins": routing.inflight,
                 "ranges": [
                     {

@@ -61,11 +61,16 @@ class ShardServer(SnapshotServer):
         max_batch: int = 512,
         batch_window_s: float = 0.002,
         max_pending: int = 4096,
+        sidecar_dir: str | Path | None = None,
         **server_kw,
     ) -> None:
-        index = SnapshotIndex.build_partition(
-            source, addr_lo, addr_hi, cell_arcmin
+        self._cell_arcmin = cell_arcmin
+        self._sidecar_dir = (
+            Path(sidecar_dir) if sidecar_dir is not None else None
         )
+        if self._sidecar_dir is not None:
+            self._sidecar_dir.mkdir(parents=True, exist_ok=True)
+        index = self._build_partition(source, addr_lo, addr_hi, gen)
         super().__init__(
             index,
             max_batch=max_batch,
@@ -73,7 +78,6 @@ class ShardServer(SnapshotServer):
             max_pending=max_pending,
             **server_kw,
         )
-        self._cell_arcmin = cell_arcmin
         self._batcher_conf = {
             "max_batch": max_batch,
             "max_wait_s": batch_window_s,
@@ -84,6 +88,37 @@ class ShardServer(SnapshotServer):
         self._generations: dict[int, tuple[SnapshotIndex, MicroBatcher]] = {
             gen: (index, self.batcher)
         }
+
+    # -- partition building --------------------------------------------------
+
+    def _sidecar_path(
+        self, source: str | Path, lo: int | None, hi: int | None
+    ) -> Path | None:
+        if self._sidecar_dir is None:
+            return None
+        cell = f"{self._cell_arcmin:g}".replace(".", "p")
+        name = (
+            f"{Path(source).stem}"
+            f"-{'any' if lo is None else lo}"
+            f"-{'any' if hi is None else hi}"
+            f"-{cell}.derived.npz"
+        )
+        return self._sidecar_dir / name
+
+    def _build_partition(
+        self, source: str | Path, lo: int | None, hi: int | None, gen: int
+    ) -> SnapshotIndex:
+        # The sidecar file is keyed by (source, range, cell); its
+        # embedded snapshot hash is re-verified at load, so a stale file
+        # for a rewritten snapshot just means a rebuild, never bad data.
+        derived = self._sidecar_path(source, lo, hi)
+        index = SnapshotIndex.build_partition(
+            source, lo, hi, self._cell_arcmin, derived=derived
+        )
+        if derived is not None and not index.derived_loaded:
+            index.save_derived(derived)
+        index.gen = gen
+        return index
 
     # -- generation resolution -----------------------------------------------
 
@@ -152,9 +187,7 @@ class ShardServer(SnapshotServer):
         gen = int_param(params.get("gen", ""), "gen")
         lo = int_param(params["lo"], "lo") if "lo" in params else None
         hi = int_param(params["hi"], "hi") if "hi" in params else None
-        index = SnapshotIndex.build_partition(
-            snapshot, lo, hi, self._cell_arcmin
-        )
+        index = self._build_partition(snapshot, lo, hi, gen)
         batcher = MicroBatcher(index.locate_many, **self._batcher_conf)
         with self._gen_lock:
             generations = dict(self._generations)
@@ -207,6 +240,7 @@ class ShardServer(SnapshotServer):
                 str(g): {
                     "snapshot_hash": index.snapshot_hash,
                     "n_owned": index.dataset.n_nodes,
+                    "built_unix": round(index.built_unix, 3),
                 }
                 for g, (index, _) in generations.items()
             },

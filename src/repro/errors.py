@@ -76,5 +76,9 @@ class ServeError(ReproError):
     """The snapshot query service was misused or refused a request."""
 
 
+class IngestError(ReproError):
+    """A measurement delta, WAL record, or ingest state is invalid."""
+
+
 class OverloadError(ServeError):
     """The service shed a request because a bounded queue was full."""

@@ -652,6 +652,68 @@ class Topology:
             raise TopologyError(f"unknown interface address {address}")
         self.hostnames[address] = hostname
 
+    def move_routers(
+        self, router_ids: np.ndarray, lats: np.ndarray, lons: np.ndarray
+    ) -> None:
+        """Update router coordinates in place (geolocation refinements).
+
+        The streaming-ingest mutation path: a better mapping for an
+        already-known router replaces its position.  Derived structures
+        (link lengths in particular) are invalidated.
+
+        Raises:
+            TopologyError: on unknown router ids, ragged batch columns,
+                or out-of-range coordinates.
+        """
+        ids = np.asarray(router_ids, dtype=np.intp)
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        if lats.shape != ids.shape or lons.shape != ids.shape:
+            raise TopologyError("move batch columns must have equal length")
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self._n_routers:
+            bad = ids[(ids < 0) | (ids >= self._n_routers)][0]
+            raise TopologyError(f"unknown router {int(bad)}")
+        if (
+            not np.all(np.isfinite(lats))
+            or not np.all(np.isfinite(lons))
+            or lats.min() < -90.0
+            or lats.max() > 90.0
+            or lons.min() < -180.0
+            or lons.max() > 180.0
+        ):
+            raise TopologyError("router coordinates out of range")
+        self._r_lat[ids] = lats
+        self._r_lon[ids] = lons
+        self._invalidate()
+
+    def set_router_asns(self, router_ids: np.ndarray, asns: np.ndarray) -> None:
+        """Re-home routers to different (already-registered) ASes.
+
+        The streaming-ingest mutation path for AS-mapping changes: a BGP
+        update re-originates a prefix and its routers move to another
+        AS.  Derived structures (interdomain flags) are invalidated.
+
+        Raises:
+            TopologyError: on unknown router ids, unknown ASNs, or
+                ragged batch columns.
+        """
+        ids = np.asarray(router_ids, dtype=np.intp)
+        asns = np.asarray(asns, dtype=np.int64)
+        if asns.shape != ids.shape:
+            raise TopologyError("remap batch columns must have equal length")
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self._n_routers:
+            bad = ids[(ids < 0) | (ids >= self._n_routers)][0]
+            raise TopologyError(f"unknown router {int(bad)}")
+        for asn in np.unique(asns).tolist():
+            if asn not in self.asns:
+                raise TopologyError(f"unknown ASN {asn}")
+        self._r_asn[ids] = asns
+        self._invalidate()
+
     # ---- derived structures ---------------------------------------------
 
     def _derive(self, key: str, build):

@@ -17,13 +17,20 @@ handling never touches O(n) scans:
 
 The index is immutable after construction and safe for concurrent
 readers; the only mutation is the memoised preference table behind a
-lock.
+lock.  Streaming updates go through :meth:`SnapshotIndex.apply_delta`,
+which returns a *new* index with only the affected derived structures
+re-computed — bit-identical to a from-scratch build of the patched
+dataset.  The expensive derived tables can round-trip through a sidecar
+``.npz`` (:meth:`SnapshotIndex.save_derived`) so restarts skip
+recomputation when the snapshot hash still matches.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import zipfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -54,6 +61,8 @@ DEFAULT_CELL_ARCMIN = 75.0
 DEFAULT_BIN_MILES = 35.0
 #: Miles per degree of latitude (conservative ring-search bound).
 _MILES_PER_DEG = 69.0
+#: On-disk format version of the derived-table sidecar.
+_DERIVED_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,37 +153,69 @@ class SnapshotIndex:
         cell_arcmin: float = DEFAULT_CELL_ARCMIN,
         *,
         partition: PartitionData | None = None,
+        derived: str | Path | None = None,
     ) -> None:
         start = time.perf_counter()
         self.dataset = dataset
         self.partition = partition
-        self.snapshot_hash = (
-            partition.snapshot_hash
-            if partition is not None
-            else dataset_digest(dataset)
+        self.cell_arcmin = float(cell_arcmin)
+        # The content digest is lazy: a full-table sha over the dataset
+        # costs milliseconds, and per-batch incremental patching should
+        # not pay it — publishers and health endpoints force it when
+        # they actually need it (see the snapshot_hash property).
+        self._snapshot_hash: str | None = (
+            partition.snapshot_hash if partition is not None else None
         )
 
+        # Spatial grid geometry (cheap; the bucketing below may be
+        # loaded from a sidecar instead of recomputed).
+        self._region = WORLD
+        self._cell_deg = cell_arcmin / 60.0
+        self._n_rows = max(1, int(np.ceil(self._region.lat_span / self._cell_deg)))
+        self._n_cols = max(1, int(np.ceil(self._region.lon_span / self._cell_deg)))
+
+        # Derived-table sidecar: reuse a previous build's sorted address
+        # index and grid when every identity field matches; any
+        # mismatch (stale hash, other cell size, corrupt file) falls
+        # back to a fresh rebuild.
+        loaded = None
+        if derived is not None:
+            loaded = _load_derived(
+                Path(derived),
+                snapshot_hash=self.snapshot_hash,
+                cell_arcmin=self.cell_arcmin,
+                addr_lo=None if partition is None else partition.addr_lo,
+                addr_hi=None if partition is None else partition.addr_hi,
+                n_nodes=dataset.n_nodes,
+            )
+        self.derived_loaded = loaded is not None
+
         # Address -> row: one sort at build, binary search per lookup.
-        self._addr_order = np.argsort(dataset.addresses, kind="stable")
+        if loaded is not None:
+            self._addr_order = loaded["addr_order"]
+        else:
+            self._addr_order = np.argsort(dataset.addresses, kind="stable")
         self._sorted_addresses = dataset.addresses[self._addr_order]
 
         # Node degree from the link table.  A partition's degrees are a
         # slice of the full table (links to other shards still count).
         if partition is not None:
             self._degrees = partition.degrees
+        elif loaded is not None:
+            self._degrees = loaded["degrees"]
         else:
             self._degrees = np.zeros(dataset.n_nodes, dtype=np.int64)
             if dataset.n_links:
                 np.add.at(self._degrees, dataset.links.ravel(), 1)
 
         # Spatial grid: every node bucketed into a 75' world patch.
-        self._region = WORLD
-        self._cell_deg = cell_arcmin / 60.0
-        self._n_rows = max(1, int(np.ceil(self._region.lat_span / self._cell_deg)))
-        self._n_cols = max(1, int(np.ceil(self._region.lon_span / self._cell_deg)))
-        cells = self._cell_of(dataset.lats, dataset.lons)
-        self._cell_order = np.argsort(cells, kind="stable")
-        sorted_cells = cells[self._cell_order]
+        if loaded is not None:
+            self._cells = loaded["cells"]
+            self._cell_order = loaded["cell_order"]
+        else:
+            self._cells = self._cell_of(dataset.lats, dataset.lons)
+            self._cell_order = np.argsort(self._cells, kind="stable")
+        sorted_cells = self._cells[self._cell_order]
         uniq, starts = np.unique(sorted_cells, return_index=True)
         stops = np.append(starts[1:], sorted_cells.size)
         self._cell_slices: dict[int, tuple[int, int]] = {
@@ -188,15 +229,30 @@ class SnapshotIndex:
             self._as_nodes: dict[int, np.ndarray] = {}
             self._as_summaries: dict[int, AsSummary] = {}
             self._as_records = partition.as_records
+            self._as_edge_mult: dict[tuple[int, int], int] | None = None
+            self._as_degrees: dict[int, int] | None = None
         else:
-            self._as_nodes, self._as_summaries = _as_tables(dataset)
+            self._as_edge_mult = _as_edge_table(dataset)
+            self._as_degrees = _degrees_from_edges(self._as_edge_mult)
+            self._as_nodes, self._as_summaries = _as_tables(
+                dataset, as_degrees=self._as_degrees
+            )
 
         # Distance-preference tables: lazy, memoised per region.
         self._pref_lock = threading.Lock()
         self._pref_tables: dict[str, DistancePreference | AnalysisError] = {}
         self._partial_tables: dict[str, dict | AnalysisError] = {}
 
+        self.gen = 1
+        self.built_unix = time.time()
         self.build_seconds = time.perf_counter() - start
+
+    @property
+    def snapshot_hash(self) -> str:
+        """Content digest of the full dataset (computed lazily, cached)."""
+        if self._snapshot_hash is None:
+            self._snapshot_hash = dataset_digest(self.dataset)
+        return self._snapshot_hash
 
     # -- partition builds ----------------------------------------------------
 
@@ -207,6 +263,8 @@ class SnapshotIndex:
         addr_lo: int | None,
         addr_hi: int | None,
         cell_arcmin: float = DEFAULT_CELL_ARCMIN,
+        *,
+        derived: str | Path | None = None,
     ) -> "SnapshotIndex":
         """Build the index for one contiguous address range of a snapshot.
 
@@ -300,7 +358,294 @@ class SnapshotIndex:
             owned_links=owned_links,
             n_full_nodes=dataset.n_nodes,
         )
-        return cls(part, cell_arcmin, partition=pdata)
+        return cls(part, cell_arcmin, partition=pdata, derived=derived)
+
+    # -- incremental updates -------------------------------------------------
+
+    def apply_delta(self, batch) -> "SnapshotIndex":
+        """A new index for this snapshot patched by one delta batch.
+
+        Only the derived structures the batch actually touches are
+        re-computed; everything else is shared with (or copied from)
+        this index:
+
+        - the sorted address run gains the added addresses by
+          merge-insertion (``searchsorted`` + ``insert``);
+        - degrees extend by zeros and count only the new link rows;
+        - only dirty grid cells (cells gaining or losing a node) are
+          re-grouped; untouched cells splice through unchanged;
+        - only dirty ASes (membership, coordinates, or AS-graph degree
+          changed) get their summary rebuilt, driven by a maintained
+          AS-edge multiset;
+        - distance-preference tables reset to lazy (their inputs may
+          have changed anywhere).
+
+        The result is **bit-identical** to ``SnapshotIndex(patched
+        dataset)`` built from scratch — same arrays, same query answers
+        — because every incremental step reproduces the from-scratch
+        computation on identical inputs (insertion into a sorted unique
+        run equals a stable argsort; integer degree addition commutes;
+        the Albers projection and all summary statistics are
+        elementwise over each AS's own rows).  ``gen`` increments and
+        ``built_unix``/``build_seconds`` describe the patch.
+
+        Raises:
+            IngestError: when the batch does not fit this snapshot.
+            ServeError: on a partition index — deltas apply to the full
+                snapshot; shards receive whole published generations.
+        """
+        if self.partition is not None:
+            raise ServeError(
+                "apply_delta requires a full (non-partition) index"
+            )
+        from repro.ingest.apply import patch_dataset
+
+        start = time.perf_counter()
+        dataset, info = patch_dataset(self.dataset, batch)
+        new = object.__new__(SnapshotIndex)
+        new.dataset = dataset
+        new.partition = None
+        new.cell_arcmin = self.cell_arcmin
+        new.derived_loaded = False
+        new._snapshot_hash = None  # lazy, like a fresh build's
+
+        n_old = info.n_old_nodes
+        added = info.added_rows
+        moved = info.moved_rows
+
+        # Sorted address run: merge-insert the (unique) added addresses.
+        if added.size:
+            add_sort = np.argsort(dataset.addresses[added], kind="stable")
+            add_addrs = dataset.addresses[added][add_sort]
+            pos = np.searchsorted(self._sorted_addresses, add_addrs)
+            new._sorted_addresses = np.insert(
+                self._sorted_addresses, pos, add_addrs
+            )
+            new._addr_order = np.insert(
+                self._addr_order, pos, added[add_sort]
+            )
+        else:
+            new._sorted_addresses = self._sorted_addresses
+            new._addr_order = self._addr_order
+
+        # Degrees: extend by zeros, count only the appended links.
+        degrees = np.concatenate(
+            [self._degrees, np.zeros(added.size, dtype=np.int64)]
+        )
+        if info.new_link_rows.size:
+            np.add.at(
+                degrees, dataset.links[info.new_link_rows].ravel(), 1
+            )
+        new._degrees = degrees
+
+        # Grid: re-group only the dirty cells.
+        new._region = self._region
+        new._cell_deg = self._cell_deg
+        new._n_rows = self._n_rows
+        new._n_cols = self._n_cols
+        cells = np.concatenate(
+            [self._cells, np.zeros(added.size, dtype=self._cells.dtype)]
+        )
+        changed = np.unique(np.concatenate([added, moved])).astype(np.intp)
+        moved_old = moved[moved < n_old]
+        if changed.size:
+            cells[changed] = new._cell_of(
+                dataset.lats[changed], dataset.lons[changed]
+            )
+            changed_cells = cells[changed]
+            dirty = set(changed_cells.tolist())
+            dirty.update(self._cells[moved_old].tolist())
+            parts: list[np.ndarray] = []
+            slices: dict[int, tuple[int, int]] = {}
+            offset = 0
+            for cell in sorted(set(self._cell_slices) | dirty):
+                if cell in dirty:
+                    lo_hi = self._cell_slices.get(cell)
+                    if lo_hi is None:
+                        members = np.empty(0, dtype=np.intp)
+                    else:
+                        members = self._cell_order[lo_hi[0]:lo_hi[1]]
+                    if moved_old.size:
+                        members = members[~np.isin(members, moved_old)]
+                    entering = changed[changed_cells == cell]
+                    members = np.sort(
+                        np.concatenate([members, entering])
+                    )
+                else:
+                    lo, hi = self._cell_slices[cell]
+                    members = self._cell_order[lo:hi]
+                if members.size:
+                    parts.append(members)
+                    slices[cell] = (offset, offset + members.size)
+                    offset += members.size
+            new._cell_order = (
+                np.concatenate(parts) if parts
+                else np.empty(0, dtype=np.intp)
+            )
+            new._cell_slices = slices
+        else:
+            new._cell_order = self._cell_order
+            new._cell_slices = self._cell_slices
+        new._cells = cells
+
+        # AS tables: maintain the edge multiset, rebuild dirty ASes.
+        new._as_records = None
+        as_nodes = dict(self._as_nodes)
+        edge_mult = dict(self._as_edge_mult or {})
+        as_degrees = dict(self._as_degrees or {})
+        dirty_as: set[int] = set()
+
+        remapped = info.remapped_rows[info.remapped_rows < n_old]
+        if remapped.size:
+            old_as = self.dataset.asns[remapped]
+            new_as = dataset.asns[remapped]
+            really = old_as != new_as
+            remapped = remapped[really]
+            old_as, new_as = old_as[really], new_as[really]
+        else:
+            old_as = new_as = np.empty(0, dtype=np.int64)
+        for asn in np.unique(old_as).tolist():
+            asn = int(asn)
+            if asn == UNMAPPED_ASN:
+                continue
+            gone = remapped[old_as == asn]
+            members = as_nodes[asn][~np.isin(as_nodes[asn], gone)]
+            if members.size:
+                as_nodes[asn] = members
+            else:
+                del as_nodes[asn]
+            dirty_as.add(asn)
+        for asn in np.unique(new_as).tolist():
+            asn = int(asn)
+            if asn == UNMAPPED_ASN:
+                continue
+            came = np.sort(remapped[new_as == asn])
+            members = as_nodes.get(asn, np.empty(0, dtype=np.intp))
+            as_nodes[asn] = np.insert(
+                members, np.searchsorted(members, came), came
+            )
+            dirty_as.add(asn)
+        if added.size:
+            added_as = dataset.asns[added]
+            for asn in np.unique(added_as).tolist():
+                asn = int(asn)
+                if asn == UNMAPPED_ASN:
+                    continue
+                rows = added[added_as == asn]
+                members = as_nodes.get(asn, np.empty(0, dtype=np.intp))
+                as_nodes[asn] = np.concatenate([members, rows])
+                dirty_as.add(asn)
+        if moved.size:
+            for asn in np.unique(dataset.asns[moved]).tolist():
+                asn = int(asn)
+                if asn != UNMAPPED_ASN:
+                    dirty_as.add(asn)
+
+        def bump(asn_a: int, asn_b: int, delta: int) -> None:
+            # One link's worth of AS-edge multiplicity; 0 <-> positive
+            # transitions change distinct-edge degrees.
+            if asn_a == UNMAPPED_ASN or asn_b == UNMAPPED_ASN:
+                return
+            if asn_a == asn_b:
+                return
+            key = (min(asn_a, asn_b), max(asn_a, asn_b))
+            before = edge_mult.get(key, 0)
+            after = before + delta
+            if after:
+                edge_mult[key] = after
+            else:
+                edge_mult.pop(key, None)
+            if (before == 0) != (after == 0):
+                step = 1 if after else -1
+                for asn in key:
+                    total = as_degrees.get(asn, 0) + step
+                    if total:
+                        as_degrees[asn] = total
+                    else:
+                        as_degrees.pop(asn, None)
+                    dirty_as.add(asn)
+
+        if remapped.size and self.dataset.n_links:
+            links = self.dataset.links
+            incident = np.flatnonzero(
+                np.isin(links[:, 0], remapped)
+                | np.isin(links[:, 1], remapped)
+            )
+            for li in incident.tolist():
+                i, j = int(links[li, 0]), int(links[li, 1])
+                bump(
+                    int(self.dataset.asns[i]),
+                    int(self.dataset.asns[j]),
+                    -1,
+                )
+                bump(int(dataset.asns[i]), int(dataset.asns[j]), 1)
+        for li in info.new_link_rows.tolist():
+            i, j = int(dataset.links[li, 0]), int(dataset.links[li, 1])
+            bump(int(dataset.asns[i]), int(dataset.asns[j]), 1)
+
+        as_summaries = dict(self._as_summaries)
+        for asn in sorted(dirty_as):
+            nodes = as_nodes.get(asn)
+            if nodes is None or nodes.size == 0:
+                as_nodes.pop(asn, None)
+                as_summaries.pop(asn, None)
+                continue
+            xs, ys = WORLD_ALBERS.project(
+                dataset.lats[nodes], dataset.lons[nodes]
+            )
+            as_summaries[asn] = _as_summary(
+                dataset, asn, nodes, int(as_degrees.get(asn, 0)), xs, ys
+            )
+        new._as_nodes = as_nodes
+        new._as_summaries = as_summaries
+        new._as_edge_mult = edge_mult
+        new._as_degrees = as_degrees
+
+        new._pref_lock = threading.Lock()
+        new._pref_tables = {}
+        new._partial_tables = {}
+        new.gen = self.gen + 1
+        new.built_unix = time.time()
+        new.build_seconds = time.perf_counter() - start
+        return new
+
+    # -- derived-table sidecar -----------------------------------------------
+
+    def save_derived(self, path: str | Path) -> None:
+        """Persist the derived tables to a sidecar ``.npz``, atomically.
+
+        Stores the sorted address index, degrees, and grid bucketing
+        keyed by snapshot hash, cell size, and (for a partition) the
+        owned address range, so a restart over the same snapshot skips
+        recomputation; any identity mismatch at load time falls back to
+        a fresh build.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        bounds = np.array(
+            [
+                -1 if self.partition is None or self.partition.addr_lo is None
+                else self.partition.addr_lo,
+                -1 if self.partition is None or self.partition.addr_hi is None
+                else self.partition.addr_hi,
+            ],
+            dtype=np.int64,
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("wb") as handle:
+            np.savez_compressed(
+                handle,
+                format_version=np.int64(_DERIVED_FORMAT_VERSION),
+                snapshot_hash=np.str_(self.snapshot_hash),
+                cell_arcmin=np.float64(self.cell_arcmin),
+                bounds=bounds,
+                n_nodes=np.int64(self.dataset.n_nodes),
+                addr_order=self._addr_order.astype(np.int64),
+                degrees=self._degrees.astype(np.int64),
+                cells=self._cells.astype(np.int64),
+                cell_order=self._cell_order.astype(np.int64),
+            )
+        os.replace(tmp, path)
 
     # -- address lookups -----------------------------------------------------
 
@@ -736,11 +1081,14 @@ class SnapshotIndex:
             "label": self.dataset.label,
             "kind": self.dataset.kind,
             "snapshot_hash": self.snapshot_hash,
+            "gen": self.gen,
+            "built_unix": round(self.built_unix, 3),
             "n_nodes": self.dataset.n_nodes,
             "n_links": self.dataset.n_links,
             "n_ases": self.n_ases,
             "n_grid_cells": len(self._cell_slices),
             "build_seconds": round(self.build_seconds, 6),
+            "derived_loaded": self.derived_loaded,
             "preference_tables": sorted(
                 name
                 for name, value in self._pref_tables.items()
@@ -758,7 +1106,9 @@ class SnapshotIndex:
 
 
 def _as_tables(
-    dataset: MappedDataset, only: set[int] | None = None
+    dataset: MappedDataset,
+    only: set[int] | None = None,
+    as_degrees: dict[int, int] | None = None,
 ) -> tuple[dict[int, np.ndarray], dict[int, AsSummary]]:
     """Per-AS node lists and summaries for every mapped AS.
 
@@ -766,12 +1116,15 @@ def _as_tables(
     owned ASes) without changing any individual summary — each AS's
     figures depend only on its own nodes and the AS graph, so the
     restricted results match the full run entry for entry.
+    ``as_degrees`` supplies precomputed AS-graph degrees (they must
+    equal :meth:`MappedDataset.as_degrees`, the default).
     """
     as_nodes: dict[int, np.ndarray] = {}
     as_summaries: dict[int, AsSummary] = {}
     if dataset.n_nodes == 0:
         return as_nodes, as_summaries
-    as_degrees = dataset.as_degrees()
+    if as_degrees is None:
+        as_degrees = dataset.as_degrees()
     as_order = np.argsort(dataset.asns, kind="stable")
     sorted_asns = dataset.asns[as_order]
     a_uniq, a_starts = np.unique(sorted_asns, return_index=True)
@@ -783,27 +1136,138 @@ def _as_tables(
             continue
         nodes = as_order[lo:hi]
         as_nodes[asn] = nodes
-        keys = np.unique(
-            np.column_stack(
-                [
-                    np.round(dataset.lats[nodes], 1),
-                    np.round(dataset.lons[nodes], 1),
-                ]
-            ),
-            axis=0,
-        )
-        as_summaries[asn] = AsSummary(
-            asn=asn,
-            n_nodes=int(nodes.size),
-            n_locations=int(keys.shape[0]),
-            degree=int(as_degrees.get(asn, 0)),
-            centroid_lat=float(np.mean(dataset.lats[nodes])),
-            centroid_lon=float(np.mean(dataset.lons[nodes])),
-            hull_area_sq_miles=convex_hull_area(
-                np.column_stack([x[nodes], y[nodes]])
-            ),
+        as_summaries[asn] = _as_summary(
+            dataset,
+            asn,
+            nodes,
+            int(as_degrees.get(asn, 0)),
+            x[nodes],
+            y[nodes],
         )
     return as_nodes, as_summaries
+
+
+def _as_summary(
+    dataset: MappedDataset,
+    asn: int,
+    nodes: np.ndarray,
+    degree: int,
+    xs: np.ndarray,
+    ys: np.ndarray,
+) -> AsSummary:
+    """One AS's summary from its node rows and projected coordinates.
+
+    Shared between the from-scratch build and the incremental path —
+    both feed it identical inputs (the projection is elementwise, so
+    projecting only this AS's rows equals slicing a full projection),
+    which is what makes incremental summaries bit-identical.
+    """
+    keys = np.unique(
+        np.column_stack(
+            [
+                np.round(dataset.lats[nodes], 1),
+                np.round(dataset.lons[nodes], 1),
+            ]
+        ),
+        axis=0,
+    )
+    return AsSummary(
+        asn=asn,
+        n_nodes=int(nodes.size),
+        n_locations=int(keys.shape[0]),
+        degree=degree,
+        centroid_lat=float(np.mean(dataset.lats[nodes])),
+        centroid_lon=float(np.mean(dataset.lons[nodes])),
+        hull_area_sq_miles=convex_hull_area(np.column_stack([xs, ys])),
+    )
+
+
+def _as_edge_table(dataset: MappedDataset) -> dict[tuple[int, int], int]:
+    """Multiset of AS-graph edges: (low, high) ASN pair -> link count.
+
+    The incremental-update bookkeeping: distinct keys are exactly
+    :meth:`MappedDataset.as_graph_edges`, and the multiplicities let a
+    delta apply know when removing one link dissolves an AS adjacency.
+    """
+    mult: dict[tuple[int, int], int] = {}
+    if dataset.n_links == 0:
+        return mult
+    a = dataset.asns[dataset.links[:, 0]]
+    b = dataset.asns[dataset.links[:, 1]]
+    keep = (a != UNMAPPED_ASN) & (b != UNMAPPED_ASN) & (a != b)
+    if not keep.any():
+        return mult
+    low = np.minimum(a[keep], b[keep])
+    high = np.maximum(a[keep], b[keep])
+    pairs, counts = np.unique(
+        np.column_stack([low, high]), axis=0, return_counts=True
+    )
+    for (x, y), count in zip(pairs.tolist(), counts.tolist()):
+        mult[(int(x), int(y))] = int(count)
+    return mult
+
+
+def _degrees_from_edges(
+    mult: dict[tuple[int, int], int]
+) -> dict[int, int]:
+    """AS-graph degree per ASN from the edge multiset (distinct edges)."""
+    degrees: dict[int, int] = {}
+    for x, y in mult:
+        degrees[x] = degrees.get(x, 0) + 1
+        degrees[y] = degrees.get(y, 0) + 1
+    return degrees
+
+
+def _load_derived(
+    path: Path,
+    *,
+    snapshot_hash: str,
+    cell_arcmin: float,
+    addr_lo: int | None,
+    addr_hi: int | None,
+    n_nodes: int,
+) -> dict[str, np.ndarray] | None:
+    """Derived tables from a sidecar, or None when unusable.
+
+    Every identity field (format version, snapshot hash, cell size,
+    owned address range, node count) must match and every array must
+    have the expected shape; otherwise the caller rebuilds from scratch
+    — a stale or corrupt sidecar can cost time, never correctness.
+    """
+    want_lo = -1 if addr_lo is None else int(addr_lo)
+    want_hi = -1 if addr_hi is None else int(addr_hi)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if int(data["format_version"]) != _DERIVED_FORMAT_VERSION:
+                return None
+            if str(data["snapshot_hash"]) != snapshot_hash:
+                return None
+            if float(data["cell_arcmin"]) != float(cell_arcmin):
+                return None
+            bounds = data["bounds"]
+            if int(bounds[0]) != want_lo or int(bounds[1]) != want_hi:
+                return None
+            if int(data["n_nodes"]) != n_nodes:
+                return None
+            tables = {
+                "addr_order": data["addr_order"].astype(np.intp),
+                "degrees": data["degrees"].astype(np.int64),
+                "cells": data["cells"].astype(np.intp),
+                "cell_order": data["cell_order"].astype(np.intp),
+            }
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None
+    for array in tables.values():
+        if array.shape != (n_nodes,):
+            return None
+    if n_nodes and (
+        tables["addr_order"].min() < 0
+        or tables["addr_order"].max() >= n_nodes
+        or tables["cell_order"].min() < 0
+        or tables["cell_order"].max() >= n_nodes
+    ):
+        return None
+    return tables
 
 
 def check_point(lat: float, lon: float) -> tuple[float, float]:

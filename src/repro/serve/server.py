@@ -350,6 +350,8 @@ class SnapshotServer:
                 "status": "ok",
                 "version": __version__,
                 "snapshot_hash": index.snapshot_hash,
+                "gen": index.gen,
+                "built_unix": round(index.built_unix, 3),
                 "uptime_s": round(time.time() - self._started_unix, 3),
             }
         if endpoint == "stats":
