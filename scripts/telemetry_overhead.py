@@ -54,7 +54,7 @@ N_THREADS = 4
 REQUESTS_PER_THREAD = 1_500
 SCRAPE_INTERVAL_S = 0.05
 
-PROFILE_PATH = REPO_ROOT / "telemetry-profile.collapsed"
+PROFILE_PATH = REPO_ROOT / "profiles" / "telemetry-profile.collapsed"
 
 
 def _drive(server: SnapshotServer, paths: list[str]) -> np.ndarray:

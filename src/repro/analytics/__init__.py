@@ -1,0 +1,35 @@
+"""Continuous analytics: incremental paper metrics over snapshot gens.
+
+The batch experiments in :mod:`repro.core` answer the paper's questions
+once; this package answers them *per generation* as streaming ingestion
+evolves the snapshot — an incrementally maintained
+:class:`AnalyticsEngine`, a generation-keyed :class:`MetricStore`,
+EWMA/CUSUM :class:`DriftDetector` alerts, and the
+:class:`AnalyticsRunner` observer that wires them into the ingest
+publish path.
+"""
+
+from repro.analytics.drift import DriftConfig, DriftDetector, DriftEvent
+from repro.analytics.engine import AnalyticsEngine, RegionState
+from repro.analytics.runner import (
+    DEFAULT_CAMPAIGN,
+    DEFAULT_DB_NAME,
+    AnalyticsRunner,
+    analytics_lag,
+    replay_wal,
+)
+from repro.analytics.store import MetricStore
+
+__all__ = [
+    "AnalyticsEngine",
+    "AnalyticsRunner",
+    "DEFAULT_CAMPAIGN",
+    "DEFAULT_DB_NAME",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEvent",
+    "MetricStore",
+    "RegionState",
+    "analytics_lag",
+    "replay_wal",
+]

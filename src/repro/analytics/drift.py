@@ -1,0 +1,176 @@
+"""EWMA/CUSUM drift detection over per-generation metric series.
+
+Each monitored metric keeps an exponentially weighted estimate of its
+mean and variance plus a two-sided CUSUM of standardized deviations.
+The CUSUM accumulates only the excess beyond a slack band, so
+generation-to-generation noise decays while a sustained shift — a
+remap-heavy delta moving ``intradomain_share``, a geographic
+rebalancing moving ``waxman_l.US`` — ramps the statistic past the
+threshold within a few generations.
+
+Alerts are edge-triggered: one ``trigger`` event when the score first
+crosses the threshold, one ``recover`` event when it falls back below
+the recovery fraction.  A metric that stays drifted raises exactly one
+alert, which is what the smoke test and the exactly-once store key
+rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalyticsError
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning knobs for :class:`DriftDetector`.
+
+    Attributes:
+        ewma_alpha: weight of the newest sample in the mean/variance
+            estimates (0 < alpha <= 1).
+        slack: standardized deviations ignored per step (CUSUM ``k``).
+        threshold: CUSUM score that raises an alert (``h``).
+        recover_fraction: an alerting metric recovers once its score
+            falls to ``recover_fraction * threshold``.
+        warmup: samples consumed before scoring starts; the first
+            generations only establish the baseline.
+        z_clip: cap on one sample's standardized deviation, so a single
+            wild generation cannot instantly saturate the CUSUM.
+        min_std: absolute floor on the standard deviation estimate.
+        rel_floor: relative floor, ``rel_floor * |mean|`` — protects
+            near-constant series from hair-trigger alerts.
+    """
+
+    ewma_alpha: float = 0.3
+    slack: float = 0.5
+    threshold: float = 6.0
+    recover_fraction: float = 0.5
+    warmup: int = 4
+    z_clip: float = 8.0
+    min_std: float = 1e-12
+    rel_floor: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise AnalyticsError("ewma_alpha must be in (0, 1]")
+        if self.threshold <= 0 or self.z_clip <= 0:
+            raise AnalyticsError("threshold and z_clip must be positive")
+        if not 0.0 <= self.recover_fraction < 1.0:
+            raise AnalyticsError("recover_fraction must be in [0, 1)")
+        if self.warmup < 1:
+            raise AnalyticsError("warmup must be at least 1")
+
+
+@dataclass
+class _MetricState:
+    mean: float = 0.0
+    var: float = 0.0
+    n: int = 0
+    s_pos: float = 0.0
+    s_neg: float = 0.0
+    alerting: bool = False
+    last_score: float = 0.0
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One edge of an alert: ``kind`` is ``trigger`` or ``recover``."""
+
+    metric: str
+    kind: str
+    gen: int
+    value: float
+    score: float
+    threshold: float
+
+
+class DriftDetector:
+    """Per-metric EWMA baseline + two-sided CUSUM change detection."""
+
+    def __init__(
+        self,
+        config: DriftConfig | None = None,
+        *,
+        metrics: list[str] | None = None,
+        thresholds: dict[str, float] | None = None,
+    ) -> None:
+        """Args:
+        config: shared tuning; defaults to :class:`DriftConfig`.
+        metrics: allowlist of metric names to monitor (None = all).
+        thresholds: per-metric threshold overrides.
+        """
+        self.config = config or DriftConfig()
+        self._only = None if metrics is None else set(metrics)
+        self._thresholds = dict(thresholds or {})
+        self._states: dict[str, _MetricState] = {}
+
+    def _threshold(self, metric: str) -> float:
+        return self._thresholds.get(metric, self.config.threshold)
+
+    def update(self, metric: str, gen: int, value: float) -> DriftEvent | None:
+        """Consume one sample; return an alert edge if one fired."""
+        if self._only is not None and metric not in self._only:
+            return None
+        if not math.isfinite(value):
+            return None
+        cfg = self.config
+        state = self._states.setdefault(metric, _MetricState())
+        event: DriftEvent | None = None
+        if state.n >= cfg.warmup:
+            h = self._threshold(metric)
+            std = max(
+                cfg.min_std, cfg.rel_floor * abs(state.mean),
+                math.sqrt(state.var),
+            )
+            z = max(-cfg.z_clip, min(cfg.z_clip, (value - state.mean) / std))
+            # Cap the CUSUMs at 2h: keeps recovery time bounded after
+            # long excursions without changing when alerts trigger.
+            state.s_pos = min(2 * h, max(0.0, state.s_pos + z - cfg.slack))
+            state.s_neg = min(2 * h, max(0.0, state.s_neg - z - cfg.slack))
+            score = max(state.s_pos, state.s_neg)
+            state.last_score = score
+            if not state.alerting and score > h:
+                state.alerting = True
+                event = DriftEvent(metric, "trigger", gen, value, score, h)
+            elif state.alerting and score <= cfg.recover_fraction * h:
+                state.alerting = False
+                state.s_pos = 0.0
+                state.s_neg = 0.0
+                event = DriftEvent(metric, "recover", gen, value, score, h)
+        if state.n == 0:
+            state.mean = value
+            state.var = 0.0
+        else:
+            diff = value - state.mean
+            state.mean += cfg.ewma_alpha * diff
+            state.var = (1.0 - cfg.ewma_alpha) * (
+                state.var + cfg.ewma_alpha * diff * diff
+            )
+        state.n += 1
+        return event
+
+    def update_all(
+        self, gen: int, metrics: dict[str, float]
+    ) -> list[DriftEvent]:
+        """Consume one generation's metrics (sorted by name, so event
+        order is deterministic); return every alert edge that fired."""
+        events = []
+        for name in sorted(metrics):
+            event = self.update(name, gen, metrics[name])
+            if event is not None:
+                events.append(event)
+        return events
+
+    @property
+    def alerting(self) -> list[str]:
+        """Metrics currently in the alerting state, sorted."""
+        return sorted(
+            name for name, st in self._states.items() if st.alerting
+        )
+
+    def score(self, metric: str) -> float:
+        """The metric's latest CUSUM score (0.0 when never scored)."""
+        state = self._states.get(metric)
+        return 0.0 if state is None else state.last_score

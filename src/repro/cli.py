@@ -35,6 +35,14 @@ Subcommands:
   coordinator; ``shard`` is the worker entry point; ``status`` prints a
   running coordinator's replica health; ``reload`` hot-swaps the fleet
   onto a new snapshot with zero dropped requests.
+- ``repro analytics``: continuous analytics (:mod:`repro.analytics`)
+  over streaming-ingest generations.  ``run`` replays an ingest WAL
+  offline into the generation-keyed metric store; ``status`` shows the
+  latest analyzed generation and recorded drift alerts; ``history``
+  prints one metric's per-generation series; ``diff`` compares two
+  analyzed generations metric by metric.  ``repro ingest run
+  --analytics`` maintains the same store live, incrementally, on every
+  published generation.
 
 ``run``, ``serve``, and ``sweep run``/``resume`` all take
 ``--profile-sampling OUT.collapsed`` to run the stdlib sampling
@@ -52,6 +60,7 @@ import argparse
 import sys
 import time
 from contextlib import ExitStack, contextmanager
+from pathlib import Path
 
 from repro.config import default_scenario, large_scenario, small_scenario
 from repro.core import experiments, report
@@ -108,7 +117,8 @@ def _profiling_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="OUT.collapsed",
         help="sample all thread stacks for the duration and write a "
-        "collapsed-stack report (flamegraph input) to this path",
+        "collapsed-stack report (flamegraph input) to this path "
+        "(bare filenames land under profiles/, not the working dir)",
     )
     parser.add_argument(
         "--sampling-hz",
@@ -131,6 +141,11 @@ def _sampling_profiler(args: argparse.Namespace):
         return
     from repro.obs import ProfilerError, SamplingProfiler
 
+    destination = Path(args.profile_sampling)
+    if destination.parent == Path("."):
+        # A bare filename goes under profiles/ (gitignored) instead of
+        # littering the working directory.
+        destination = Path("profiles") / destination
     profiler = SamplingProfiler(hz=args.sampling_hz)
     profiler.start()
     try:
@@ -138,7 +153,7 @@ def _sampling_profiler(args: argparse.Namespace):
     finally:
         profiler.stop()
         try:
-            path = profiler.write(args.profile_sampling)
+            path = profiler.write(destination)
         except ProfilerError as exc:
             print(f"error: {exc}", file=sys.stderr)
         else:
@@ -766,6 +781,19 @@ def _cluster_serve_main(argv: list[str]) -> int:
         metavar="DIR",
         help="cache shard derived tables (sidecar .npz) in this directory",
     )
+    parser.add_argument(
+        "--analytics-db",
+        default=None,
+        metavar="PATH",
+        help="serve /analytics/latest and /analytics/history from this "
+        "metric store (written by 'repro ingest run --analytics')",
+    )
+    parser.add_argument(
+        "--analytics-campaign",
+        default="ingest",
+        metavar="NAME",
+        help="campaign to serve from the metric store (default %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     bus = None
@@ -800,6 +828,8 @@ def _cluster_serve_main(argv: list[str]) -> int:
             hedge_delay_s=args.hedge_delay_ms / 1e3,
             health_interval_s=args.health_interval,
             bus=bus,
+            analytics_db=args.analytics_db,
+            analytics_campaign=args.analytics_campaign,
         )
     except ReproError as exc:
         manager.stop_all()
@@ -1020,6 +1050,31 @@ def _ingest_run_main(argv: list[str]) -> int:
         "acknowledged-write crash guarantee)",
     )
     parser.add_argument(
+        "--analytics", action="store_true",
+        help="maintain per-generation paper metrics incrementally and "
+        "store them in the analytics database on every publish",
+    )
+    parser.add_argument(
+        "--analytics-db", default=None, metavar="PATH",
+        help="metric store path (default: <out>/analytics.db)",
+    )
+    parser.add_argument(
+        "--analytics-campaign", default="ingest", metavar="NAME",
+        help="campaign name in the metric store (default %(default)s)",
+    )
+    parser.add_argument(
+        "--drift-metrics", default=None, metavar="A,B",
+        help="comma-separated metrics to watch for drift (default: all)",
+    )
+    parser.add_argument(
+        "--drift-warmup", type=int, default=4,
+        help="generations consumed before drift scoring (default %(default)s)",
+    )
+    parser.add_argument(
+        "--drift-h", type=float, default=6.0,
+        help="CUSUM alert threshold (default %(default)s)",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="structured JSON logs"
     )
     args = parser.parse_args(argv)
@@ -1043,6 +1098,33 @@ def _ingest_run_main(argv: list[str]) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        if args.analytics or args.analytics_db is not None:
+            from repro.analytics import (
+                DEFAULT_DB_NAME,
+                AnalyticsRunner,
+                DriftConfig,
+            )
+
+            db = (
+                Path(args.out) / DEFAULT_DB_NAME
+                if args.analytics_db is None
+                else Path(args.analytics_db)
+            )
+            watch = (
+                None
+                if args.drift_metrics is None
+                else [m for m in args.drift_metrics.split(",") if m]
+            )
+            runner = AnalyticsRunner(
+                db,
+                args.analytics_campaign,
+                drift_config=DriftConfig(
+                    warmup=args.drift_warmup, threshold=args.drift_h
+                ),
+                drift_metrics=watch,
+            )
+            runner.attach(ingester)
+            print(f"ingest analytics db={db}", flush=True)
         status = ingester.status()
         # Parsed by scripts/ingest_smoke.py — keep the formats stable.
         print(
@@ -1142,6 +1224,15 @@ def _ingest_status_main(argv: list[str]) -> int:
     parser.add_argument(
         "--out", required=True, metavar="DIR", help="ingest state directory"
     )
+    parser.add_argument(
+        "--analytics-db", default=None, metavar="PATH",
+        help="metric store to report lag against "
+        "(default: <out>/analytics.db when present)",
+    )
+    parser.add_argument(
+        "--analytics-campaign", default="ingest", metavar="NAME",
+        help="campaign in the metric store (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     out = Path(args.out)
     wal_path = out / "ingest.wal"
@@ -1158,6 +1249,26 @@ def _ingest_status_main(argv: list[str]) -> int:
     if checkpoint.exists():
         facts["checkpoint"] = _json.loads(checkpoint.read_text())
     facts["generations"] = sorted(p.name for p in out.glob("gen-*.npz"))
+    # Analytics lag: how far the metric series trails the live state.
+    # The WAL's last seq is the applied generation minus the base gen,
+    # so current_gen = checkpoint gen + unpublished suffix when a
+    # checkpoint exists, else 1 + last_seq over a fresh base.
+    from repro.analytics import DEFAULT_DB_NAME, analytics_lag
+
+    db = (
+        out / DEFAULT_DB_NAME
+        if args.analytics_db is None
+        else Path(args.analytics_db)
+    )
+    current_gen = 1 + facts["wal"]["last_seq"]
+    if "checkpoint" in facts:
+        checkpointed = facts["checkpoint"]
+        current_gen = int(checkpointed["gen"]) + (
+            facts["wal"]["last_seq"] - int(checkpointed["seq"])
+        )
+    analytics = analytics_lag(db, args.analytics_campaign, current_gen)
+    if analytics is not None:
+        facts["analytics"] = analytics
     print(_json.dumps(facts, indent=2))
     return EXIT_OK
 
@@ -1200,6 +1311,223 @@ def _ingest_replay_main(argv: list[str]) -> int:
         f"replayed {n_batches} batches: {dataset.n_nodes} nodes, "
         f"{dataset.n_links} links, hash {dataset_digest(dataset)}"
     )
+    return EXIT_OK
+
+
+def _analytics_main(argv: list[str]) -> int:
+    """The ``repro analytics`` subcommand family."""
+    verbs = {
+        "run": _analytics_run_main,
+        "status": _analytics_status_main,
+        "history": _analytics_history_main,
+        "diff": _analytics_diff_main,
+    }
+    if not argv or argv[0] not in verbs:
+        print(
+            "usage: repro analytics {run,status,history,diff} ...",
+            file=sys.stderr,
+        )
+        return 2
+    return verbs[argv[0]](argv[1:])
+
+
+def _analytics_db_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", required=True, metavar="PATH",
+        help="analytics metric store (e.g. <ingest-out>/analytics.db)",
+    )
+    parser.add_argument(
+        "--campaign", default="ingest", metavar="NAME",
+        help="campaign in the store (default %(default)s)",
+    )
+
+
+def _analytics_open(args: argparse.Namespace):
+    """(store, campaign_id) for read verbs; raises ReproError on miss."""
+    from repro.analytics import MetricStore
+    from repro.errors import AnalyticsError
+
+    store = MetricStore(args.db)
+    campaign_id = store.campaign_id(args.campaign)
+    if campaign_id is None:
+        raise AnalyticsError(
+            f"campaign {args.campaign!r} not found in {args.db} "
+            f"(have: {', '.join(store.campaigns()) or 'none'})"
+        )
+    return store, campaign_id
+
+
+def _analytics_run_main(argv: list[str]) -> int:
+    """Offline analytics: replay a WAL over a base snapshot."""
+    import json as _json
+
+    from repro.analytics import DriftConfig, replay_wal
+
+    parser = argparse.ArgumentParser(
+        prog="repro analytics run",
+        description="Analyze every generation of base snapshot + ingest "
+        "WAL into the metric store (idempotent: re-runs add nothing)",
+    )
+    parser.add_argument("--base", required=True, metavar="PATH")
+    parser.add_argument("--wal", required=True, metavar="PATH")
+    _analytics_db_args(parser)
+    parser.add_argument(
+        "--drift-metrics", default=None, metavar="A,B",
+        help="comma-separated metrics to watch for drift (default: all)",
+    )
+    parser.add_argument("--drift-warmup", type=int, default=4)
+    parser.add_argument("--drift-h", type=float, default=6.0)
+    args = parser.parse_args(argv)
+    watch = (
+        None
+        if args.drift_metrics is None
+        else [m for m in args.drift_metrics.split(",") if m]
+    )
+    try:
+        summary = replay_wal(
+            args.base,
+            args.wal,
+            args.db,
+            args.campaign,
+            drift_config=DriftConfig(
+                warmup=args.drift_warmup, threshold=args.drift_h
+            ),
+            drift_metrics=watch,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(summary, indent=2))
+    return EXIT_OK
+
+
+def _analytics_status_main(argv: list[str]) -> int:
+    """Latest analyzed generation, its metrics, and recorded alerts."""
+    import json as _json
+
+    parser = argparse.ArgumentParser(prog="repro analytics status")
+    _analytics_db_args(parser)
+    args = parser.parse_args(argv)
+    try:
+        store, campaign_id = _analytics_open(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    gens = store.generations(campaign_id)
+    latest = store.latest(campaign_id)
+    alerts = store.alerts(campaign_id, limit=50)
+    print(
+        _json.dumps(
+            {
+                "campaign": args.campaign,
+                "generations": len(gens),
+                "first_gen": gens[0] if gens else None,
+                "latest": latest,
+                "alerts": alerts,
+                "triggers": sum(
+                    1 for a in alerts if a["kind"] == "trigger"
+                ),
+            },
+            indent=2,
+        )
+    )
+    return EXIT_OK
+
+
+def _analytics_history_main(argv: list[str]) -> int:
+    """One metric's per-generation series as a small table."""
+    parser = argparse.ArgumentParser(prog="repro analytics history")
+    _analytics_db_args(parser)
+    parser.add_argument(
+        "--metric", required=True, metavar="NAME",
+        help="metric name (see 'repro analytics status' for the list)",
+    )
+    parser.add_argument("--limit", type=int, default=50)
+    args = parser.parse_args(argv)
+    try:
+        store, campaign_id = _analytics_open(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    points = store.history(campaign_id, args.metric, limit=args.limit)
+    if not points:
+        names = ", ".join(store.metric_names(campaign_id)[:20])
+        print(
+            f"error: no values for {args.metric!r} (have: {names})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{'gen':>6}  {args.metric}")
+    previous = None
+    for gen, value in points:
+        delta = "" if previous is None else f"  ({value - previous:+.6g})"
+        print(f"{gen:>6}  {value:.6g}{delta}")
+        previous = value
+    return EXIT_OK
+
+
+def _analytics_diff_main(argv: list[str]) -> int:
+    """Compare two stored generations metric by metric."""
+    parser = argparse.ArgumentParser(
+        prog="repro analytics diff",
+        description="Per-metric change between two analyzed generations "
+        "(defaults to the two newest)",
+    )
+    _analytics_db_args(parser)
+    parser.add_argument(
+        "gens", nargs="*", type=int, metavar="GEN",
+        help="two generation numbers (default: the two newest)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="exit nonzero when any metric changed by more than this "
+        "relative fraction",
+    )
+    args = parser.parse_args(argv)
+    try:
+        store, campaign_id = _analytics_open(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    gens = args.gens
+    if not gens:
+        stored = store.generations(campaign_id)
+        if len(stored) < 2:
+            print("error: need two analyzed generations", file=sys.stderr)
+            return 1
+        gens = stored[-2:]
+    if len(gens) != 2:
+        print("error: give exactly two generations", file=sys.stderr)
+        return EXIT_INVALID
+    records = []
+    for gen in gens:
+        record = store.generation(campaign_id, int(gen))
+        if record is None:
+            print(f"error: generation {gen} not analyzed", file=sys.stderr)
+            return 1
+        records.append(record)
+    old, new = records
+    print(
+        f"{args.campaign}: gen {old['gen']} -> {new['gen']} "
+        f"({new['n_nodes'] - old['n_nodes']:+d} nodes, "
+        f"{new['n_links'] - old['n_links']:+d} links)"
+    )
+    drifted = 0
+    for name in sorted(set(old["metrics"]) | set(new["metrics"])):
+        a = old["metrics"].get(name)
+        b = new["metrics"].get(name)
+        if a is None or b is None:
+            print(f"  {name:<28} {a} -> {b}  [only one side]")
+            continue
+        rel = (b - a) / max(abs(a), 1e-12)
+        flag = ""
+        if args.threshold is not None and abs(rel) > args.threshold:
+            drifted += 1
+            flag = f"  [> {args.threshold:g}]"
+        print(f"  {name:<28} {a:.6g} -> {b:.6g}  ({rel:+.2%}){flag}")
+    if drifted:
+        print(f"{drifted} metrics past threshold", file=sys.stderr)
+        return EXIT_DIFF
     return EXIT_OK
 
 
@@ -1517,7 +1845,7 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
     ``repro run|report|snapshot|serve|query|sweep|bench|cluster|ingest
-    ...`` dispatch
+    |analytics ...`` dispatch
     to the subcommands; anything else is treated as ``run`` flags so
     existing ``python -m repro.cli --scale small ...`` invocations keep
     working.
@@ -1532,6 +1860,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _bench_main,
         "cluster": _cluster_main,
         "ingest": _ingest_main,
+        "analytics": _analytics_main,
     }
     if argv and argv[0] in subcommands:
         return subcommands[argv[0]](argv[1:])

@@ -135,7 +135,10 @@ class Routing:
 class ClusterCoordinator:
     """Scatter-gather front end over a fleet of :class:`ShardServer`."""
 
-    always_admit = ("healthz", "stats", "metrics", "admin")
+    # Cheap local reads (and admin) bypass admission control and the
+    # response cache; "analytics" is store-backed, so caching on the
+    # snapshot hash would hide newly analyzed generations anyway.
+    always_admit = ("healthz", "stats", "metrics", "admin", "analytics")
 
     def __init__(
         self,
@@ -159,8 +162,15 @@ class ClusterCoordinator:
         tracer: Tracer | None = None,
         bus: TelemetryBus | None = None,
         trace_sampler: TraceSampler | None = None,
+        analytics_db: str | Path | None = None,
+        analytics_campaign: str = "ingest",
     ) -> None:
         self._routing = routing
+        self._analytics_db = (
+            None if analytics_db is None else Path(analytics_db)
+        )
+        self._analytics_campaign = analytics_campaign
+        self._analytics_store = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
         self.bus = bus
@@ -426,6 +436,8 @@ class ClusterCoordinator:
             return 200, self.stats()
         if endpoint == "admin":
             return self._handle_admin(path, params)
+        if endpoint == "analytics":
+            return self._handle_analytics(path, params, routing)
         if endpoint == "locate":
             return self._handle_locate(params, routing, trace_id)
         if endpoint == "near":
@@ -622,7 +634,7 @@ class ClusterCoordinator:
 
     def stats(self) -> dict:
         routing = self._routing
-        return {
+        stats = {
             "cluster": {
                 "gen": routing.gen,
                 "snapshot_hash": routing.snapshot_hash,
@@ -648,6 +660,10 @@ class ClusterCoordinator:
             "uptime_s": round(time.time() - self._started_unix, 3),
             "metrics": self.metrics.snapshot(),
         }
+        analytics = self._analytics_stats()
+        if analytics is not None:
+            stats["analytics"] = analytics
+        return stats
 
     # -- hot snapshot swap ---------------------------------------------------
 
@@ -661,6 +677,97 @@ class ClusterCoordinator:
         if verb == "status":
             return 200, self.stats()
         return 404, {"error": f"unknown admin endpoint {path!r}"}
+
+    # -- continuous analytics ------------------------------------------------
+
+    def _analytics(self):
+        """The lazily opened metric store (None when not configured)."""
+        if self._analytics_db is None:
+            return None
+        if self._analytics_store is None:
+            from repro.analytics import MetricStore
+
+            self._analytics_store = MetricStore(self._analytics_db)
+        return self._analytics_store
+
+    def _handle_analytics(
+        self, path: str, params: dict[str, str], routing: Routing
+    ):
+        """``/analytics/latest`` and ``/analytics/history`` reads.
+
+        Store-backed, not scatter-gather: the analytics series is
+        global (the ingest observer computes it on the full snapshot),
+        so the coordinator answers from the shared metric store.
+        """
+        store = self._analytics()
+        if store is None:
+            raise ServeError(
+                "analytics is not configured (start with --analytics-db)"
+            )
+        campaign_id = store.campaign_id(self._analytics_campaign)
+        if campaign_id is None:
+            raise AnalysisError(
+                f"no analytics recorded for campaign "
+                f"{self._analytics_campaign!r}"
+            )
+        _, _, verb = path.lstrip("/").partition("/")
+        if verb == "latest":
+            record = store.latest(campaign_id)
+            if record is None:
+                raise AnalysisError("no generation analyzed yet")
+            return 200, {
+                "campaign": self._analytics_campaign,
+                **record,
+                "in_sync": record["snapshot_hash"] == routing.snapshot_hash,
+                "alerts": store.alerts(campaign_id, limit=20),
+            }
+        if verb == "history":
+            metric = params.get("metric")
+            if not metric:
+                raise ServeError("history requires ?metric=NAME")
+            limit = int_param(params.get("limit", "50"), "limit")
+            if limit < 1:
+                raise ServeError("limit must be >= 1")
+            points = store.history(campaign_id, metric, limit=limit)
+            if not points:
+                raise AnalysisError(
+                    f"no recorded values for metric {metric!r}"
+                )
+            return 200, {
+                "campaign": self._analytics_campaign,
+                "metric": metric,
+                "points": [
+                    {"gen": gen, "value": value} for gen, value in points
+                ],
+            }
+        return 404, {"error": f"unknown analytics endpoint {path!r}"}
+
+    def _analytics_stats(self) -> dict | None:
+        """The ``stats()`` analytics block (None when unconfigured)."""
+        store = self._analytics()
+        if store is None:
+            return None
+        routing = self._routing
+        block: dict = {
+            "campaign": self._analytics_campaign,
+            "latest_gen": None,
+            "in_sync": False,
+        }
+        campaign_id = store.campaign_id(self._analytics_campaign)
+        if campaign_id is None:
+            return block
+        record = store.latest(campaign_id)
+        if record is None:
+            return block
+        block["latest_gen"] = record["gen"]
+        block["in_sync"] = record["snapshot_hash"] == routing.snapshot_hash
+        # The store does not know the cluster's generation numbering
+        # (a reload bumps routing.gen independently), so lag is exact
+        # only when the hashes line up.
+        block["lag"] = 0 if block["in_sync"] else None
+        block["age_s"] = round(time.time() - record["created_unix"], 3)
+        block["alerts"] = len(store.alerts(campaign_id, limit=10_000))
+        return block
 
     def reload(self, snapshot_path: str | Path) -> dict:
         """Hot-swap the whole fleet onto a new snapshot, dropping nothing.

@@ -88,9 +88,11 @@ def exact_pair_counts(
     chunk: int = 512,
 ) -> np.ndarray:
     """Exact node-pair counts per distance bin, chunked to bound memory."""
+    if bin_miles <= 0:
+        raise AnalysisError("bin_miles must be positive")
     n = lats.shape[0]
     counts = np.zeros(n_bins, dtype=np.int64)
-    if n < 2:
+    if n < 2 or n_bins == 0:
         return counts
     edges = np.arange(n_bins + 1, dtype=float) * bin_miles
     for start in range(0, n, chunk):
@@ -124,11 +126,15 @@ def exact_pair_counts_rows(
     :func:`exact_pair_counts` result (same haversine evaluations, same
     binning, integer addition).
     """
+    if bin_miles <= 0:
+        raise AnalysisError("bin_miles must be positive")
     n = lats.shape[0]
     counts = np.zeros(n_bins, dtype=np.int64)
     owned_rows = np.asarray(owned_rows, dtype=np.intp)
-    if n < 2 or owned_rows.size == 0:
+    if n < 2 or owned_rows.size == 0 or n_bins == 0:
         return counts
+    if owned_rows.min() < 0 or owned_rows.max() >= n:
+        raise AnalysisError("owned_rows reference rows outside the dataset")
     edges = np.arange(n_bins + 1, dtype=float) * bin_miles
     cols = np.arange(n)[None, :]
     for start in range(0, owned_rows.size, chunk):
@@ -158,10 +164,16 @@ def preference_from_counts(
     division on bitwise the same counts.  ``link_lengths`` is empty:
     merged tables serve the query path, not the Table V analyses.
     """
+    if bin_miles <= 0:
+        raise AnalysisError("bin_miles must be positive")
     link_counts = np.asarray(link_counts, dtype=np.int64)
     pair_counts = np.asarray(pair_counts, dtype=np.int64)
     if link_counts.shape != pair_counts.shape:
         raise AnalysisError("link and pair histograms disagree on shape")
+    if link_counts.ndim != 1:
+        raise AnalysisError("histograms must be one-dimensional")
+    if (link_counts < 0).any() or (pair_counts < 0).any():
+        raise AnalysisError("histogram counts must be non-negative")
     n_bins = int(link_counts.size)
     edges = np.arange(n_bins + 1, dtype=float) * bin_miles
     with np.errstate(divide="ignore", invalid="ignore"):

@@ -82,3 +82,7 @@ class IngestError(ReproError):
 
 class OverloadError(ServeError):
     """The service shed a request because a bounded queue was full."""
+
+
+class AnalyticsError(ReproError):
+    """The continuous-analytics engine or metric store was misused."""

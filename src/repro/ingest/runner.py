@@ -70,6 +70,12 @@ class Ingester:
             raise IngestError("publish_batches must be >= 1")
         if publish_age_s <= 0:
             raise IngestError("publish_age_s must be positive")
+        #: Optional analytics observer (see
+        #: :class:`repro.analytics.runner.AnalyticsRunner`) — notified
+        #: after each applied batch and each published generation.
+        #: Attached after construction, so WAL-replayed batches are not
+        #: observed (the observer seeds from the recovered index).
+        self.observer = None
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.publish_batches = publish_batches
@@ -191,6 +197,8 @@ class Ingester:
             self._pending_stamps.append(batch.created_unix)
             incr("ingest.batches_ingested")
             incr("ingest.ops_ingested", batch.n_ops)
+            if self.observer is not None:
+                self.observer.on_apply(batch, self.index)
             self._export_gauges()
             bus_publish(
                 "ingest.batch", seq=seq, digest=digest[:16],
@@ -233,6 +241,8 @@ class Ingester:
                     "ingest.freshness_s", FRESHNESS_BUCKETS
                 ).observe(now - stamp)
         self._pending_stamps.clear()
+        if self.observer is not None:
+            self.observer.on_publish(facts, self.index)
         self._export_gauges()
         return facts
 
@@ -253,7 +263,7 @@ class Ingester:
     def status(self) -> dict:
         """JSON-ready ingester facts."""
         with self._lock:
-            return {
+            status = {
                 "out_dir": str(self.out_dir),
                 "wal": self.wal.stats(),
                 "applied_seq": self.applied_seq,
@@ -265,6 +275,11 @@ class Ingester:
                 "n_links": self.index.dataset.n_links,
                 "replayed_batches": self.replayed_batches,
             }
+            if self.observer is not None:
+                status["analytics"] = self.observer.status_block(
+                    self.index.gen
+                )
+            return status
 
     def close(self) -> None:
         """Close the WAL append handle."""

@@ -165,6 +165,7 @@ class SamplingProfiler:
         """
         destination = Path(path)
         try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
             destination.write_text(self.collapsed(), encoding="utf-8")
         except OSError as exc:
             raise ProfilerError(f"cannot write profile {path}: {exc}")

@@ -931,6 +931,17 @@ class SnapshotIndex:
             return len(self._as_records)
         return len(self._as_summaries)
 
+    def as_summaries(self) -> dict[int, AsSummary]:
+        """Every maintained AS summary, keyed by ASN.
+
+        A live view of the dirty-set-maintained table (callers must not
+        mutate it); only available on a full index — a partition serves
+        per-AS records instead.
+        """
+        if self._as_records is not None:
+            raise ServeError("as_summaries is unavailable on a partition")
+        return self._as_summaries
+
     # -- distance preference -------------------------------------------------
 
     def distance_preference(self, region: Region) -> DistancePreference:

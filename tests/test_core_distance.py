@@ -6,7 +6,9 @@ import pytest
 from repro.core.distance import (
     cumulated_preference,
     exact_pair_counts,
+    exact_pair_counts_rows,
     grid_pair_counts,
+    preference_from_counts,
     preference_function,
     sensitivity_limit,
     waxman_fit,
@@ -76,6 +78,123 @@ class TestPairCounts:
     def test_single_point_no_pairs(self):
         counts = exact_pair_counts(np.array([35.0]), np.array([-100.0]), 10.0, 5)
         assert counts.sum() == 0
+
+    def test_zero_bins_returns_empty(self):
+        rng = np.random.default_rng(4)
+        lats = rng.uniform(30, 40, 20)
+        lons = rng.uniform(-110, -90, 20)
+        counts = exact_pair_counts(lats, lons, 50.0, 0)
+        assert counts.shape == (0,)
+        counts = exact_pair_counts_rows(
+            lats, lons, np.arange(20), 50.0, 0
+        )
+        assert counts.shape == (0,)
+
+    def test_non_positive_bin_width_raises(self):
+        lats = np.array([35.0, 36.0])
+        lons = np.array([-100.0, -101.0])
+        with pytest.raises(AnalysisError):
+            exact_pair_counts(lats, lons, 0.0, 10)
+        with pytest.raises(AnalysisError):
+            exact_pair_counts_rows(lats, lons, np.array([0]), -5.0, 10)
+
+
+class TestPairCountsRows:
+    def test_partitions_sum_to_full_counts(self):
+        rng = np.random.default_rng(5)
+        lats = rng.uniform(30, 40, 90)
+        lons = rng.uniform(-110, -90, 90)
+        full = exact_pair_counts(lats, lons, 30.0, 50)
+        parts = [np.arange(0, 30), np.arange(30, 71), np.arange(71, 90)]
+        total = sum(
+            exact_pair_counts_rows(lats, lons, rows, 30.0, 50)
+            for rows in parts
+        )
+        assert np.array_equal(total, full)
+
+    def test_last_row_owns_no_pairs(self):
+        # The smaller index of every (i, j) pair is never the last row,
+        # so a partition owning only it contributes an all-zero share.
+        rng = np.random.default_rng(6)
+        lats = rng.uniform(30, 40, 25)
+        lons = rng.uniform(-110, -90, 25)
+        counts = exact_pair_counts_rows(lats, lons, np.array([24]), 30.0, 50)
+        assert counts.sum() == 0
+
+    def test_single_row_partition(self):
+        rng = np.random.default_rng(7)
+        lats = rng.uniform(30, 40, 25)
+        lons = rng.uniform(-110, -90, 25)
+        counts = exact_pair_counts_rows(lats, lons, np.array([10]), 200.0, 40)
+        # Row 10 is the smaller index of exactly the pairs (10, j>10).
+        assert counts.sum() == 25 - 10 - 1
+
+    def test_empty_and_tiny_inputs(self):
+        lats = np.array([35.0, 36.0])
+        lons = np.array([-100.0, -101.0])
+        assert exact_pair_counts_rows(
+            lats, lons, np.array([], dtype=np.intp), 10.0, 5
+        ).sum() == 0
+        assert exact_pair_counts_rows(
+            np.array([35.0]), np.array([-100.0]), np.array([0]), 10.0, 5
+        ).sum() == 0
+
+    def test_out_of_range_rows_raise(self):
+        lats = np.array([35.0, 36.0])
+        lons = np.array([-100.0, -101.0])
+        with pytest.raises(AnalysisError):
+            exact_pair_counts_rows(lats, lons, np.array([5]), 10.0, 5)
+        with pytest.raises(AnalysisError):
+            exact_pair_counts_rows(lats, lons, np.array([-1]), 10.0, 5)
+
+
+class TestPreferenceFromCounts:
+    def test_matches_preference_function(self):
+        ds = _waxman_dataset()
+        direct = preference_function(ds, REGION, bin_miles=25.0, method="exact")
+        rebuilt = preference_from_counts(
+            REGION.name,
+            25.0,
+            direct.link_counts,
+            direct.pair_counts,
+            direct.n_nodes,
+        )
+        assert np.array_equal(rebuilt.link_counts, direct.link_counts)
+        assert np.array_equal(rebuilt.pair_counts, direct.pair_counts)
+        usable = rebuilt.pair_counts > 0
+        assert np.array_equal(
+            rebuilt.f_hat[usable], direct.f_hat[usable]
+        )
+        assert np.isnan(rebuilt.f_hat[~usable]).all()
+
+    def test_empty_bins_give_nan_not_error(self):
+        pref = preference_from_counts(
+            "R", 10.0, np.zeros(5, np.int64), np.zeros(5, np.int64), 0
+        )
+        assert np.isnan(pref.f_hat).all()
+        assert pref.link_lengths.size == 0
+
+    def test_zero_length_histograms(self):
+        pref = preference_from_counts(
+            "R", 10.0, np.zeros(0, np.int64), np.zeros(0, np.int64), 0
+        )
+        assert pref.f_hat.shape == (0,)
+        assert pref.bin_left.shape == (0,)
+
+    def test_invalid_inputs_raise(self):
+        ones = np.ones(5, np.int64)
+        with pytest.raises(AnalysisError):
+            preference_from_counts("R", 0.0, ones, ones, 5)
+        with pytest.raises(AnalysisError):
+            preference_from_counts("R", 10.0, ones, np.ones(4, np.int64), 5)
+        with pytest.raises(AnalysisError):
+            preference_from_counts("R", 10.0, -ones, ones, 5)
+        with pytest.raises(AnalysisError):
+            preference_from_counts("R", 10.0, ones, -ones, 5)
+        with pytest.raises(AnalysisError):
+            preference_from_counts(
+                "R", 10.0, ones.reshape(1, 5), ones.reshape(1, 5), 5
+            )
 
 
 class TestPreferenceFunction:
